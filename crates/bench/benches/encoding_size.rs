@@ -1,0 +1,27 @@
+//! E6 — §2 encoding sizes: regeneration of the 4MN vs N(3+2M) comparison
+//! and the cost of the size accounting itself on large pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapro_bench::encoding_sizes;
+use mapro_core::SizeReport;
+use mapro_normalize::JoinKind;
+use mapro_workloads::Gwlb;
+
+fn bench_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding_size");
+    group.bench_function("sweep", |b| {
+        b.iter(|| std::hint::black_box(encoding_sizes(&[5, 10, 20], &[2, 4, 8], 2019)));
+    });
+    let g = Gwlb::random(64, 16, 7);
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+    group.bench_function("size_report/universal_1024_rows", |b| {
+        b.iter(|| std::hint::black_box(SizeReport::of(&g.universal)));
+    });
+    group.bench_function("size_report/goto_65_tables", |b| {
+        b.iter(|| std::hint::black_box(SizeReport::of(&goto)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizes);
+criterion_main!(benches);

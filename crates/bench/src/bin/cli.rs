@@ -1,0 +1,243 @@
+//! `mapro` — the command-line front end to the normalization toolkit.
+//!
+//! Programs are JSON-serialized [`mapro_core::Pipeline`]s (produce samples
+//! with `mapro demo`). Subcommands:
+//!
+//! ```text
+//! mapro demo <fig1|gwlb|l3|vlan|sdx> [--services N --backends M --seed S] [--mat]
+//! mapro convert <prog.json|prog.mat> [--mat]     # JSON ↔ text format
+//! mapro show <prog.json>                          # paper-figure rendering
+//! mapro analyze <prog.json>                       # per-table NF report
+//! mapro normalize <prog.json> [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf] [--verify]
+//! mapro flatten <prog.json>                       # denormalize to one table
+//! mapro check <a.json> <b.json>                   # semantic equivalence
+//! mapro export <prog.json> --format openflow|p4   # data-plane program text
+//! ```
+//!
+//! Transformation commands print the resulting program JSON to stdout (so
+//! they compose with shell pipes); human-readable reports go to stderr.
+
+use mapro_core::{display, export, Pipeline};
+use mapro_normalize::{flatten, normalize, JoinKind, NormalizeOpts, Target};
+use std::io::Write as _;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mapro <demo|convert|show|analyze|normalize|flatten|check|export> [args]\n\
+         run `mapro <cmd> --help` conventions: see crate docs"
+    );
+    exit(2)
+}
+
+fn load(path: &str) -> Pipeline {
+    let data = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    if path.ends_with(".mat") {
+        mapro_core::parse_program(&data).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1)
+        })
+    } else {
+        serde_json::from_str(&data).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1)
+        })
+    }
+}
+
+fn emit(p: &Pipeline) {
+    let json = serde_json::to_string_pretty(p).expect("serializes");
+    let mut stdout = std::io::stdout().lock();
+    let _ = writeln!(stdout, "{json}");
+}
+
+fn main() {
+    install_pipe_hook();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let has = |name: &str| args.iter().any(|a| a == name);
+
+    match cmd.as_str() {
+        "demo" => {
+            let which = args.get(1).map(String::as_str).unwrap_or("fig1");
+            let p = match which {
+                "fig1" => mapro_workloads::Gwlb::fig1().universal,
+                "gwlb" => {
+                    let n = flag("--services").and_then(|v| v.parse().ok()).unwrap_or(20);
+                    let m = flag("--backends").and_then(|v| v.parse().ok()).unwrap_or(8);
+                    let s = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(2019);
+                    mapro_workloads::Gwlb::random(n, m, s).universal
+                }
+                "l3" => mapro_workloads::L3::fig2().universal,
+                "vlan" => mapro_workloads::Vlan::fig3().universal,
+                "sdx" => mapro_workloads::Sdx::fig5().universal,
+                other => {
+                    eprintln!("unknown demo {other:?} (fig1|gwlb|l3|vlan|sdx)");
+                    exit(2)
+                }
+            };
+            if has("--mat") {
+                print!("{}", mapro_core::format_program(&p));
+            } else {
+                emit(&p);
+            }
+        }
+        "convert" => {
+            // json ↔ mat, by the *output* flag.
+            let p = load(args.get(1).unwrap_or_else(|| usage()));
+            if has("--mat") {
+                print!("{}", mapro_core::format_program(&p));
+            } else {
+                emit(&p);
+            }
+        }
+        "show" => {
+            let p = load(args.get(1).unwrap_or_else(|| usage()));
+            print!("{}", display::render_pipeline(&p));
+        }
+        "analyze" => {
+            let p = load(args.get(1).unwrap_or_else(|| usage()));
+            for (name, rep) in mapro_normalize::report(&p) {
+                println!("table {name}: {}", rep.level);
+                for key in &rep.keys {
+                    let names: Vec<_> = rep
+                        .fds
+                        .universe
+                        .decode(*key)
+                        .into_iter()
+                        .map(|a| p.catalog.name(a).to_owned())
+                        .collect();
+                    println!("  key: ({})", names.join(", "));
+                }
+                for fd in &rep.transitive_deps {
+                    println!(
+                        "  3NF violation: {}",
+                        rep.fds.display_fd(*fd, |a| p.catalog.name(a).to_owned())
+                    );
+                }
+                for issue in &rep.first_issues {
+                    println!("  1NF issue: {issue:?}");
+                }
+            }
+        }
+        "normalize" => {
+            let p = load(args.get(1).unwrap_or_else(|| usage()));
+            let join = match flag("--join").as_deref() {
+                None | Some("metadata") => JoinKind::Metadata,
+                Some("goto") => JoinKind::Goto,
+                Some("rematch") => JoinKind::Rematch,
+                Some(j) => {
+                    eprintln!("unknown join {j:?}");
+                    exit(2)
+                }
+            };
+            let target = match flag("--target").as_deref() {
+                None | Some("3nf") => Target::ThirdNf,
+                Some("2nf") => Target::SecondNf,
+                Some("bcnf") => Target::Bcnf,
+                Some(t) => {
+                    eprintln!("unknown target {t:?} (2nf|3nf|bcnf)");
+                    exit(2)
+                }
+            };
+            let opts = NormalizeOpts {
+                join,
+                target,
+                verify: has("--verify"),
+                ..Default::default()
+            };
+            let n = normalize(&p, &opts);
+            eprintln!(
+                "normalized: {} steps, reached {}, complete: {}",
+                n.steps.len(),
+                n.reached,
+                n.complete()
+            );
+            for s in &n.steps {
+                eprintln!(
+                    "  decomposed {} along ({}) -> ({})",
+                    s.table,
+                    s.lhs.join(", "),
+                    s.rhs.join(", ")
+                );
+            }
+            for s in &n.skipped {
+                eprintln!("  skipped {} ({}): {}", s.table, s.lhs.join(", "), s.reason);
+            }
+            emit(&n.pipeline);
+        }
+        "flatten" => {
+            let p = load(args.get(1).unwrap_or_else(|| usage()));
+            match flatten(&p, "flat") {
+                Ok(t) => {
+                    let flat = Pipeline::single(p.catalog.clone(), t);
+                    eprintln!("flattened to {} entries", flat.total_entries());
+                    emit(&flat);
+                }
+                Err(e) => {
+                    eprintln!("cannot flatten: {e}");
+                    exit(1)
+                }
+            }
+        }
+        "check" => {
+            let a = load(args.get(1).unwrap_or_else(|| usage()));
+            let b = load(args.get(2).unwrap_or_else(|| usage()));
+            match mapro_core::check_equivalent(&a, &b, &mapro_core::EquivConfig::default()) {
+                Ok(mapro_core::EquivOutcome::Equivalent {
+                    packets_checked,
+                    exhaustive,
+                }) => {
+                    println!("EQUIVALENT ({packets_checked} packets, exhaustive: {exhaustive})");
+                }
+                Ok(mapro_core::EquivOutcome::Counterexample(cx)) => {
+                    println!("NOT EQUIVALENT on packet {:?}", cx.fields);
+                    println!("  left:  {:?}", cx.left.observable());
+                    println!("  right: {:?}", cx.right.observable());
+                    exit(1)
+                }
+                Err(e) => {
+                    println!("NOT COMPARABLE: {e}");
+                    exit(1)
+                }
+            }
+        }
+        "export" => {
+            let p = load(args.get(1).unwrap_or_else(|| usage()));
+            match flag("--format").as_deref() {
+                Some("openflow") | None => print!("{}", export::to_openflow(&p)),
+                Some("p4") => print!("{}", export::to_p4(&p)),
+                Some(f) => {
+                    eprintln!("unknown format {f:?} (openflow|p4)");
+                    exit(2)
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+/// Exit quietly when stdout closes early (`repro | head`): Rust maps
+/// SIGPIPE to an io panic; treat that as a normal end of output.
+fn install_pipe_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or_else(|| info.payload().downcast_ref::<&str>().copied().unwrap_or(""));
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        default(info);
+    }));
+}

@@ -1,0 +1,315 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue]
+//!       [--packets N] [--services N] [--backends M] [--seed S] [--json]
+//! ```
+//!
+//! Output is paper-shaped text (or JSON with `--json`) suitable for
+//! pasting into EXPERIMENTS.md.
+
+use mapro_bench::*;
+
+struct Args {
+    experiment: String,
+    cfg: BenchConfig,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".to_owned(),
+        cfg: BenchConfig::default(),
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> String {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "--experiment" | "-e" => args.experiment = take("--experiment"),
+            "--packets" => args.cfg.packets = take("--packets").parse().expect("number"),
+            "--services" => args.cfg.services = take("--services").parse().expect("number"),
+            "--backends" => args.cfg.backends = take("--backends").parse().expect("number"),
+            "--seed" => args.cfg.seed = take("--seed").parse().expect("number"),
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue] [--packets N] [--services N] [--backends M] [--seed S] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+    args
+}
+
+/// The single source of truth for experiment names: `want()` consults it
+/// (so a `want("typo")` block can never silently dead-end), and argument
+/// validation rejects anything outside it.
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "fig4queue", "fig5", "table1", "size", "control", "monitor",
+    "theorem1", "templates", "cache", "scaling", "joins",
+];
+
+fn main() {
+    install_pipe_hook();
+    let args = parse_args();
+    let all = args.experiment == "all";
+    if !all && !EXPERIMENTS.contains(&args.experiment.as_str()) {
+        eprintln!(
+            "unknown experiment {:?}; expected all|{}",
+            args.experiment,
+            EXPERIMENTS.join("|")
+        );
+        std::process::exit(2);
+    }
+    let want = |name: &str| {
+        assert!(
+            EXPERIMENTS.contains(&name),
+            "want({name:?}) not in EXPERIMENTS — add it to the list"
+        );
+        all || args.experiment == name
+    };
+
+    if want("fig1") {
+        println!("\n############ E1 — Fig. 1: GWLB representations ############");
+        print!("{}", fig1_rendering());
+    }
+    if want("fig2") {
+        println!("\n############ E2 — Fig. 2: L3 pipeline to 3NF ############");
+        print!("{}", fig2_rendering());
+    }
+    if want("fig3") {
+        println!("\n############ E3 — Fig. 3: action-to-match rejection ############");
+        print!("{}", fig3_rendering());
+    }
+    if want("table1") {
+        println!("\n############ E5 — Table 1: static performance ############");
+        let rows = table1(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:<10} {:<10} {:>12} {:>16}  templates",
+                "switch", "repr", "rate [Mpps]", "Q3 delay [us]"
+            );
+            for r in &rows {
+                println!(
+                    "{:<10} {:<10} {:>12.2} {:>16.1}  {}",
+                    r.switch,
+                    r.repr,
+                    r.rate_mpps,
+                    r.q3_latency_us,
+                    r.templates.join(", ")
+                );
+            }
+        }
+    }
+    if want("fig4") {
+        println!("\n############ E4 — Fig. 4: reactiveness under churn ############");
+        let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+        let pts = fig4(&args.cfg, &rates);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&pts).unwrap());
+        } else {
+            println!(
+                "{:>10} {:>16} {:>16} {:>14} {:>14}",
+                "updates/s", "universal Mpps", "normalized Mpps", "uni delay us", "norm delay us"
+            );
+            for p in &pts {
+                println!(
+                    "{:>10.0} {:>16.2} {:>16.2} {:>14.1} {:>14.1}",
+                    p.updates_per_sec,
+                    p.universal_mpps,
+                    p.normalized_mpps,
+                    p.universal_latency_us,
+                    p.normalized_latency_us
+                );
+            }
+        }
+    }
+    if want("fig4queue") {
+        println!("\n############ E4b — Fig. 4 as a queueing system (extension) ############");
+        let rates = [0.0, 25.0, 50.0, 100.0];
+        let rows = fig4_queue(&args.cfg, &rates);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:>10} {:<10} {:>10} {:>12} {:>13} {:>9}",
+                "updates/s", "repr", "Mpps", "Q3 lat [us]", "max lat [us]", "drops"
+            );
+            for r in &rows {
+                println!(
+                    "{:>10.0} {:<10} {:>10.2} {:>12.2} {:>13.1} {:>9}",
+                    r.updates_per_sec, r.repr, r.mpps, r.q3_latency_us, r.max_latency_us, r.dropped
+                );
+            }
+        }
+    }
+    if want("size") {
+        println!("\n############ E6 — §2 encoding sizes (fields) ############");
+        let rows = encoding_sizes(&[5, 10, 20, 40], &[2, 4, 8, 16], args.cfg.seed);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:>4} {:>4} {:>10} {:>8} {:>9} {:>8} {:>10} {:>10}",
+                "N", "M", "universal", "goto", "metadata", "rematch", "=4MN", "=N(3+2M)"
+            );
+            for r in &rows {
+                println!(
+                    "{:>4} {:>4} {:>10} {:>8} {:>9} {:>8} {:>10} {:>10}",
+                    r.n,
+                    r.m,
+                    r.universal,
+                    r.goto,
+                    r.metadata,
+                    r.rematch,
+                    r.formula_universal,
+                    r.formula_goto
+                );
+            }
+        }
+    }
+    if want("control") {
+        println!("\n############ E7 — §2 controllability ############");
+        let rows = controllability(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:<10} {:>18} {:>18} {:>15}",
+                "repr", "move-port updates", "change-ip updates", "exposed states"
+            );
+            for r in &rows {
+                println!(
+                    "{:<10} {:>18} {:>18} {:>15}",
+                    r.repr, r.move_port_updates, r.change_ip_updates, r.exposed_states
+                );
+            }
+        }
+    }
+    if want("monitor") {
+        println!("\n############ E8 — §2 monitorability ############");
+        let rows = monitorability(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:<10} {:>9} {:>12} {:>13}",
+                "repr", "counters", "aggregate", "ground truth"
+            );
+            for r in &rows {
+                println!(
+                    "{:<10} {:>9} {:>12} {:>13}",
+                    r.repr, r.counters, r.aggregate, r.ground_truth
+                );
+            }
+        }
+    }
+    if want("theorem1") {
+        println!("\n############ E9 — Theorem 1 replay ############");
+        let s = theorem1_replay();
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&s).unwrap());
+        } else {
+            println!(
+                "{} proof lines, all consecutive pairs semantically equal ({} packets evaluated)",
+                s.steps, s.packets_checked
+            );
+            for (i, law) in s.laws.iter().enumerate() {
+                println!("  line {:>2}: {}", i + 1, law);
+            }
+        }
+    }
+    if want("fig5") {
+        println!("\n############ E10 — Fig. 5 / appendix: beyond 3NF ############");
+        print!("{}", fig5_rendering());
+    }
+    if want("cache") {
+        println!("\n############ E12 — OVS cache sensitivity (extension) ############");
+        let rows = ovs_cache_sensitivity(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:>9} {:>6} {:>9} {:>12}",
+                "capacity", "zipf", "hit rate", "rate [Mpps]"
+            );
+            for r in &rows {
+                println!(
+                    "{:>9} {:>6.1} {:>9.3} {:>12.2}",
+                    r.capacity, r.zipf, r.hit_rate, r.mpps
+                );
+            }
+        }
+    }
+    if want("joins") {
+        println!("\n############ E5b — join abstractions on the specializing datapath (extension) ############");
+        let rows = table1_joins(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!("{:<10} {:>14} {:>8}  templates", "repr", "ESwitch Mpps", "fields");
+            for r in &rows {
+                let t = if r.templates.len() > 4 {
+                    format!("{} … ({} tables)", r.templates[..3].join(", "), r.templates.len())
+                } else {
+                    r.templates.join(", ")
+                };
+                println!("{:<10} {:>14.2} {:>8}  {t}", r.repr, r.eswitch_mpps, r.fields);
+            }
+        }
+    }
+    if want("scaling") {
+        println!("\n############ E13 — throughput vs table size (extension) ############");
+        let rows = scaling(args.cfg.backends, &[5, 10, 20, 40, 80], args.cfg.packets.min(20_000), args.cfg.seed);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:>9} {:>16} {:>12} {:>7}",
+                "services", "universal Mpps", "goto Mpps", "gain"
+            );
+            for r in &rows {
+                println!(
+                    "{:>9} {:>16.2} {:>12.2} {:>6.2}x",
+                    r.services, r.universal_mpps, r.goto_mpps, r.gain
+                );
+            }
+        }
+    }
+    if want("templates") {
+        println!("\n############ E11 — ESwitch template selection ############");
+        let rows = eswitch_templates(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            for r in &rows {
+                println!("{:<10} {}", r.repr, r.templates.join(", "));
+            }
+        }
+    }
+}
+
+/// Exit quietly when stdout closes early (`repro | head`): Rust maps
+/// SIGPIPE to an io panic; treat that as a normal end of output.
+fn install_pipe_hook() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or_else(|| info.payload().downcast_ref::<&str>().copied().unwrap_or(""));
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        default(info);
+    }));
+}

@@ -1,0 +1,711 @@
+//! Regeneration functions for every table and figure of the paper.
+//!
+//! Experiment index (mirrors DESIGN.md §3): E1 = Fig. 1, E2 = Fig. 2,
+//! E3 = Fig. 3, E4 = Fig. 4, E5 = Table 1, E6 = §2 encoding sizes,
+//! E7 = §2 controllability, E8 = §2 monitorability, E9 = Theorem 1,
+//! E10 = Fig. 5 / appendix, E11 = §5 ESwitch template mechanism.
+
+use mapro_core::{display, Pipeline};
+use mapro_normalize::JoinKind;
+use mapro_packet::generate;
+use mapro_switch::{
+    churn_sweep, run_modeled, ChurnPoint, ControlStall, EswitchSim, HwLatency, LagopusSim,
+    NoviflowSim, OvsSim, Switch,
+};
+use mapro_workloads::{Gwlb, Sdx, Vlan, L3};
+use serde::Serialize;
+
+/// The §5 benchmark configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchConfig {
+    /// Number of services (paper: 20).
+    pub services: usize,
+    /// Backends per service (paper: 8).
+    pub backends: usize,
+    /// Packets per measured trace.
+    pub packets: usize,
+    /// RNG seed for workload and traffic.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            services: 20,
+            backends: 8,
+            packets: 50_000,
+            seed: 2019,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- E5 ----
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Switch model.
+    pub switch: String,
+    /// Representation (`universal` / `goto`).
+    pub repr: String,
+    /// Modeled packet rate \[Mpps\].
+    pub rate_mpps: f64,
+    /// 3rd-quartile latency \[µs\].
+    pub q3_latency_us: f64,
+    /// Per-table templates chosen (ESwitch mechanism evidence).
+    pub templates: Vec<String>,
+}
+
+/// Regenerate Table 1: static performance of the GWLB pipeline across the
+/// four switch models, universal vs goto-normalized.
+pub fn table1(cfg: &BenchConfig) -> Vec<Table1Row> {
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let goto = g.normalized(JoinKind::Goto).expect("gwlb decomposes");
+    let trace = generate(&g.universal.catalog, &g.trace_spec(), cfg.packets, cfg.seed);
+
+    let mut rows = Vec::new();
+    for (repr_name, repr) in [("universal", &g.universal), ("goto", &goto)] {
+        // OVS (with a warm-up pass so steady-state cache behaviour shows).
+        {
+            let mut sim = OvsSim::compile(repr);
+            let _ = run_modeled(&mut sim, &trace); // warm the megaflow cache
+            let rep = run_modeled(&mut sim, &trace);
+            rows.push(Table1Row {
+                switch: "OVS".into(),
+                repr: repr_name.into(),
+                rate_mpps: rep.mpps,
+                q3_latency_us: rep.q3_latency_us(),
+                templates: vec![format!("megaflow×{}", sim.cache_tuples())],
+            });
+        }
+        // ESwitch.
+        {
+            let mut sim = EswitchSim::compile(repr).expect("compiles");
+            let templates = sim
+                .templates()
+                .into_iter()
+                .map(|(n, k)| format!("{n}:{k}"))
+                .collect();
+            let rep = run_modeled(&mut sim, &trace);
+            rows.push(Table1Row {
+                switch: "ESwitch".into(),
+                repr: repr_name.into(),
+                rate_mpps: rep.mpps,
+                q3_latency_us: rep.q3_latency_us(),
+                templates,
+            });
+        }
+        // Lagopus.
+        {
+            let mut sim = LagopusSim::compile(repr).expect("compiles");
+            let rep = run_modeled(&mut sim, &trace);
+            rows.push(Table1Row {
+                switch: "Lagopus".into(),
+                repr: repr_name.into(),
+                rate_mpps: rep.mpps,
+                q3_latency_us: rep.q3_latency_us(),
+                templates: vec!["tss".into()],
+            });
+        }
+        // NoviFlow.
+        {
+            let mut sim = NoviflowSim::compile(repr).expect("compiles");
+            let rep = run_modeled(&mut sim, &trace);
+            rows.push(Table1Row {
+                switch: "NoviFlow".into(),
+                repr: repr_name.into(),
+                rate_mpps: rep.mpps,
+                q3_latency_us: rep.q3_latency_us(),
+                templates: vec!["tcam".into()],
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the join-abstraction comparison (E5b, extension).
+#[derive(Debug, Clone, Serialize)]
+pub struct JoinRow {
+    /// Representation (universal or a join kind).
+    pub repr: String,
+    /// ESwitch-model throughput \[Mpps\].
+    pub eswitch_mpps: f64,
+    /// Encoding size (§2 fields).
+    pub fields: usize,
+    /// Templates chosen by the specializing datapath.
+    pub templates: Vec<String>,
+}
+
+/// Extension experiment E5b: §4 notes the choice of join abstraction is
+/// "highly implementation specific". On the specializing datapath the
+/// choice is dramatic: the goto join's stages specialize fully, while the
+/// metadata join's second stage matches (tag, ip_src) jointly and falls
+/// back to the wildcard template — paying almost the universal price.
+pub fn table1_joins(cfg: &BenchConfig) -> Vec<JoinRow> {
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let trace = generate(&g.universal.catalog, &g.trace_spec(), cfg.packets, cfg.seed);
+    let mut rows = Vec::new();
+    let mut add = |name: &str, p: &Pipeline| {
+        let mut sim = EswitchSim::compile(p).expect("compiles");
+        let templates = sim
+            .templates()
+            .into_iter()
+            .map(|(n, k)| format!("{n}:{k}"))
+            .collect();
+        let rep = run_modeled(&mut sim, &trace);
+        rows.push(JoinRow {
+            repr: name.into(),
+            eswitch_mpps: rep.mpps,
+            fields: p.field_count(),
+            templates,
+        });
+    };
+    add("universal", &g.universal);
+    for (name, join) in [
+        ("goto", JoinKind::Goto),
+        ("metadata", JoinKind::Metadata),
+        ("rematch", JoinKind::Rematch),
+    ] {
+        let p = g.normalized(join).expect("decomposes");
+        add(name, &p);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E4 ----
+
+/// One point of the Fig. 4 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Point {
+    /// Control-plane update rate (intents/s).
+    pub updates_per_sec: f64,
+    /// Universal-table throughput \[Mpps\].
+    pub universal_mpps: f64,
+    /// Normalized-pipeline throughput \[Mpps\].
+    pub normalized_mpps: f64,
+    /// Universal 3rd-quartile latency \[µs\].
+    pub universal_latency_us: f64,
+    /// Normalized 3rd-quartile latency \[µs\].
+    pub normalized_latency_us: f64,
+}
+
+/// Regenerate Fig. 4: reactiveness on the NoviFlow model. The per-intent
+/// flow-mod counts come from the actual intent compiler against each
+/// representation (8 entries universal, 1 normalized for M = 8) — the
+/// "8× greater control plane churn" of §5.
+pub fn fig4(cfg: &BenchConfig, rates: &[f64]) -> Vec<Fig4Point> {
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+    let uni_sim = NoviflowSim::compile(&g.universal).expect("compiles");
+    let line = uni_sim.line_rate_mpps();
+    // Flow-mods per intent, per representation, from the compiler:
+    let uni_plan = g.move_service_port(&g.universal, 0, 9999);
+    let norm_plan = g.move_service_port(&goto, 0, 9999);
+    let stall = ControlStall::default();
+    let lat = HwLatency::default();
+    let uni_stage_count = 1usize;
+    let norm_stage_count = 2usize;
+    let uni = churn_sweep(
+        line,
+        uni_stage_count,
+        uni_plan.touched_entries(),
+        true,
+        rates,
+        stall,
+        lat,
+    );
+    let norm = churn_sweep(
+        line,
+        norm_stage_count,
+        norm_plan.touched_entries(),
+        true,
+        rates,
+        stall,
+        lat,
+    );
+    uni.into_iter()
+        .zip(norm)
+        .map(|((r, u), (_, n)): ((f64, ChurnPoint), (f64, ChurnPoint))| Fig4Point {
+            updates_per_sec: r,
+            universal_mpps: u.mpps,
+            normalized_mpps: n.mpps,
+            universal_latency_us: u.latency_us,
+            normalized_latency_us: n.latency_us,
+        })
+        .collect()
+}
+
+/// One row of the queueing-level Fig. 4 (E4b, extension).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4QueueRow {
+    /// Intents per second.
+    pub updates_per_sec: f64,
+    /// Representation.
+    pub repr: String,
+    /// Delivered throughput \[Mpps\].
+    pub mpps: f64,
+    /// Q3 latency of delivered packets \[µs\].
+    pub q3_latency_us: f64,
+    /// Worst delivered latency \[µs\].
+    pub max_latency_us: f64,
+    /// Tail drops.
+    pub dropped: usize,
+}
+
+/// Extension experiment E4b: Fig. 4 as a queueing system. Poisson intents
+/// (compiled by the real intent compiler) stall a line-rate server with a
+/// finite ingress buffer; throughput collapse and bounded survivor latency
+/// emerge from one mechanism instead of two separate models.
+pub fn fig4_queue(cfg: &BenchConfig, rates: &[f64]) -> Vec<Fig4QueueRow> {
+    use mapro_switch::{queue_timeline, QueueConfig};
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+    let uni_mods = g.move_service_port(&g.universal, 0, 9999).touched_entries();
+    let norm_mods = g.move_service_port(&goto, 0, 9999).touched_entries();
+    let qcfg = QueueConfig {
+        offered_pps: 10.0e6,
+        duration_sec: 0.5,
+        buffer_pkts: 64,
+        service_ns: 93.2,
+    };
+    let stall = ControlStall::default();
+    let mut out = Vec::new();
+    for &rate in rates {
+        for (name, mods) in [("universal", uni_mods), ("goto", norm_mods)] {
+            let events: Vec<(f64, usize, bool)> =
+                mapro_control::poisson_stream(rate, qcfg.duration_sec, cfg.seed, |_| {
+                    mapro_control::UpdatePlan {
+                        intent: String::new(),
+                        updates: Vec::new(),
+                    }
+                })
+                .into_iter()
+                .map(|e| (e.at_sec, mods, true))
+                .collect();
+            let r = queue_timeline(qcfg, &events, stall);
+            out.push(Fig4QueueRow {
+                updates_per_sec: rate,
+                repr: name.into(),
+                mpps: r.mpps,
+                q3_latency_us: r.latency_us[2],
+                max_latency_us: r.max_latency_us,
+                dropped: r.dropped,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E6 ----
+
+/// One row of the encoding-size comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct SizeRow {
+    /// Services.
+    pub n: usize,
+    /// Backends per service.
+    pub m: usize,
+    /// Universal field count (§2 predicts `4MN`).
+    pub universal: usize,
+    /// Goto-normalized field count (§2 predicts `N(3+2M)`).
+    pub goto: usize,
+    /// Metadata-normalized field count.
+    pub metadata: usize,
+    /// Rematch-normalized field count.
+    pub rematch: usize,
+    /// The paper's universal formula `4MN`.
+    pub formula_universal: usize,
+    /// The paper's normalized formula `N(3+2M)`.
+    pub formula_goto: usize,
+}
+
+/// Regenerate the §2 size claims across an (N, M) sweep.
+pub fn encoding_sizes(ns: &[usize], ms: &[usize], seed: u64) -> Vec<SizeRow> {
+    let mut out = Vec::new();
+    for &n in ns {
+        for &m in ms {
+            let g = Gwlb::random(n, m, seed);
+            let count = |j: JoinKind| g.normalized(j).expect("decomposes").field_count();
+            out.push(SizeRow {
+                n,
+                m,
+                universal: g.universal.field_count(),
+                goto: count(JoinKind::Goto),
+                metadata: count(JoinKind::Metadata),
+                rematch: count(JoinKind::Rematch),
+                formula_universal: 4 * m * n,
+                formula_goto: n * (3 + 2 * m),
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E7 ----
+
+/// One row of the controllability comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct ControlRow {
+    /// Representation.
+    pub repr: String,
+    /// Entries touched by "move service port".
+    pub move_port_updates: usize,
+    /// Entries touched by "renumber public IP".
+    pub change_ip_updates: usize,
+    /// Intermediate states violating the one-port invariant when the
+    /// move-port plan applies non-atomically.
+    pub exposed_states: usize,
+}
+
+/// Regenerate the §2 controllability / consistency comparison on the
+/// Fig. 1 instance (tenant 1).
+pub fn controllability(cfg: &BenchConfig) -> Vec<ControlRow> {
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let inv = g.one_port_per_ip();
+    let mut rows = Vec::new();
+    let mut add = |name: &str, repr: &Pipeline| {
+        let mv = g.move_service_port(repr, 0, 9999);
+        let ip = g.change_public_ip(repr, 0, 0x0808_0808);
+        let exp = mapro_control::exposure(repr, &mv, &&inv).expect("applies");
+        rows.push(ControlRow {
+            repr: name.into(),
+            move_port_updates: mv.touched_entries(),
+            change_ip_updates: ip.touched_entries(),
+            exposed_states: exp.violations.len(),
+        });
+    };
+    add("universal", &g.universal);
+    for (name, join) in [
+        ("goto", JoinKind::Goto),
+        ("metadata", JoinKind::Metadata),
+        ("rematch", JoinKind::Rematch),
+    ] {
+        let p = g.normalized(join).expect("decomposes");
+        add(name, &p);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E8 ----
+
+/// One row of the monitorability comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct MonitorRow {
+    /// Representation.
+    pub repr: String,
+    /// Counters needed for one tenant's aggregate.
+    pub counters: usize,
+    /// Aggregate measured over the trace (must equal the ground truth).
+    pub aggregate: u64,
+    /// Ground-truth tenant packets in the trace.
+    pub ground_truth: u64,
+}
+
+/// Regenerate the §2 monitorability comparison (tenant index 1, as in the
+/// paper's "monitor the aggregate traffic of tenant 2").
+pub fn monitorability(cfg: &BenchConfig) -> Vec<MonitorRow> {
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let trace = generate(
+        &g.universal.catalog,
+        &g.trace_spec(),
+        cfg.packets.min(20_000),
+        cfg.seed,
+    );
+    let tenant = 1usize;
+    let truth: u64 = trace
+        .packets
+        .iter()
+        .filter(|(_, p)| p.get(g.ip_dst) == g.services[tenant].ip as u64)
+        .count() as u64;
+    let mut rows = Vec::new();
+    let mut add = |name: &str, repr: &Pipeline| {
+        let mut cs = mapro_control::CounterSet::new(g.tenant_counters(repr, tenant));
+        let idx = repr.name_index();
+        for (_, pkt) in &trace.packets {
+            cs.observe(&repr.run_indexed(pkt, &idx).expect("runs"));
+        }
+        rows.push(MonitorRow {
+            repr: name.into(),
+            counters: cs.counters_needed(),
+            aggregate: cs.aggregate(),
+            ground_truth: truth,
+        });
+    };
+    add("universal", &g.universal);
+    for (name, join) in [
+        ("goto", JoinKind::Goto),
+        ("metadata", JoinKind::Metadata),
+        ("rematch", JoinKind::Rematch),
+    ] {
+        let p = g.normalized(join).expect("decomposes");
+        add(name, &p);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E9 ----
+
+/// Summary of the Theorem 1 replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct Theorem1Summary {
+    /// Proof lines constructed.
+    pub steps: usize,
+    /// The axiom citations, in order.
+    pub laws: Vec<String>,
+    /// Packets evaluated to validate all consecutive line pairs.
+    pub packets_checked: usize,
+}
+
+/// Replay and verify the Theorem 1 derivation on the Fig. 1 universal
+/// table along `ip_dst → tcp_dst`.
+pub fn theorem1_replay() -> Theorem1Summary {
+    let g = Gwlb::fig1();
+    let t = g.universal.table("t0").expect("exists");
+    let steps = mapro_netkat::derivation(t, &g.universal.catalog, &[g.ip_dst], &[g.tcp_dst])
+        .expect("hypotheses hold on Fig. 1");
+    let checked = match mapro_netkat::verify(&steps, &g.universal.catalog) {
+        Ok(n) => n,
+        Err((i, pk)) => panic!("derivation broke at step {i}: {pk:?}"),
+    };
+    Theorem1Summary {
+        steps: steps.len(),
+        laws: steps.iter().map(|s| s.law.to_owned()).collect(),
+        packets_checked: checked,
+    }
+}
+
+// ------------------------------------------------------- E1/E2/E3/E10 ---
+
+/// Render the Fig. 1 pipelines (universal + all three joins) as text.
+pub fn fig1_rendering() -> String {
+    let g = Gwlb::fig1();
+    let mut s = String::new();
+    s.push_str("=== Fig. 1a: universal table ===\n");
+    s.push_str(&display::render_pipeline(&g.universal));
+    for (title, join) in [
+        ("Fig. 1b: goto join", JoinKind::Goto),
+        ("Fig. 1c: metadata join", JoinKind::Metadata),
+        ("Fig. 1d: rematch join", JoinKind::Rematch),
+    ] {
+        s.push_str(&format!("=== {title} ===\n"));
+        s.push_str(&display::render_pipeline(
+            &g.normalized(join).expect("decomposes"),
+        ));
+    }
+    s
+}
+
+/// Render the Fig. 2 chain: universal → (Cartesian factor) → 3NF.
+pub fn fig2_rendering() -> String {
+    let l3 = L3::fig2();
+    let mut s = String::new();
+    s.push_str("=== Fig. 2a: universal L3 table ===\n");
+    s.push_str(&display::render_pipeline(&l3.universal));
+    let factored = mapro_normalize::factor_constants(
+        &l3.universal,
+        "l3",
+        Some(&[l3.eth_type, l3.mod_ttl]),
+        mapro_normalize::FactorPlacement::Before,
+    )
+    .expect("constants factor");
+    s.push_str("=== Fig. 2c step 1: Cartesian factor (eth_type | mod_ttl) ===\n");
+    s.push_str(&display::render_pipeline(&factored));
+    let n = mapro_normalize::normalize(&factored, &mapro_normalize::NormalizeOpts::default());
+    s.push_str(&format!(
+        "=== Fig. 2c step 2: normalized to {} ({} steps) ===\n",
+        mapro_normalize::pipeline_level(&n.pipeline),
+        n.steps.len()
+    ));
+    s.push_str(&display::render_pipeline(&n.pipeline));
+    s
+}
+
+/// Demonstrate the Fig. 3 rejection.
+pub fn fig3_rendering() -> String {
+    let v = Vlan::fig3();
+    let mut s = String::new();
+    s.push_str("=== Fig. 3a: universal VLAN table ===\n");
+    s.push_str(&display::render_pipeline(&v.universal));
+    let err = mapro_normalize::decompose(
+        &v.universal,
+        "t0",
+        &[v.out],
+        &[v.vlan],
+        &mapro_normalize::DecomposeOpts::default(),
+    )
+    .expect_err("must be rejected");
+    s.push_str(&format!(
+        "Decomposition along out -> vlan REFUSED: {err}\n"
+    ));
+    s
+}
+
+/// Demonstrate the SDX appendix: JD holds, naive chain wrong, tagged
+/// pipeline right.
+pub fn fig5_rendering() -> String {
+    let sdx = Sdx::fig5();
+    let mut s = String::new();
+    s.push_str("=== Fig. 5a: collapsed SDX table ===\n");
+    s.push_str(&display::render_pipeline(&sdx.universal));
+    let naive =
+        mapro_normalize::chain_components_naive(&sdx.universal, "sdx", &sdx.components)
+            .expect("builds");
+    let r = mapro_core::check_equivalent(
+        &sdx.universal,
+        &naive,
+        &mapro_core::EquivConfig::default(),
+    )
+    .expect("checks");
+    s.push_str(&format!(
+        "Naive 3-table chain equivalent? {} (appendix: must be incorrect)\n",
+        r.is_equivalent()
+    ));
+    let tagged = mapro_normalize::decompose_jd(&sdx.universal, "sdx", &sdx.components)
+        .expect("JD decomposition");
+    s.push_str("=== Fig. 5c: `all`-metadata pipeline ===\n");
+    s.push_str(&display::render_pipeline(&tagged));
+    let r = mapro_core::check_equivalent(
+        &sdx.universal,
+        &tagged,
+        &mapro_core::EquivConfig::default(),
+    )
+    .expect("checks");
+    s.push_str(&format!("Tagged pipeline equivalent? {}\n", r.is_equivalent()));
+    s
+}
+
+// ---------------------------------------------------------------- E11 ---
+
+/// Template-selection evidence for the §5 ESwitch explanation.
+#[derive(Debug, Clone, Serialize)]
+pub struct TemplateRow {
+    /// Representation.
+    pub repr: String,
+    /// `table: template` pairs.
+    pub templates: Vec<String>,
+}
+
+/// Show which templates each GWLB representation compiles to on the
+/// specializing datapath.
+pub fn eswitch_templates(cfg: &BenchConfig) -> Vec<TemplateRow> {
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let mut rows = Vec::new();
+    let mut add = |name: &str, p: &Pipeline| {
+        let sim = EswitchSim::compile(p).expect("compiles");
+        rows.push(TemplateRow {
+            repr: name.into(),
+            templates: sim
+                .templates()
+                .into_iter()
+                .map(|(n, k)| format!("{n}:{k}"))
+                .collect(),
+        });
+    };
+    add("universal", &g.universal);
+    for (name, join) in [
+        ("goto", JoinKind::Goto),
+        ("metadata", JoinKind::Metadata),
+        ("rematch", JoinKind::Rematch),
+    ] {
+        add(name, &g.normalized(join).expect("decomposes"));
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- E12 ---
+
+/// One point of the OVS cache-sensitivity sweep (extension experiment).
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheRow {
+    /// Megaflow cache capacity (entries).
+    pub capacity: usize,
+    /// Zipf exponent of flow popularity (0 = uniform).
+    pub zipf: f64,
+    /// Fast-path hit rate.
+    pub hit_rate: f64,
+    /// Modeled throughput \[Mpps\].
+    pub mpps: f64,
+}
+
+/// Extension experiment E12: how OVS's representation-agnosticism depends
+/// on its cache actually holding the working set. Sweeps cache capacity ×
+/// traffic skew on the §5 workload; with a thrashing cache the slow path
+/// (where the pipeline *is* walked table by table) dominates and the
+/// megaflow collapse no longer hides the representation.
+pub fn ovs_cache_sensitivity(cfg: &BenchConfig) -> Vec<CacheRow> {
+    use mapro_packet::Popularity;
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let mut out = Vec::new();
+    for &zipf in &[0.0f64, 1.0, 1.6] {
+        for &capacity in &[8usize, 32, 1024] {
+            let mut spec = g.trace_spec();
+            if zipf > 0.0 {
+                spec.popularity = Popularity::Zipf(zipf);
+            }
+            let trace = generate(
+                &g.universal.catalog,
+                &spec,
+                cfg.packets.min(20_000),
+                cfg.seed,
+            );
+            let mut sim = OvsSim::compile(&g.universal);
+            sim.cache_capacity = capacity;
+            let rep = run_modeled(&mut sim, &trace);
+            out.push(CacheRow {
+                capacity,
+                zipf,
+                hit_rate: 1.0 - rep.slow_path as f64 / rep.packets as f64,
+                mpps: rep.mpps,
+            });
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E13 ---
+
+/// One point of the scaling sweep (extension experiment).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRow {
+    /// Number of services (universal table holds `N × M` entries).
+    pub services: usize,
+    /// Universal-table throughput on the specializing datapath \[Mpps\].
+    pub universal_mpps: f64,
+    /// Goto-normalized throughput \[Mpps\].
+    pub goto_mpps: f64,
+    /// Gain factor.
+    pub gain: f64,
+}
+
+/// Extension experiment E13: the "flow state explosion" trend. The
+/// universal table's wildcard template degrades linearly with `N × M`
+/// while the normalized pipeline's exact+LPM stages stay flat — so the §5
+/// gain factor *grows* with tenant count, from ~1.2× at 5 services to
+/// several-fold at 80.
+pub fn scaling(backends: usize, ns: &[usize], packets: usize, seed: u64) -> Vec<ScalingRow> {
+    let mut out = Vec::new();
+    for &n in ns {
+        let g = Gwlb::random(n, backends, seed);
+        let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+        let trace = generate(&g.universal.catalog, &g.trace_spec(), packets, seed);
+        let mut uni = EswitchSim::compile(&g.universal).expect("compiles");
+        let mut dec = EswitchSim::compile(&goto).expect("compiles");
+        let u = run_modeled(&mut uni, &trace).mpps;
+        let d = run_modeled(&mut dec, &trace).mpps;
+        out.push(ScalingRow {
+            services: n,
+            universal_mpps: u,
+            goto_mpps: d,
+            gain: d / u,
+        });
+    }
+    out
+}
+
+/// Run a switch over the trace and return the report — helper used by
+/// criterion benches.
+pub fn measure(switch: &mut dyn Switch, cfg: &BenchConfig) -> mapro_switch::RunReport {
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let trace = generate(&g.universal.catalog, &g.trace_spec(), cfg.packets, cfg.seed);
+    run_modeled(switch, &trace)
+}

@@ -1,0 +1,150 @@
+//! # mapro-classifier — packet-classifier templates
+//!
+//! The data structures a datapath instantiates per match-action table,
+//! and the shape analysis that picks among them (ESwitch's datapath
+//! specialization, §5 of the paper):
+//!
+//! * [`ExactTable`] — one hash probe; all-exact tables.
+//! * [`LpmTrie`] — longest-prefix match; single prefix-column tables.
+//! * [`TupleSpace`] — OVS/Lagopus-style tuple space search; anything.
+//! * [`LinearTernary`] — priority linear scan; the slow generic fallback.
+//! * [`TcamModel`] — ternary semantics with parallel lookup and capacity
+//!   accounting; the hardware switch's match engine.
+//! * [`DecisionTree`] — HiCuts-style geometric classifier (extension: a
+//!   cleverer generic template for multi-field wildcard tables).
+//!
+//! All templates implement [`Classifier`] and agree with the reference
+//! first-match semantics of [`TableView::linear_lookup`] on the table
+//! shapes they accept (property-tested in the workspace test suite).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dtree;
+pub mod exact;
+pub mod linear;
+pub mod trie;
+pub mod tss;
+pub mod view;
+
+pub use dtree::{DecisionTree, DtreeConfig};
+pub use exact::{ExactTable, NotExact};
+pub use linear::{LinearTernary, TcamFull, TcamModel};
+pub use trie::{LpmTrie, NotLpm};
+pub use tss::TupleSpace;
+pub use view::{table_shape, TableShape, TableView};
+
+/// What kind of template a classifier is (for cost models and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TemplateKind {
+    /// Exact-match hash table.
+    Exact,
+    /// Longest-prefix-match trie.
+    Lpm,
+    /// Tuple space search.
+    Tss,
+    /// Linear ternary scan.
+    Linear,
+    /// TCAM (parallel ternary match).
+    Tcam,
+}
+
+impl std::fmt::Display for TemplateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TemplateKind::Exact => "exact",
+            TemplateKind::Lpm => "lpm",
+            TemplateKind::Tss => "tss",
+            TemplateKind::Linear => "linear",
+            TemplateKind::Tcam => "tcam",
+        })
+    }
+}
+
+/// Structural parameters of a classifier instance, consumed by the switch
+/// models' cost functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupStats {
+    /// Template kind.
+    pub kind: TemplateKind,
+    /// Rules stored.
+    pub entries: usize,
+    /// Hash groups probed per lookup (TSS) — 1 elsewhere.
+    pub tuples: usize,
+    /// Sequential steps per lookup: trie depth, scan length, or 1.
+    pub depth: usize,
+    /// Columns participating in the key.
+    pub key_cols: usize,
+}
+
+/// A built packet classifier over fixed match columns.
+///
+/// `key` supplies one value per match column of the source table (in
+/// column order); the result is the matched entry's index (= priority
+/// rank), if any.
+pub trait Classifier {
+    /// Look up the highest-priority matching entry.
+    fn lookup(&self, key: &[u64]) -> Option<usize>;
+    /// Structural parameters for cost modeling.
+    fn stats(&self) -> LookupStats;
+}
+
+/// A boxed classifier selected by shape: exact where possible, then LPM,
+/// then the generic fallback (`generic` picks TSS or linear scan).
+pub fn build_specialized(
+    view: &TableView,
+    generic: TemplateKind,
+) -> Box<dyn Classifier + Send + Sync> {
+    match table_shape(view) {
+        TableShape::AllExact { .. } => Box::new(ExactTable::build(view).expect("shape checked")),
+        TableShape::SinglePrefix { .. } => Box::new(LpmTrie::build(view).expect("shape checked")),
+        TableShape::General => build_generic(view, generic),
+    }
+}
+
+/// Build the generic classifier of the given kind (TSS or linear; other
+/// kinds fall back to linear semantics).
+pub fn build_generic(view: &TableView, kind: TemplateKind) -> Box<dyn Classifier + Send + Sync> {
+    match kind {
+        TemplateKind::Tss => Box::new(TupleSpace::build(view).expect("no symbolic match cells")),
+        _ => Box::new(LinearTernary::build(view)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::Value;
+
+    #[test]
+    fn specialization_picks_expected_templates() {
+        let exact = TableView {
+            widths: vec![16],
+            rows: vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        };
+        assert_eq!(
+            build_specialized(&exact, TemplateKind::Linear).stats().kind,
+            TemplateKind::Exact
+        );
+        let lpm = TableView {
+            widths: vec![32],
+            rows: vec![vec![Value::prefix(0, 1, 32)]],
+        };
+        assert_eq!(
+            build_specialized(&lpm, TemplateKind::Linear).stats().kind,
+            TemplateKind::Lpm
+        );
+        let general = TableView {
+            widths: vec![32, 16],
+            rows: vec![vec![Value::prefix(0, 1, 32), Value::Int(5)]],
+        };
+        assert_eq!(
+            build_specialized(&general, TemplateKind::Linear).stats().kind,
+            TemplateKind::Linear
+        );
+        assert_eq!(
+            build_specialized(&general, TemplateKind::Tss).stats().kind,
+            TemplateKind::Tss
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! # mapro-control — the control-plane side of the reproduction
+//!
+//! §2 of the paper argues normalization through three control-plane
+//! lenses; this crate provides the machinery for all of them:
+//!
+//! * [`updates`] — flow-mods, update plans, (partial) application. The
+//!   plan size is the **controllability** metric.
+//! * [`consistency`] — intermediate-state invariant checking: the
+//!   "halfway-exposed service" hazard of lost/non-atomic updates.
+//! * [`monitor`] — per-rule counters and placement; the counter count is
+//!   the **monitorability** metric.
+//! * [`churn`] — Poisson intent streams feeding the Fig. 4 reactiveness
+//!   experiment (`mapro-switch::churn` consumes the summaries).
+//!
+//! Workload-specific intent compilers (e.g. "move tenant 1's service to
+//! HTTPS" against a given GWLB representation) live next to the workload
+//! generators in `mapro-workloads`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod consistency;
+pub mod monitor;
+pub mod updates;
+
+pub use churn::{poisson_stream, summarize, ChurnEvent, ChurnSummary};
+pub use consistency::{exposure, ExposureReport, Invariant};
+pub use monitor::{rules_where, CounterSet};
+pub use updates::{apply_plan, apply_prefix, apply_update, ApplyError, RuleUpdate, UpdatePlan};

@@ -1,0 +1,305 @@
+//! Rule updates and update plans.
+//!
+//! §2 "Controllability": the cost of a control-plane *intent* is the
+//! number of rule-action pairs that must change, and that number depends
+//! on the representation — moving a tenant's service port rewrites `M`
+//! entries of the universal table but a single entry of the normalized
+//! pipeline. [`UpdatePlan`] is the compiled form of one intent; applying
+//! a *prefix* of a plan models lost or in-flight updates.
+
+use mapro_core::{AttrId, Entry, Pipeline, Value};
+use std::fmt;
+
+/// One flow-mod.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleUpdate {
+    /// Rewrite cells of the entry identified by its current match tuple.
+    Modify {
+        /// Target table.
+        table: String,
+        /// Current match tuple (identifies the entry; 1NF guarantees
+        /// uniqueness).
+        matches: Vec<Value>,
+        /// Cells to overwrite (match or action attributes).
+        set: Vec<(AttrId, Value)>,
+    },
+    /// Insert a new entry (appended, i.e. lowest priority).
+    Insert {
+        /// Target table.
+        table: String,
+        /// The new entry.
+        entry: Entry,
+    },
+    /// Delete the entry identified by its match tuple.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Match tuple of the victim.
+        matches: Vec<Value>,
+    },
+}
+
+impl RuleUpdate {
+    /// The table this update touches.
+    pub fn table(&self) -> &str {
+        match self {
+            RuleUpdate::Modify { table, .. }
+            | RuleUpdate::Insert { table, .. }
+            | RuleUpdate::Delete { table, .. } => table,
+        }
+    }
+}
+
+/// Why an update could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// No such table.
+    TableNotFound(String),
+    /// No entry with the given match tuple.
+    EntryNotFound {
+        /// The table searched.
+        table: String,
+    },
+    /// A `set` attribute is not a column of the table.
+    AttrNotInTable {
+        /// The table.
+        table: String,
+        /// The offending attribute.
+        attr: AttrId,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::TableNotFound(t) => write!(f, "table {t:?} not found"),
+            ApplyError::EntryNotFound { table } => {
+                write!(f, "no matching entry in table {table:?}")
+            }
+            ApplyError::AttrNotInTable { table, attr } => {
+                write!(f, "attribute {attr} is not a column of {table:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// Apply one update in place.
+pub fn apply_update(p: &mut Pipeline, u: &RuleUpdate) -> Result<(), ApplyError> {
+    let table = p
+        .table_mut(u.table())
+        .ok_or_else(|| ApplyError::TableNotFound(u.table().to_owned()))?;
+    match u {
+        RuleUpdate::Modify { matches, set, .. } => {
+            let row = table
+                .entries
+                .iter()
+                .position(|e| &e.matches == matches)
+                .ok_or_else(|| ApplyError::EntryNotFound {
+                    table: table.name.clone(),
+                })?;
+            // Resolve columns first so a bad update leaves the table
+            // untouched (per-flow-mod atomicity).
+            let mut cols = Vec::with_capacity(set.len());
+            for (attr, _) in set {
+                let col = table.column_of(*attr).ok_or(ApplyError::AttrNotInTable {
+                    table: table.name.clone(),
+                    attr: *attr,
+                })?;
+                cols.push(col);
+            }
+            for ((_, v), (col, is_match)) in set.iter().zip(cols) {
+                if is_match {
+                    table.entries[row].matches[col] = v.clone();
+                } else {
+                    table.entries[row].actions[col] = v.clone();
+                }
+            }
+            Ok(())
+        }
+        RuleUpdate::Insert { entry, .. } => {
+            table.push(entry.clone());
+            Ok(())
+        }
+        RuleUpdate::Delete { matches, .. } => {
+            let row = table
+                .entries
+                .iter()
+                .position(|e| &e.matches == matches)
+                .ok_or_else(|| ApplyError::EntryNotFound {
+                    table: table.name.clone(),
+                })?;
+            table.entries.remove(row);
+            Ok(())
+        }
+    }
+}
+
+/// A compiled intent: the flow-mods realizing one semantic change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdatePlan {
+    /// Human-readable intent description.
+    pub intent: String,
+    /// The flow-mods, in application order.
+    pub updates: Vec<RuleUpdate>,
+}
+
+impl UpdatePlan {
+    /// The §2 controllability metric: rule-action pairs touched.
+    pub fn touched_entries(&self) -> usize {
+        self.updates.len()
+    }
+
+    /// Whether applying this plan needs a multi-entry atomic bundle.
+    pub fn needs_bundle(&self) -> bool {
+        self.updates.len() > 1
+    }
+}
+
+/// Apply a whole plan.
+pub fn apply_plan(p: &mut Pipeline, plan: &UpdatePlan) -> Result<(), ApplyError> {
+    for u in &plan.updates {
+        apply_update(p, u)?;
+    }
+    Ok(())
+}
+
+/// Apply only the first `k` updates — the state a non-atomic switch
+/// exposes mid-update, or after losing the tail of a plan (§2: "if any of
+/// these updates gets lost … the service may remain halfway-exposed").
+pub fn apply_prefix(p: &Pipeline, plan: &UpdatePlan, k: usize) -> Result<Pipeline, ApplyError> {
+    let mut q = p.clone();
+    for u in plan.updates.iter().take(k) {
+        apply_update(&mut q, u)?;
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{ActionSem, Catalog, Table};
+
+    fn pipeline() -> (Pipeline, AttrId, AttrId) {
+        let mut c = Catalog::new();
+        let f = c.field("f", 16);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::Int(1)], vec![Value::sym("a")]);
+        t.row(vec![Value::Int(2)], vec![Value::sym("b")]);
+        (Pipeline::single(c, t), f, out)
+    }
+
+    #[test]
+    fn modify_match_and_action_cells() {
+        let (mut p, f, out) = pipeline();
+        apply_update(
+            &mut p,
+            &RuleUpdate::Modify {
+                table: "t".into(),
+                matches: vec![Value::Int(1)],
+                set: vec![(f, Value::Int(9)), (out, Value::sym("z"))],
+            },
+        )
+        .unwrap();
+        let t = p.table("t").unwrap();
+        assert_eq!(t.entries[0].matches[0], Value::Int(9));
+        assert_eq!(t.entries[0].actions[0], Value::sym("z"));
+    }
+
+    #[test]
+    fn insert_and_delete() {
+        let (mut p, _, _) = pipeline();
+        apply_update(
+            &mut p,
+            &RuleUpdate::Insert {
+                table: "t".into(),
+                entry: Entry::new(vec![Value::Int(3)], vec![Value::sym("c")]),
+            },
+        )
+        .unwrap();
+        assert_eq!(p.table("t").unwrap().len(), 3);
+        apply_update(
+            &mut p,
+            &RuleUpdate::Delete {
+                table: "t".into(),
+                matches: vec![Value::Int(2)],
+            },
+        )
+        .unwrap();
+        assert_eq!(p.table("t").unwrap().len(), 2);
+        assert!(p
+            .table("t")
+            .unwrap()
+            .entries
+            .iter()
+            .all(|e| e.matches[0] != Value::Int(2)));
+    }
+
+    #[test]
+    fn errors_reported() {
+        let (mut p, f, _) = pipeline();
+        assert!(matches!(
+            apply_update(
+                &mut p,
+                &RuleUpdate::Delete {
+                    table: "zzz".into(),
+                    matches: vec![],
+                }
+            ),
+            Err(ApplyError::TableNotFound(_))
+        ));
+        assert!(matches!(
+            apply_update(
+                &mut p,
+                &RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(99)],
+                    set: vec![(f, Value::Int(1))],
+                }
+            ),
+            Err(ApplyError::EntryNotFound { .. })
+        ));
+        assert!(matches!(
+            apply_update(
+                &mut p,
+                &RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(1)],
+                    set: vec![(AttrId(99), Value::Int(1))],
+                }
+            ),
+            Err(ApplyError::AttrNotInTable { .. })
+        ));
+    }
+
+    #[test]
+    fn prefix_application_models_partial_state() {
+        let (p, f, _) = pipeline();
+        let plan = UpdatePlan {
+            intent: "renumber both".into(),
+            updates: vec![
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(1)],
+                    set: vec![(f, Value::Int(11))],
+                },
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(2)],
+                    set: vec![(f, Value::Int(12))],
+                },
+            ],
+        };
+        assert_eq!(plan.touched_entries(), 2);
+        assert!(plan.needs_bundle());
+        let half = apply_prefix(&p, &plan, 1).unwrap();
+        let t = half.table("t").unwrap();
+        assert_eq!(t.entries[0].matches[0], Value::Int(11));
+        assert_eq!(t.entries[1].matches[0], Value::Int(2)); // not yet applied
+        // Prefix 0 is the original.
+        let zero = apply_prefix(&p, &plan, 0).unwrap();
+        assert_eq!(zero, p);
+    }
+}

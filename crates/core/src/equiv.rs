@@ -1,0 +1,322 @@
+//! Semantic-equivalence checking between pipeline representations.
+//!
+//! §4 of the paper proves (Theorem 1) that decomposition along a functional
+//! dependency preserves semantics. This module provides the *mechanical*
+//! counterpart used throughout the test suite and by the transformation
+//! engine's verification mode: evaluate both pipelines over the derived
+//! finite domain (see [`crate::domain`]) and compare observable verdicts.
+
+use crate::domain::{Domain, DomainError};
+use crate::attr::AttrId;
+use crate::pipeline::{EvalError, Packet, Pipeline, Verdict};
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivOutcome {
+    /// No distinguishing packet exists in the checked set.
+    Equivalent {
+        /// How many packets were evaluated.
+        packets_checked: usize,
+        /// True if the full Cartesian product was enumerated (complete
+        /// check); false if the product was sampled.
+        exhaustive: bool,
+    },
+    /// A packet on which the two pipelines disagree.
+    Counterexample(Box<Counterexample>),
+}
+
+impl EquivOutcome {
+    /// True for [`EquivOutcome::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivOutcome::Equivalent { .. })
+    }
+}
+
+/// A distinguishing packet and the two verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// The input packet.
+    pub packet: Packet,
+    /// Human-readable field assignment of the packet.
+    pub fields: Vec<(String, u64)>,
+    /// Verdict of the first pipeline.
+    pub left: Verdict,
+    /// Verdict of the second pipeline.
+    pub right: Verdict,
+}
+
+/// Errors during an equivalence check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EquivError {
+    /// A pipeline contains predicates outside the decidable fragment.
+    Domain(DomainError),
+    /// A pipeline failed to evaluate (goto cycle, bad action parameters).
+    Eval(EvalError),
+    /// The two pipelines disagree on what a header field id means, so a
+    /// shared packet cannot be constructed (comparing unrelated programs).
+    IncompatibleCatalogs {
+        /// The disagreeing attribute id.
+        attr: AttrId,
+        /// Its name in the left catalog (if present).
+        left: Option<String>,
+        /// Its name in the right catalog (if present).
+        right: Option<String>,
+    },
+}
+
+impl From<DomainError> for EquivError {
+    fn from(e: DomainError) -> Self {
+        EquivError::Domain(e)
+    }
+}
+
+impl From<EvalError> for EquivError {
+    fn from(e: EvalError) -> Self {
+        EquivError::Eval(e)
+    }
+}
+
+impl std::fmt::Display for EquivError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EquivError::Domain(e) => write!(f, "domain derivation failed: {e}"),
+            EquivError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            EquivError::IncompatibleCatalogs { attr, left, right } => write!(
+                f,
+                "programs are not comparable: field {attr} is {left:?} on the left but {right:?} on the right"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EquivError {}
+
+/// Configuration for [`check_equivalent`].
+#[derive(Debug, Clone)]
+pub struct EquivConfig {
+    /// Enumerate the full product only if it has at most this many packets;
+    /// otherwise fall back to deterministic sampling.
+    pub max_exhaustive: u128,
+    /// Sample size when the product is too large.
+    pub samples: usize,
+    /// Seed for the sampling fallback.
+    pub seed: u64,
+}
+
+impl Default for EquivConfig {
+    fn default() -> Self {
+        EquivConfig {
+            max_exhaustive: 2_000_000,
+            samples: 200_000,
+            seed: 0x6d61_7072_6f31_3919, // "mapro19" tag — any fixed value works
+        }
+    }
+}
+
+/// Check whether two pipelines are observationally equivalent on all packets
+/// of their joint derived domain.
+///
+/// Completeness holds when the check is exhaustive (see
+/// [`EquivOutcome::Equivalent::exhaustive`]) and both pipelines draw match
+/// predicates from the interval-shaped fragment.
+pub fn check_equivalent(
+    left: &Pipeline,
+    right: &Pipeline,
+    cfg: &EquivConfig,
+) -> Result<EquivOutcome, EquivError> {
+    let domain = Domain::from_pipelines(&[left, right])?;
+    // The packets we construct assign values by attribute id; both programs
+    // must agree on what each participating field id denotes.
+    for (attr, _) in &domain.fields {
+        let l = (attr.index() < left.catalog.len()).then(|| left.catalog.attr(*attr));
+        let r = (attr.index() < right.catalog.len()).then(|| right.catalog.attr(*attr));
+        let same = matches!((l, r), (Some(a), Some(b)) if a.name == b.name && a.width == b.width);
+        if !same {
+            return Err(EquivError::IncompatibleCatalogs {
+                attr: *attr,
+                left: l.map(|a| a.name.clone()),
+                right: r.map(|a| a.name.clone()),
+            });
+        }
+    }
+    let proto_l = Packet::zero(&left.catalog);
+    let li = left.name_index();
+    let ri = right.name_index();
+
+    let check_one = |pkt: &Packet| -> Result<Option<Counterexample>, EquivError> {
+        // The two catalogs agree on Field attributes by construction of the
+        // transformations (fields are never renumbered); run the same packet
+        // through both.
+        let vl = left.run_indexed(pkt, &li)?;
+        let vr = right.run_indexed(pkt, &ri)?;
+        if vl.observable() != vr.observable() {
+            let fields = domain
+                .fields
+                .iter()
+                .map(|(a, _)| (left.catalog.name(*a).to_owned(), pkt.get(*a)))
+                .collect();
+            return Ok(Some(Counterexample {
+                packet: pkt.clone(),
+                fields,
+                left: vl,
+                right: vr,
+            }));
+        }
+        Ok(None)
+    };
+
+    let size = domain.product_size();
+    if size <= cfg.max_exhaustive {
+        let mut n = 0usize;
+        for pkt in domain.packets(&proto_l) {
+            n += 1;
+            if let Some(cx) = check_one(&pkt)? {
+                return Ok(EquivOutcome::Counterexample(Box::new(cx)));
+            }
+        }
+        Ok(EquivOutcome::Equivalent {
+            packets_checked: n,
+            exhaustive: true,
+        })
+    } else {
+        let pkts = domain.sample(&proto_l, cfg.samples, cfg.seed);
+        for pkt in &pkts {
+            if let Some(cx) = check_one(pkt)? {
+                return Ok(EquivOutcome::Counterexample(Box::new(cx)));
+            }
+        }
+        Ok(EquivOutcome::Equivalent {
+            packets_checked: pkts.len(),
+            exhaustive: false,
+        })
+    }
+}
+
+/// Convenience wrapper asserting equivalence with default configuration.
+///
+/// # Panics
+/// Panics with a readable counterexample if the pipelines differ, or on
+/// evaluation errors. Intended for tests and transformation verification.
+pub fn assert_equivalent(left: &Pipeline, right: &Pipeline) {
+    match check_equivalent(left, right, &EquivConfig::default()) {
+        Ok(EquivOutcome::Equivalent { .. }) => {}
+        Ok(EquivOutcome::Counterexample(cx)) => {
+            panic!(
+                "pipelines differ on packet {:?}:\n left: {:?}\n right: {:?}",
+                cx.fields, cx.left, cx.right
+            );
+        }
+        Err(e) => panic!("equivalence check failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{ActionSem, Catalog};
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn out_table(rows: &[(u64, &str)]) -> Pipeline {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        for &(v, port) in rows {
+            t.row(vec![Value::Int(v)], vec![Value::sym(port)]);
+        }
+        Pipeline::single(c, t)
+    }
+
+    #[test]
+    fn identical_pipelines_equivalent() {
+        let a = out_table(&[(1, "x"), (2, "y")]);
+        let b = out_table(&[(1, "x"), (2, "y")]);
+        let r = check_equivalent(&a, &b, &EquivConfig::default()).unwrap();
+        assert!(r.is_equivalent());
+        if let EquivOutcome::Equivalent {
+            packets_checked,
+            exhaustive,
+        } = r
+        {
+            assert!(exhaustive);
+            assert_eq!(packets_checked, 4); // boundary values {0, 1, 2, 3}
+        }
+    }
+
+    #[test]
+    fn entry_order_irrelevant_when_disjoint() {
+        let a = out_table(&[(1, "x"), (2, "y")]);
+        let b = out_table(&[(2, "y"), (1, "x")]);
+        assert!(check_equivalent(&a, &b, &EquivConfig::default())
+            .unwrap()
+            .is_equivalent());
+    }
+
+    #[test]
+    fn differing_output_found() {
+        let a = out_table(&[(1, "x")]);
+        let b = out_table(&[(1, "y")]);
+        let r = check_equivalent(&a, &b, &EquivConfig::default()).unwrap();
+        match r {
+            EquivOutcome::Counterexample(cx) => {
+                assert_eq!(cx.fields, vec![("f".to_owned(), 1)]);
+                assert_eq!(cx.left.output.as_deref(), Some("x"));
+                assert_eq!(cx.right.output.as_deref(), Some("y"));
+            }
+            _ => panic!("expected counterexample"),
+        }
+    }
+
+    #[test]
+    fn missing_entry_found() {
+        let a = out_table(&[(1, "x"), (2, "y")]);
+        let b = out_table(&[(1, "x")]);
+        let r = check_equivalent(&a, &b, &EquivConfig::default()).unwrap();
+        assert!(!r.is_equivalent());
+    }
+
+    #[test]
+    #[should_panic(expected = "pipelines differ")]
+    fn assert_equivalent_panics_with_counterexample() {
+        let a = out_table(&[(1, "x")]);
+        let b = out_table(&[(1, "y")]);
+        assert_equivalent(&a, &b);
+    }
+
+    #[test]
+    fn incompatible_catalogs_rejected() {
+        let a = out_table(&[(1, "x")]);
+        let mut c = Catalog::new();
+        c.field("completely_different", 16);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![c.lookup("completely_different").unwrap()], vec![out]);
+        t.row(vec![Value::Int(1)], vec![Value::sym("x")]);
+        let b = Pipeline::single(c, t);
+        assert!(matches!(
+            check_equivalent(&a, &b, &EquivConfig::default()),
+            Err(EquivError::IncompatibleCatalogs { .. })
+        ));
+    }
+
+    #[test]
+    fn sampling_mode_triggers_on_huge_products() {
+        let a = out_table(&[(1, "x")]);
+        let b = out_table(&[(1, "x")]);
+        let cfg = EquivConfig {
+            max_exhaustive: 0,
+            samples: 50,
+            seed: 7,
+        };
+        match check_equivalent(&a, &b, &cfg).unwrap() {
+            EquivOutcome::Equivalent {
+                exhaustive,
+                packets_checked,
+            } => {
+                assert!(!exhaustive);
+                assert_eq!(packets_checked, 50);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,551 @@
+//! Pipelines: chained match-action tables and their packet semantics.
+//!
+//! A [`Pipeline`] owns the program's [`Catalog`] and a list of [`Table`]s.
+//! Execution starts at [`Pipeline::start`]; a hit entry applies its actions
+//! in column order, then control transfers to the entry's `Goto` target if
+//! any, else to the table's [`Table::next`] continuation, else ends. A miss
+//! applies the table's [`MissPolicy`].
+//!
+//! The externally visible outcome of a run is a [`Verdict`]; two pipelines
+//! are semantically equivalent iff they produce equal verdicts for every
+//! packet (§4, "equivalent transformations"). Metadata fields are scratch
+//! state and excluded from verdicts.
+
+use crate::attr::{ActionSem, AttrId, AttrKind, Catalog};
+use crate::table::{MissPolicy, Table};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// An abstract packet: a value for every matchable attribute of a catalog.
+///
+/// Fields not explicitly set read as zero (in particular, metadata fields
+/// start at zero, matching OpenFlow semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    vals: Vec<u64>,
+}
+
+impl Packet {
+    /// A packet with all fields zero, sized for `catalog`.
+    pub fn zero(catalog: &Catalog) -> Self {
+        Packet {
+            vals: vec![0; catalog.len()],
+        }
+    }
+
+    /// Build a packet by name. Unknown names panic (they indicate a test or
+    /// workload bug, not a runtime condition).
+    pub fn from_fields(catalog: &Catalog, fields: &[(&str, u64)]) -> Self {
+        let mut p = Packet::zero(catalog);
+        for (name, v) in fields {
+            let id = catalog
+                .lookup(name)
+                .unwrap_or_else(|| panic!("unknown field {name:?}"));
+            p.set(id, *v);
+        }
+        p
+    }
+
+    /// Read a field.
+    #[inline]
+    pub fn get(&self, attr: AttrId) -> u64 {
+        self.vals.get(attr.index()).copied().unwrap_or(0)
+    }
+
+    /// Write a field.
+    #[inline]
+    pub fn set(&mut self, attr: AttrId, v: u64) {
+        if attr.index() >= self.vals.len() {
+            self.vals.resize(attr.index() + 1, 0);
+        }
+        self.vals[attr.index()] = v;
+    }
+}
+
+/// Why a pipeline run could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A `Goto` action named a table that does not exist.
+    UnknownTable(String),
+    /// Processing revisited enough tables to exceed the step budget,
+    /// indicating a goto cycle.
+    GotoCycle {
+        /// The visit budget that was exceeded.
+        limit: usize,
+    },
+    /// A `Goto`/`Output` cell held a non-symbolic parameter, or a
+    /// `SetField` cell held a non-integer parameter.
+    BadActionParam {
+        /// Offending table name.
+        table: String,
+        /// Offending action attribute name.
+        attr: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownTable(t) => write!(f, "goto target {t:?} does not exist"),
+            EvalError::GotoCycle { limit } => {
+                write!(f, "pipeline exceeded {limit} table visits (goto cycle?)")
+            }
+            EvalError::BadActionParam { table, attr } => {
+                write!(f, "table {table:?}: malformed parameter for action {attr:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The externally visible fate of a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Output port, if any `out(...)` fired (last write wins).
+    pub output: Option<Arc<str>>,
+    /// True if the packet missed some table whose policy is `Drop` before
+    /// any output was scheduled... see `disposition` docs; kept for
+    /// introspection.
+    pub dropped: bool,
+    /// True if a miss punted the packet to the controller.
+    pub to_controller: bool,
+    /// Final values of *header* fields that were modified (metadata
+    /// excluded), keyed by attribute id, sorted by id.
+    pub header_mods: Vec<(AttrId, u64)>,
+    /// Opaque actions applied, as (attribute name, parameter) pairs,
+    /// sorted. Sorted-multiset semantics: the paper's Cartesian product ×
+    /// is commutative (§3, Fig. 2c), so attribute-application order between
+    /// independent tables must not distinguish verdicts.
+    pub opaque: Vec<(String, Value)>,
+    /// Tables visited, in order (diagnostic; not part of equivalence).
+    pub path: Vec<String>,
+    /// For each visited table: the matched entry's index, or `None` on a
+    /// miss. Parallel to [`Verdict::path`]. This is what rule counters
+    /// (per-entry packet/byte counters, §2 "Monitorability") attach to.
+    pub hits: Vec<Option<usize>>,
+    /// Number of table lookups performed (diagnostic; the multi-table cost
+    /// the paper's §5 latency discussion is about).
+    pub lookups: usize,
+}
+
+impl Verdict {
+    /// The equivalence-relevant projection of this verdict.
+    ///
+    /// Two runs are observationally equal iff these projections are equal.
+    /// A dropped packet is absorbing: whatever actions ran before the miss
+    /// are discarded with the packet (OpenFlow executes no action set on a
+    /// table-miss drop), so all drops are indistinguishable. Otherwise the
+    /// forwarding decision, header rewrites, and opaque actions must agree.
+    pub fn observable(&self) -> Observable<'_> {
+        if self.dropped && !self.to_controller {
+            Observable::Dropped
+        } else {
+            Observable::Delivered {
+                output: self.output.as_deref(),
+                to_controller: self.to_controller,
+                header_mods: &self.header_mods,
+                opaque: &self.opaque,
+            }
+        }
+    }
+}
+
+/// The observable projection of a [`Verdict`] (see [`Verdict::observable`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observable<'a> {
+    /// The packet was discarded; nothing is externally visible.
+    Dropped,
+    /// The packet left the switch (to a port and/or the controller) with
+    /// these effects applied.
+    Delivered {
+        /// Output port, if any.
+        output: Option<&'a str>,
+        /// Whether the packet was punted to the controller.
+        to_controller: bool,
+        /// Final values of modified header fields.
+        header_mods: &'a [(AttrId, u64)],
+        /// Opaque actions applied (sorted multiset).
+        opaque: &'a [(String, Value)],
+    },
+}
+
+/// A match-action program: a catalog plus its tables.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Pipeline {
+    /// The program-wide attribute dictionary.
+    pub catalog: Catalog,
+    /// Tables, in declaration order.
+    pub tables: Vec<Table>,
+    /// Name of the table where processing starts.
+    pub start: String,
+}
+
+impl Pipeline {
+    /// Wrap a single table as a pipeline (the *universal representation*).
+    pub fn single(catalog: Catalog, table: Table) -> Self {
+        let start = table.name.clone();
+        Pipeline {
+            catalog,
+            tables: vec![table],
+            start,
+        }
+    }
+
+    /// Build a multi-table pipeline starting at `start`.
+    ///
+    /// # Panics
+    /// Panics if `start` names no table or table names collide.
+    pub fn new(catalog: Catalog, tables: Vec<Table>, start: impl Into<String>) -> Self {
+        let start = start.into();
+        let mut names = std::collections::HashSet::new();
+        for t in &tables {
+            assert!(names.insert(t.name.clone()), "duplicate table {:?}", t.name);
+        }
+        assert!(
+            names.contains(&start),
+            "start table {start:?} does not exist"
+        );
+        Pipeline {
+            catalog,
+            tables,
+            start,
+        }
+    }
+
+    /// Find a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Mutable access to a table by name.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.iter_mut().find(|t| t.name == name)
+    }
+
+    /// Total entry count across all tables.
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Total match-action field count (§2 encoding-size metric).
+    pub fn field_count(&self) -> usize {
+        self.tables.iter().map(Table::field_count).sum()
+    }
+
+    /// Run a packet through the pipeline.
+    ///
+    /// The input packet is not mutated; modifications happen on a copy whose
+    /// final state feeds the verdict.
+    pub fn run(&self, packet: &Packet) -> Result<Verdict, EvalError> {
+        let index: HashMap<&str, usize> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.as_str(), i))
+            .collect();
+        self.run_indexed(packet, &index)
+    }
+
+    /// Like [`Pipeline::run`] with a caller-supplied name index, for hot
+    /// loops that evaluate many packets.
+    pub fn run_indexed(
+        &self,
+        packet: &Packet,
+        index: &HashMap<&str, usize>,
+    ) -> Result<Verdict, EvalError> {
+        let limit = self.tables.len().saturating_mul(2) + 8;
+        let mut pkt = packet.clone();
+        let mut touched: Vec<AttrId> = Vec::new();
+        let mut v = Verdict {
+            output: None,
+            dropped: false,
+            to_controller: false,
+            header_mods: Vec::new(),
+            opaque: Vec::new(),
+            path: Vec::new(),
+            hits: Vec::new(),
+            lookups: 0,
+        };
+        let mut cur = Some(self.start.as_str());
+        let mut steps = 0usize;
+        while let Some(name) = cur {
+            steps += 1;
+            if steps > limit {
+                return Err(EvalError::GotoCycle { limit });
+            }
+            let &ti = index
+                .get(name)
+                .ok_or_else(|| EvalError::UnknownTable(name.to_owned()))?;
+            let t = &self.tables[ti];
+            v.path.push(t.name.clone());
+            v.lookups += 1;
+            let hit = t.lookup_with(&self.catalog, |a| pkt.get(a));
+            v.hits.push(hit);
+            match hit {
+                None => match &t.miss {
+                    MissPolicy::Drop => {
+                        v.dropped = true;
+                        cur = None;
+                    }
+                    MissPolicy::Controller => {
+                        v.to_controller = true;
+                        cur = None;
+                    }
+                    MissPolicy::Fall(nxt) => {
+                        // Borrow gymnastics: continue at the fall-through table.
+                        cur = Some(self.resolve_name(nxt, index)?);
+                    }
+                },
+                Some(row) => {
+                    let mut goto: Option<&str> = None;
+                    for (col, &attr) in t.action_attrs.iter().enumerate() {
+                        let param = &t.entries[row].actions[col];
+                        if matches!(param, Value::Any) {
+                            continue; // no-op slot
+                        }
+                        let a = self.catalog.attr(attr);
+                        let sem = match &a.kind {
+                            AttrKind::Action(s) => s,
+                            _ => unreachable!("action column with non-action attr"),
+                        };
+                        match sem {
+                            ActionSem::Output => match param {
+                                Value::Sym(s) => v.output = Some(s.clone()),
+                                _ => {
+                                    return Err(EvalError::BadActionParam {
+                                        table: t.name.clone(),
+                                        attr: a.name.clone(),
+                                    })
+                                }
+                            },
+                            ActionSem::Goto => match param {
+                                Value::Sym(s) => goto = Some(s.as_ref()),
+                                _ => {
+                                    return Err(EvalError::BadActionParam {
+                                        table: t.name.clone(),
+                                        attr: a.name.clone(),
+                                    })
+                                }
+                            },
+                            ActionSem::SetField(target) => match param {
+                                Value::Int(x) => {
+                                    pkt.set(*target, *x);
+                                    if !touched.contains(target) {
+                                        touched.push(*target);
+                                    }
+                                }
+                                _ => {
+                                    return Err(EvalError::BadActionParam {
+                                        table: t.name.clone(),
+                                        attr: a.name.clone(),
+                                    })
+                                }
+                            },
+                            ActionSem::Opaque => {
+                                v.opaque.push((a.name.clone(), param.clone()));
+                            }
+                        }
+                    }
+                    cur = match goto {
+                        Some(g) => Some(self.resolve_name(g, index)?),
+                        None => match &t.next {
+                            Some(n) => Some(self.resolve_name(n, index)?),
+                            None => None,
+                        },
+                    };
+                }
+            }
+        }
+        // Externally visible header modifications: touched non-meta fields.
+        let mut mods: Vec<(AttrId, u64)> = touched
+            .into_iter()
+            .filter(|&a| matches!(self.catalog.attr(a).kind, AttrKind::Field))
+            .map(|a| (a, pkt.get(a)))
+            .collect();
+        mods.sort_unstable_by_key(|&(a, _)| a);
+        v.header_mods = mods;
+        v.opaque.sort();
+        Ok(v)
+    }
+
+    fn resolve_name<'a>(
+        &self,
+        name: &str,
+        index: &HashMap<&'a str, usize>,
+    ) -> Result<&'a str, EvalError> {
+        index
+            .get_key_value(name)
+            .map(|(k, _)| *k)
+            .ok_or_else(|| EvalError::UnknownTable(name.to_owned()))
+    }
+
+    /// Build the table-name index used by [`Pipeline::run_indexed`].
+    pub fn name_index(&self) -> HashMap<&str, usize> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.as_str(), i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::ActionSem;
+
+    /// Two-stage pipeline: t0 matches f, writes meta and gotos t1;
+    /// t1 matches meta and outputs.
+    fn two_stage() -> Pipeline {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let m = c.meta("m", 8);
+        let set_m = c.action("set_m", ActionSem::SetField(m));
+        let goto = c.action("goto", ActionSem::Goto);
+        let out = c.action("out", ActionSem::Output);
+
+        let mut t0 = Table::new("t0", vec![f], vec![set_m, goto]);
+        t0.row(vec![Value::Int(1)], vec![Value::Int(10), Value::sym("t1")]);
+        t0.row(vec![Value::Int(2)], vec![Value::Int(20), Value::sym("t1")]);
+
+        let mut t1 = Table::new("t1", vec![m], vec![out]);
+        t1.row(vec![Value::Int(10)], vec![Value::sym("p1")]);
+        t1.row(vec![Value::Int(20)], vec![Value::sym("p2")]);
+
+        Pipeline::new(c, vec![t0, t1], "t0")
+    }
+
+    #[test]
+    fn goto_and_metadata_flow() {
+        let p = two_stage();
+        let pkt = Packet::from_fields(&p.catalog, &[("f", 1)]);
+        let v = p.run(&pkt).unwrap();
+        assert_eq!(v.output.as_deref(), Some("p1"));
+        assert_eq!(v.path, vec!["t0", "t1"]);
+        assert_eq!(v.lookups, 2);
+        assert!(!v.dropped);
+        // Metadata writes are not externally visible.
+        assert!(v.header_mods.is_empty());
+    }
+
+    #[test]
+    fn miss_drops() {
+        let p = two_stage();
+        let pkt = Packet::from_fields(&p.catalog, &[("f", 9)]);
+        let v = p.run(&pkt).unwrap();
+        assert!(v.dropped);
+        assert_eq!(v.output, None);
+        assert_eq!(v.lookups, 1);
+    }
+
+    #[test]
+    fn miss_to_controller() {
+        let mut p = two_stage();
+        p.table_mut("t0").unwrap().miss = MissPolicy::Controller;
+        let pkt = Packet::from_fields(&p.catalog, &[("f", 9)]);
+        let v = p.run(&pkt).unwrap();
+        assert!(v.to_controller);
+        assert!(!v.dropped);
+    }
+
+    #[test]
+    fn implicit_next_chaining() {
+        let mut p = two_stage();
+        // Drop the explicit gotos; chain t0 -> t1 implicitly instead.
+        {
+            let t0 = p.table_mut("t0").unwrap();
+            for e in &mut t0.entries {
+                e.actions[1] = Value::Any; // goto slot becomes no-op
+            }
+            t0.next = Some("t1".into());
+        }
+        let pkt = Packet::from_fields(&p.catalog, &[("f", 2)]);
+        let v = p.run(&pkt).unwrap();
+        assert_eq!(v.output.as_deref(), Some("p2"));
+    }
+
+    #[test]
+    fn goto_cycle_detected() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let goto = c.action("goto", ActionSem::Goto);
+        let mut t0 = Table::new("t0", vec![f], vec![goto]);
+        t0.row(vec![Value::Any], vec![Value::sym("t0")]);
+        let p = Pipeline::new(c, vec![t0], "t0");
+        let pkt = Packet::zero(&p.catalog);
+        assert!(matches!(p.run(&pkt), Err(EvalError::GotoCycle { .. })));
+    }
+
+    #[test]
+    fn unknown_goto_target() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let goto = c.action("goto", ActionSem::Goto);
+        let mut t0 = Table::new("t0", vec![f], vec![goto]);
+        t0.row(vec![Value::Any], vec![Value::sym("nope")]);
+        let p = Pipeline::new(c, vec![t0], "t0");
+        let pkt = Packet::zero(&p.catalog);
+        assert_eq!(
+            p.run(&pkt),
+            Err(EvalError::UnknownTable("nope".to_owned()))
+        );
+    }
+
+    #[test]
+    fn header_mods_visible_meta_mods_not() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let ttl = c.field("ttl", 8);
+        let m = c.meta("m", 8);
+        let set_ttl = c.action("set_ttl", ActionSem::SetField(ttl));
+        let set_m = c.action("set_m", ActionSem::SetField(m));
+        let mut t = Table::new("t", vec![f], vec![set_ttl, set_m]);
+        t.row(vec![Value::Any], vec![Value::Int(63), Value::Int(5)]);
+        let p = Pipeline::single(c, t);
+        let v = p.run(&Packet::zero(&p.catalog)).unwrap();
+        assert_eq!(v.header_mods, vec![(ttl, 63)]);
+    }
+
+    #[test]
+    fn opaque_actions_sorted_for_commutativity() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let a1 = c.action("zeta", ActionSem::Opaque);
+        let a2 = c.action("alpha", ActionSem::Opaque);
+        let mut t = Table::new("t", vec![f], vec![a1, a2]);
+        t.row(vec![Value::Any], vec![Value::sym("x"), Value::sym("y")]);
+        let p = Pipeline::single(c, t);
+        let v = p.run(&Packet::zero(&p.catalog)).unwrap();
+        assert_eq!(
+            v.opaque,
+            vec![
+                ("alpha".to_owned(), Value::sym("y")),
+                ("zeta".to_owned(), Value::sym("x"))
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_action_param_reported() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::Any], vec![Value::Int(3)]); // output wants a Sym
+        let p = Pipeline::single(c, t);
+        assert!(matches!(
+            p.run(&Packet::zero(&p.catalog)),
+            Err(EvalError::BadActionParam { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "start table")]
+    fn bad_start_rejected() {
+        let c = Catalog::new();
+        let _ = Pipeline::new(c, vec![], "zzz");
+    }
+}

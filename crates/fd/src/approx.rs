@@ -1,0 +1,202 @@
+//! Approximate functional dependencies — quantifying §3's *transient*
+//! dependencies.
+//!
+//! The paper distinguishes dependencies "inherently encoded into the
+//! high-level data plane model" from "transient data-level dependencies
+//! that … may easily disappear during the next update". An approximate FD
+//! makes the distinction measurable: `X → A` holds with error `g₃(X → A)`
+//! = the fraction of rows that must be removed for the dependency to hold
+//! exactly (the TANE paper's g₃ measure). A model-level dependency has
+//! error 0 across updates; a transient one drifts away from 0 as the
+//! instance churns — a controller can use the trend to decide which
+//! dependencies are safe to normalize along.
+
+use crate::set::{AttrSet, Universe};
+use mapro_core::{Table, Value};
+use std::collections::HashMap;
+
+/// An approximate dependency with its error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxFd {
+    /// Determinant attribute set.
+    pub lhs: AttrSet,
+    /// Dependent attribute position (singleton RHS).
+    pub rhs: usize,
+    /// g₃ error: fraction of (distinct) rows violating the dependency.
+    pub error: f64,
+}
+
+/// Compute the exact g₃ error of `X → A` on the instance: the minimum
+/// fraction of rows whose removal makes the dependency hold.
+///
+/// For each `X`-class, all rows except those agreeing with the plurality
+/// `A`-value must go.
+pub fn g3_error(table: &Table, x: &[mapro_core::AttrId], a: mapro_core::AttrId) -> f64 {
+    let mut rows: Vec<(Vec<Value>, Value)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let attrs = table.attrs();
+    for r in 0..table.len() {
+        let full = table.tuple(r, &attrs);
+        if seen.insert(full) {
+            rows.push((table.tuple(r, x), table.cell(r, a).clone()));
+        }
+    }
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let mut groups: HashMap<&[Value], HashMap<&Value, usize>> = HashMap::new();
+    for (xv, av) in &rows {
+        *groups
+            .entry(xv.as_slice())
+            .or_default()
+            .entry(av)
+            .or_insert(0) += 1;
+    }
+    let keep: usize = groups
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    (rows.len() - keep) as f64 / rows.len() as f64
+}
+
+/// Mine all dependencies `X → A` with `|X| ≤ max_lhs` whose g₃ error is at
+/// most `max_error`, minimal by LHS among those reported. `max_error = 0`
+/// reduces to exact minimal FDs (bounded LHS).
+pub fn mine_approx_fds(table: &Table, max_lhs: usize, max_error: f64) -> Vec<ApproxFd> {
+    let attrs = table.attrs();
+    let n = attrs.len();
+    assert!(n <= 20, "approximate mining is exponential; table too wide");
+    let universe = Universe::new(attrs.clone());
+    let mut out: Vec<ApproxFd> = Vec::new();
+    for mask in 0..(1u64 << n) {
+        let xs = AttrSet(mask);
+        if xs.len() as usize > max_lhs {
+            continue;
+        }
+        for a in 0..n {
+            if xs.contains(a) {
+                continue;
+            }
+            // Minimality among *reported* dependencies.
+            if out
+                .iter()
+                .any(|f| f.rhs == a && f.lhs.subset_of(xs))
+            {
+                continue;
+            }
+            let x_ids = universe.decode(xs);
+            let err = g3_error(table, &x_ids, universe.attr(a));
+            if err <= max_error {
+                out.push(ApproxFd {
+                    lhs: xs,
+                    rhs: a,
+                    error: err,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{ActionSem, Catalog};
+
+    fn table(rows: &[(u64, u64)]) -> (Catalog, Table) {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let g = c.field("g", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f, g], vec![out]);
+        for (i, &(a, b)) in rows.iter().enumerate() {
+            t.row(
+                vec![Value::Int(a), Value::Int(b)],
+                vec![Value::sym(format!("p{i}"))],
+            );
+        }
+        (c, t)
+    }
+
+    #[test]
+    fn exact_dependency_has_zero_error() {
+        let (c, t) = table(&[(1, 10), (2, 20), (3, 10)]);
+        let f = c.lookup("f").unwrap();
+        let g = c.lookup("g").unwrap();
+        assert_eq!(g3_error(&t, &[f], g), 0.0);
+    }
+
+    #[test]
+    fn single_violation_counts_one_row() {
+        // f=1 maps to 10 twice and 11 once: removing one row fixes it.
+        let (c, t) = table(&[(1, 10), (1, 10), (1, 11), (2, 20)]);
+        let f = c.lookup("f").unwrap();
+        let g = c.lookup("g").unwrap();
+        // Note: rows dedup on the full tuple; (1,10) appears twice with
+        // different out actions (p0/p1) so both survive.
+        let err = g3_error(&t, &[f], g);
+        assert!((err - 0.25).abs() < 1e-9, "{err}");
+    }
+
+    #[test]
+    fn empty_lhs_error_is_plurality_complement() {
+        let (c, t) = table(&[(1, 10), (2, 10), (3, 20)]);
+        let g = c.lookup("g").unwrap();
+        let err = g3_error(&t, &[], g);
+        assert!((err - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approx_mining_finds_almost_fds() {
+        let (_c, t) = table(&[(1, 10), (1, 10), (1, 11), (2, 20), (3, 30)]);
+        // Exact: f → g does not hold. With 20% tolerance it does (1 of 5).
+        let exact = mine_approx_fds(&t, 1, 0.0);
+        assert!(!exact
+            .iter()
+            .any(|f| f.lhs == AttrSet(0b001) && f.rhs == 1));
+        let loose = mine_approx_fds(&t, 1, 0.2);
+        let found = loose
+            .iter()
+            .find(|f| f.lhs == AttrSet(0b001) && f.rhs == 1)
+            .expect("f → g within tolerance");
+        assert!((found.error - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_tolerance_matches_exact_miner_on_small_lhs() {
+        let (c, t) = table(&[(1, 10), (2, 10), (3, 20), (4, 20)]);
+        let approx = mine_approx_fds(&t, 1, 0.0);
+        let mined = crate::mine::mine_fds(&t, &c);
+        for fd in mined.fds.fds() {
+            if fd.lhs.len() <= 1 {
+                for r in fd.rhs.iter() {
+                    assert!(
+                        approx.iter().any(|f| f.lhs == fd.lhs && f.rhs == r),
+                        "exact {fd} missing from approx"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_dependency_decays_under_churn() {
+        // The §3 story in numbers: tcp_dst → ip_dst holds on the tiny
+        // Fig. 1 instance (error 0) but decays once more services share
+        // ports.
+        use mapro_workloads::Gwlb;
+        let small = Gwlb::fig1();
+        let t = small.universal.table("t0").unwrap();
+        assert_eq!(
+            g3_error(t, &[small.tcp_dst], small.ip_dst),
+            0.0,
+            "transient dependency holds on the 6-row figure"
+        );
+        let big = Gwlb::random(20, 8, 2019);
+        let t = big.universal.table("t0").unwrap();
+        let err = g3_error(t, &[big.tcp_dst], big.ip_dst);
+        assert!(err > 0.5, "port no longer determines service: {err}");
+        // The model-level dependency stays exact at any scale.
+        assert_eq!(g3_error(t, &[big.ip_dst], big.tcp_dst), 0.0);
+    }
+}

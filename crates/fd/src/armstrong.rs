@@ -1,0 +1,193 @@
+//! Armstrong's inference axioms, explicitly.
+//!
+//! [`FdSet::closure`](crate::FdSet::closure) decides implication
+//! efficiently; this module provides the *derivation* view — the three
+//! primitive inference rules (reflexivity, augmentation, transitivity) and
+//! their standard derived rules — together with a bounded forward-chaining
+//! engine that materializes every implied dependency over small universes.
+//! Useful for teaching, for cross-checking the closure algorithm (the
+//! property tests do exactly that), and for explaining *why* an FD holds.
+
+use crate::fd::{Fd, FdSet};
+use crate::set::{AttrSet, Universe};
+
+/// Reflexivity: `Y ⊆ X ⟹ X → Y`.
+pub fn reflexivity(x: AttrSet, y: AttrSet) -> Option<Fd> {
+    y.subset_of(x).then_some(Fd::new(x, y))
+}
+
+/// Augmentation: `X → Y ⟹ XZ → YZ`.
+pub fn augmentation(fd: Fd, z: AttrSet) -> Fd {
+    Fd::new(fd.lhs.union(z), fd.rhs.union(z))
+}
+
+/// Transitivity: `X → Y, Y → Z ⟹ X → Z` (when the middles align).
+pub fn transitivity(a: Fd, b: Fd) -> Option<Fd> {
+    b.lhs.subset_of(a.rhs).then_some(Fd::new(a.lhs, b.rhs))
+}
+
+/// Union (derived): `X → Y, X → Z ⟹ X → YZ`.
+pub fn union_rule(a: Fd, b: Fd) -> Option<Fd> {
+    (a.lhs == b.lhs).then_some(Fd::new(a.lhs, a.rhs.union(b.rhs)))
+}
+
+/// Decomposition (derived): `X → YZ ⟹ X → Y` for any `Y ⊆ rhs`.
+pub fn decomposition_rule(fd: Fd, y: AttrSet) -> Option<Fd> {
+    y.subset_of(fd.rhs).then_some(Fd::new(fd.lhs, y))
+}
+
+/// Pseudo-transitivity (derived): `X → Y, WY → Z ⟹ WX → Z`.
+pub fn pseudo_transitivity(a: Fd, b: Fd, w: AttrSet) -> Option<Fd> {
+    (b.lhs == w.union(a.rhs)).then_some(Fd::new(w.union(a.lhs), b.rhs))
+}
+
+/// Materialize every implied dependency `X → X⁺` for all `X` over the
+/// universe — the full dependency lattice. Exponential (2^n subsets);
+/// guarded for analysis-sized universes.
+///
+/// # Panics
+/// Panics if the universe exceeds 20 attributes.
+pub fn all_implied(fds: &FdSet) -> Vec<Fd> {
+    let n = fds.universe.len();
+    assert!(n <= 20, "all_implied is exponential; universe too large");
+    let mut out = Vec::with_capacity(1 << n);
+    for mask in 0..(1u64 << n) {
+        let x = AttrSet(mask);
+        out.push(Fd::new(x, fds.closure(x)));
+    }
+    out
+}
+
+/// Are two dependency sets equivalent (each implies every FD of the
+/// other)?
+pub fn equivalent(a: &FdSet, b: &FdSet) -> bool {
+    a.fds().iter().all(|&fd| b.implies(fd)) && b.fds().iter().all(|&fd| a.implies(fd))
+}
+
+/// A universe-checked convenience constructor for tests and examples.
+pub fn fdset(universe: Universe, fds: &[(&[u32], &[u32])]) -> FdSet {
+    let mut s = FdSet::new(universe);
+    for (l, r) in fds {
+        let lhs = AttrSet(l.iter().fold(0u64, |m, &p| m | (1 << p)));
+        let rhs = AttrSet(r.iter().fold(0u64, |m, &p| m | (1 << p)));
+        s.add(Fd::new(lhs, rhs));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::AttrId;
+    use proptest::prelude::*;
+
+    fn uni(n: u32) -> Universe {
+        Universe::new((0..n).map(AttrId).collect())
+    }
+
+    #[test]
+    fn primitive_rules() {
+        assert_eq!(
+            reflexivity(AttrSet(0b111), AttrSet(0b010)),
+            Some(Fd::new(AttrSet(0b111), AttrSet(0b010)))
+        );
+        assert_eq!(reflexivity(AttrSet(0b001), AttrSet(0b010)), None);
+
+        let fd = Fd::new(AttrSet(0b001), AttrSet(0b010));
+        assert_eq!(
+            augmentation(fd, AttrSet(0b100)),
+            Fd::new(AttrSet(0b101), AttrSet(0b110))
+        );
+
+        let a = Fd::new(AttrSet(0b001), AttrSet(0b010));
+        let b = Fd::new(AttrSet(0b010), AttrSet(0b100));
+        assert_eq!(
+            transitivity(a, b),
+            Some(Fd::new(AttrSet(0b001), AttrSet(0b100)))
+        );
+        assert_eq!(transitivity(b, a), None);
+    }
+
+    #[test]
+    fn derived_rules() {
+        let a = Fd::new(AttrSet(0b001), AttrSet(0b010));
+        let b = Fd::new(AttrSet(0b001), AttrSet(0b100));
+        assert_eq!(
+            union_rule(a, b),
+            Some(Fd::new(AttrSet(0b001), AttrSet(0b110)))
+        );
+        assert_eq!(
+            decomposition_rule(Fd::new(AttrSet(0b001), AttrSet(0b110)), AttrSet(0b010)),
+            Some(a)
+        );
+        // X → Y, WY → Z ⟹ WX → Z with W = {3}.
+        let w = AttrSet(0b1000);
+        let wy_z = Fd::new(w.union(AttrSet(0b010)), AttrSet(0b100));
+        assert_eq!(
+            pseudo_transitivity(a, wy_z, w),
+            Some(Fd::new(w.union(AttrSet(0b001)), AttrSet(0b100)))
+        );
+    }
+
+    #[test]
+    fn equivalent_sets() {
+        // {A→B, B→C} ≡ {A→BC, B→C}
+        let a = fdset(uni(3), &[(&[0], &[1]), (&[1], &[2])]);
+        let b = fdset(uni(3), &[(&[0], &[1, 2]), (&[1], &[2])]);
+        assert!(equivalent(&a, &b));
+        let c = fdset(uni(3), &[(&[0], &[1])]);
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn all_implied_contains_closures() {
+        let s = fdset(uni(3), &[(&[0], &[1]), (&[1], &[2])]);
+        let all = all_implied(&s);
+        assert_eq!(all.len(), 8);
+        // A's closure is ABC.
+        assert!(all.contains(&Fd::new(AttrSet(0b001), AttrSet(0b111))));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every FD derivable by one application of an Armstrong rule is
+        /// also implied by the closure algorithm — the rules are sound
+        /// w.r.t. the decision procedure.
+        #[test]
+        fn prop_rules_sound_wrt_closure(
+            base in proptest::collection::vec((0u64..16, 0u64..16), 1..5),
+            z in 0u64..16,
+        ) {
+            let mut s = FdSet::new(uni(4));
+            for (l, r) in base {
+                s.add(Fd::new(AttrSet(l), AttrSet(r)));
+            }
+            for &fd in s.fds() {
+                let aug = augmentation(fd, AttrSet(z));
+                prop_assert!(s.implies(aug), "augmentation unsound: {aug}");
+                for &fd2 in s.fds() {
+                    if let Some(t) = transitivity(fd, fd2) {
+                        prop_assert!(s.implies(t), "transitivity unsound: {t}");
+                    }
+                    if let Some(u) = union_rule(fd, fd2) {
+                        prop_assert!(s.implies(u), "union unsound: {u}");
+                    }
+                }
+            }
+        }
+
+        /// Minimal covers are equivalent to their source sets.
+        #[test]
+        fn prop_minimal_cover_equivalent(
+            base in proptest::collection::vec((1u64..16, 1u64..16), 1..6),
+        ) {
+            let mut s = FdSet::new(uni(4));
+            for (l, r) in base {
+                s.add(Fd::new(AttrSet(l), AttrSet(r)));
+            }
+            let mc = s.minimal_cover();
+            prop_assert!(equivalent(&s, &mc));
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Mining functional dependencies from a table instance.
+//!
+//! §3 leaves open *how* dependencies are known ("they may exist inherently
+//! encoded into the high-level data plane model … or they may be transient
+//! data-level dependencies"). This module covers the data-level case: given
+//! a concrete table, discover every **minimal** nontrivial FD `X → A` that
+//! holds in the instance, using level-wise lattice search over attribute
+//! partitions (the classic TANE strategy, sized for control-plane tables).
+//!
+//! A dependency holds iff the partition of rows induced by `X` has exactly
+//! as many classes as the partition induced by `X ∪ {A}` — i.e. fixing `X`
+//! fixes `A`. Minimality pruning: once `X → A` is recorded, no superset of
+//! `X` can yield a *minimal* dependency on `A`; and once `X` is a superkey,
+//! no superset of `X` yields any minimal dependency at all.
+
+use crate::fd::{Fd, FdSet};
+use crate::set::{AttrSet, Universe};
+use mapro_core::{Catalog, Table};
+use std::collections::HashMap;
+
+/// Row-partition induced by an attribute set: a class id per row, plus the
+/// class count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Partition {
+    classes: Vec<u32>,
+    count: usize,
+}
+
+impl Partition {
+    /// The single-class partition (induced by the empty attribute set).
+    fn top(rows: usize) -> Partition {
+        Partition {
+            classes: vec![0; rows],
+            count: if rows == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// Partition induced by one attribute column.
+    fn of_column<'a>(cells: impl Iterator<Item = &'a mapro_core::Value>) -> Partition {
+        let mut ids: HashMap<&mapro_core::Value, u32> = HashMap::new();
+        let mut classes = Vec::new();
+        for v in cells {
+            let next = ids.len() as u32;
+            let id = *ids.entry(v).or_insert(next);
+            classes.push(id);
+        }
+        Partition {
+            count: ids.len(),
+            classes,
+        }
+    }
+
+    /// Product (common refinement) of two partitions.
+    fn product(&self, other: &Partition) -> Partition {
+        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut classes = Vec::with_capacity(self.classes.len());
+        for (&a, &b) in self.classes.iter().zip(&other.classes) {
+            let next = ids.len() as u32;
+            let id = *ids.entry((a, b)).or_insert(next);
+            classes.push(id);
+        }
+        Partition {
+            count: ids.len(),
+            classes,
+        }
+    }
+}
+
+/// Result of mining a table.
+#[derive(Debug, Clone)]
+pub struct Mined {
+    /// All minimal nontrivial dependencies `X → A` (singleton RHS) holding
+    /// in the instance. Constant columns appear as `∅ → A`.
+    pub fds: FdSet,
+    /// Number of distinct rows the analysis saw.
+    pub distinct_rows: usize,
+}
+
+/// Mine all minimal functional dependencies of `table`'s relation (match
+/// *and* action attributes, per the paper's uniform attribute treatment).
+///
+/// Duplicate rows are collapsed first: FDs are a property of the relation
+/// as a set.
+///
+/// # Panics
+/// Panics if the table has more than 64 attributes.
+///
+/// ```
+/// use mapro_core::{ActionSem, Catalog, Table, Value};
+/// use mapro_fd::{mine_fds, Fd};
+///
+/// let mut c = Catalog::new();
+/// let dst = c.field("dst", 8);
+/// let port = c.field("port", 16);
+/// let mut t = Table::new("t", vec![dst, port], vec![]);
+/// t.row(vec![Value::Int(1), Value::Int(80)], vec![]);
+/// t.row(vec![Value::Int(2), Value::Int(80)], vec![]);
+/// t.row(vec![Value::Int(3), Value::Int(22)], vec![]);
+///
+/// let mined = mine_fds(&t, &c);
+/// let u = &mined.fds.universe;
+/// // dst determines port, not vice versa.
+/// assert!(mined.fds.implies(Fd::new(u.encode(&[dst]), u.encode(&[port]))));
+/// assert!(!mined.fds.implies(Fd::new(u.encode(&[port]), u.encode(&[dst]))));
+/// ```
+#[allow(clippy::needless_range_loop)] // index drives several parallel arrays
+pub fn mine_fds(table: &Table, _catalog: &Catalog) -> Mined {
+    let attrs = table.attrs();
+    let universe = Universe::new(attrs.clone());
+    let n = universe.len();
+    let full = universe.full();
+
+    // Distinct rows, as cell tuples in universe order.
+    let mut seen = std::collections::HashSet::new();
+    let mut rows: Vec<Vec<mapro_core::Value>> = Vec::new();
+    for r in 0..table.len() {
+        let tup = table.tuple(r, &attrs);
+        if seen.insert(tup.clone()) {
+            rows.push(tup);
+        }
+    }
+    let nrows = rows.len();
+
+    let mut fds = FdSet::new(universe.clone());
+    if n == 0 {
+        return Mined {
+            fds,
+            distinct_rows: nrows,
+        };
+    }
+
+    // Per-attribute base partitions.
+    let base: Vec<Partition> = (0..n)
+        .map(|p| Partition::of_column(rows.iter().map(|r| &r[p])))
+        .collect();
+
+    // found[a]: minimal LHS masks recorded for dependent attribute position a.
+    let mut found: Vec<Vec<AttrSet>> = vec![Vec::new(); n];
+    let dead = |found: &Vec<Vec<AttrSet>>, x: AttrSet, a: usize| -> bool {
+        found[a].iter().any(|&l| l.subset_of(x))
+    };
+
+    // Level 0: the empty set — detects constant columns (∅ → A).
+    let top = Partition::top(nrows);
+    for a in 0..n {
+        if base[a].count <= 1 && nrows > 0 {
+            fds.add(Fd::new(AttrSet::EMPTY, AttrSet::single(a)));
+            found[a].push(AttrSet::EMPTY);
+        }
+    }
+    let _ = top;
+
+    // Level-wise search. `level` maps each candidate set to its partition.
+    let mut level: HashMap<AttrSet, Partition> = HashMap::new();
+    for p in 0..n {
+        level.insert(AttrSet::single(p), base[p].clone());
+    }
+
+    let mut superkeys: Vec<AttrSet> = Vec::new();
+    while !level.is_empty() {
+        let mut entries: Vec<(AttrSet, Partition)> = level.drain().collect();
+        entries.sort_by_key(|(s, _)| *s);
+        let mut next: HashMap<AttrSet, Partition> = HashMap::new();
+        for (x, px) in &entries {
+            // Emit dependencies X → A for A ∉ X.
+            for a in full.minus(*x).iter() {
+                if dead(&found, *x, a) {
+                    continue;
+                }
+                let pxa = px.product(&base[a]);
+                if pxa.count == px.count {
+                    fds.add(Fd::new(*x, AttrSet::single(a)));
+                    found[a].push(*x);
+                }
+            }
+            // Superkey pruning: supersets of a superkey yield nothing minimal.
+            if px.count == nrows {
+                superkeys.push(*x);
+                continue;
+            }
+            // Dead-end pruning: if every attribute outside X already has a
+            // recorded LHS within X, supersets of X are useless.
+            if full.minus(*x).iter().all(|a| dead(&found, *x, a)) {
+                continue;
+            }
+            // Expand canonically: add attributes with position greater than
+            // the maximum of X, so each set is generated exactly once.
+            let max = x.iter().last().unwrap_or(0);
+            for p in (max + 1)..n {
+                let y = x.with(p);
+                if superkeys.iter().any(|&k| k.subset_of(y)) {
+                    continue;
+                }
+                next.entry(y).or_insert_with(|| px.product(&base[p]));
+            }
+        }
+        level = next;
+    }
+
+    Mined {
+        fds,
+        distinct_rows: nrows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{ActionSem, Catalog, Table, Value};
+
+    /// Fig. 1a-shaped toy: f determines g (each f value pairs with one g).
+    fn table_fg_out(rows: &[(u64, u64, &str)]) -> (Catalog, Table) {
+        let mut c = Catalog::new();
+        let f = c.field("f", 16);
+        let g = c.field("g", 16);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f, g], vec![out]);
+        for &(fv, gv, o) in rows {
+            t.row(vec![Value::Int(fv), Value::Int(gv)], vec![Value::sym(o)]);
+        }
+        (c, t)
+    }
+
+    fn has(m: &Mined, lhs: &[u32], rhs: u32) -> bool {
+        let lhs: Vec<_> = lhs.iter().map(|&i| mapro_core::AttrId(i)).collect();
+        let l = m.fds.universe.encode(&lhs);
+        let r = m
+            .fds
+            .universe
+            .encode(&[mapro_core::AttrId(rhs)]);
+        m.fds.fds().contains(&Fd::new(l, r))
+    }
+
+    #[test]
+    fn mines_simple_dependency() {
+        // f → g holds; out is a key (all distinct).
+        let (c, t) = table_fg_out(&[(1, 10, "a"), (2, 10, "b"), (3, 20, "c")]);
+        let m = mine_fds(&t, &c);
+        assert!(has(&m, &[0], 1)); // f → g
+        assert!(!has(&m, &[1], 0)); // g does not determine f (g=10 → f∈{1,2})
+        assert!(has(&m, &[2], 0)); // out → f (out distinct per row)
+        assert!(has(&m, &[2], 1)); // out → g
+        assert_eq!(m.distinct_rows, 3);
+    }
+
+    #[test]
+    fn constants_mined_as_empty_lhs() {
+        let (c, t) = table_fg_out(&[(1, 7, "a"), (2, 7, "b")]);
+        let m = mine_fds(&t, &c);
+        // g constant: ∅ → g, and that is the minimal LHS (not f → g).
+        assert!(has(&m, &[], 1));
+        assert!(!has(&m, &[0], 1));
+    }
+
+    #[test]
+    fn no_spurious_dependencies() {
+        // All combinations of f ∈ {1,2}, g ∈ {1,2}: nothing determines anything.
+        let (c, t) = table_fg_out(&[(1, 1, "a"), (1, 2, "b"), (2, 1, "c"), (2, 2, "d")]);
+        let m = mine_fds(&t, &c);
+        assert!(!has(&m, &[0], 1));
+        assert!(!has(&m, &[1], 0));
+        // But out (unique) determines everything, minimally.
+        assert!(has(&m, &[2], 0));
+        assert!(has(&m, &[2], 1));
+        // And (f,g) → out.
+        assert!(has(&m, &[0, 1], 2));
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let (c, t) = table_fg_out(&[(1, 10, "a"), (1, 10, "a"), (2, 20, "b")]);
+        let m = mine_fds(&t, &c);
+        assert_eq!(m.distinct_rows, 2);
+        assert!(has(&m, &[0], 1));
+    }
+
+    #[test]
+    fn minimality_excludes_superset_lhs() {
+        let (c, t) = table_fg_out(&[(1, 10, "a"), (2, 10, "b"), (3, 20, "c")]);
+        let m = mine_fds(&t, &c);
+        // (f,g) → out is minimal only if neither f→out nor g→out holds.
+        // f is unique per row here, so f→out holds and (f,g)→out must not
+        // be reported.
+        assert!(has(&m, &[0], 2));
+        let l = m.fds.universe.encode(&[mapro_core::AttrId(0), mapro_core::AttrId(1)]);
+        assert!(!m
+            .fds
+            .fds()
+            .iter()
+            .any(|fd| fd.lhs == l));
+    }
+
+    #[test]
+    fn mined_keys_match_instance_uniqueness() {
+        let (c, t) = table_fg_out(&[(1, 10, "a"), (2, 10, "b"), (3, 20, "a")]);
+        let m = mine_fds(&t, &c);
+        let keys = m.fds.candidate_keys();
+        // f alone identifies rows; out does not (repeated "a"); g does not.
+        assert!(keys.contains(&m.fds.universe.encode(&[mapro_core::AttrId(0)])));
+        for k in keys {
+            assert!(m.fds.is_superkey(k));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_tables() {
+        let (c, t) = table_fg_out(&[]);
+        let m = mine_fds(&t, &c);
+        assert_eq!(m.distinct_rows, 0);
+        let (c, t) = table_fg_out(&[(1, 2, "a")]);
+        let m = mine_fds(&t, &c);
+        // Single row: every column is constant.
+        assert!(has(&m, &[], 0));
+        assert!(has(&m, &[], 1));
+        assert!(has(&m, &[], 2));
+    }
+
+    #[test]
+    fn prefix_values_are_opaque() {
+        // Two different prefixes are two different relational values.
+        let mut c = Catalog::new();
+        let f = c.field("f", 32);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::prefix(0, 1, 32)], vec![Value::sym("a")]);
+        t.row(
+            vec![Value::prefix(0x8000_0000, 1, 32)],
+            vec![Value::sym("b")],
+        );
+        let m = mine_fds(&t, &c);
+        // f → out and out → f, no constants.
+        assert!(has(&m, &[0], 1));
+        assert!(has(&m, &[1], 0));
+        assert!(!has(&m, &[], 0));
+    }
+}

@@ -1,0 +1,732 @@
+//! Beyond 3NF: join-dependency decompositions with path metadata
+//! (the paper's appendix, Fig. 5).
+//!
+//! The SDX use case splits a universal policy table into announcement /
+//! outbound / inbound components whose natural join reconstructs the
+//! original — a join dependency that *no functional dependency implies*
+//! (4NF/5NF territory). Chaining the projections naively is incorrect: a
+//! later component may hold several rows matching the same packet, whose
+//! disambiguation depends on *which earlier rows matched* (the appendix's
+//! order-independence failure).
+//!
+//! The fix the paper cites (\[10\], generalized by \[22\]) communicates the
+//! match results of earlier stages in a metadata field. [`decompose_jd`]
+//! implements a systematic version: stage *i* matches `(tagᵢ₋₁, fieldsᵢ)`
+//! and writes `tagᵢ`, where `tagᵢ` identifies the packet's equivalence
+//! class over the first *i* components — the `all` field of Fig. 5c.
+
+use crate::join::{fresh_meta, fresh_table_name, fresh_tag_action};
+use mapro_core::{AttrId, Entry, Pipeline, Table, Value};
+use mapro_fd::join_dependency_holds;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a join-dependency decomposition was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JdError {
+    /// The named table is not in the pipeline.
+    TableNotFound(String),
+    /// Components must cover every attribute of the table.
+    ComponentsDontCover,
+    /// The join dependency does not hold: the split would be lossy.
+    JoinDependencyDoesNotHold,
+    /// A produced stage is not order-independent even with path metadata
+    /// (overlapping predicates within one equivalence class).
+    StageNot1NF {
+        /// Offending stage name.
+        stage: String,
+    },
+    /// The source table is not in 1NF.
+    SourceNot1NF,
+}
+
+impl fmt::Display for JdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JdError::TableNotFound(t) => write!(f, "table {t:?} not found"),
+            JdError::ComponentsDontCover => {
+                write!(f, "components must cover all attributes")
+            }
+            JdError::JoinDependencyDoesNotHold => {
+                write!(f, "join dependency does not hold; split would be lossy")
+            }
+            JdError::StageNot1NF { stage } => {
+                write!(f, "stage {stage:?} not order-independent")
+            }
+            JdError::SourceNot1NF => write!(f, "source table is not in 1NF"),
+        }
+    }
+}
+
+impl std::error::Error for JdError {}
+
+/// Decompose `table` into one stage per component, chained with path
+/// metadata (`all`-style tags). Components may share attributes; every
+/// table attribute must appear in some component. Actions may only appear
+/// in components (stages) — goto columns are not supported here.
+#[allow(clippy::needless_range_loop)] // row/stage indices drive parallel class arrays
+pub fn decompose_jd(
+    p: &Pipeline,
+    table: &str,
+    components: &[Vec<AttrId>],
+) -> Result<Pipeline, JdError> {
+    let t = p
+        .table(table)
+        .ok_or_else(|| JdError::TableNotFound(table.to_owned()))?;
+    if !t.rows_unique() || !t.order_independence(&p.catalog).is_empty() {
+        return Err(JdError::SourceNot1NF);
+    }
+    // Coverage.
+    let all = t.attrs();
+    for a in &all {
+        if !components.iter().any(|c| c.contains(a)) {
+            return Err(JdError::ComponentsDontCover);
+        }
+    }
+    if !join_dependency_holds(t, components) {
+        return Err(JdError::JoinDependencyDoesNotHold);
+    }
+
+    let mut catalog = p.catalog.clone();
+    let taken: Vec<String> = p.tables.iter().map(|t| t.name.clone()).collect();
+    let k = components.len();
+
+    // Stage names: first keeps the table's name.
+    let mut names = vec![t.name.clone()];
+    for i in 1..k {
+        names.push(fresh_table_name(&taken, &format!("{}_c{}", t.name, i + 1)));
+    }
+
+    // Tag plumbing between consecutive stages.
+    let mut metas = Vec::new();
+    let mut tags = Vec::new();
+    for i in 0..k.saturating_sub(1) {
+        let m = fresh_meta(&mut catalog, &format!("{}_all{}", t.name, i + 1));
+        let a = fresh_tag_action(&mut catalog, &format!("{}_all{}", t.name, i + 1), m);
+        metas.push(m);
+        tags.push(a);
+    }
+
+    // Per-row path-class ids: class_i(row) = id of the row's projection
+    // onto the *match fields* of components[0..=i]. This is the systematic
+    // version of Fig. 5c's `all` field: the tag identifies the equivalence
+    // class of everything matched so far, so later stages can disambiguate
+    // entries whose own predicates overlap.
+    let mut class: Vec<Vec<u64>> = vec![vec![0; t.len()]; k];
+    {
+        let mut prefix_fields: Vec<AttrId> = Vec::new();
+        for (i, comp) in components.iter().enumerate() {
+            for &a in comp {
+                if catalog.attr(a).kind.is_matchable() && !prefix_fields.contains(&a) {
+                    prefix_fields.push(a);
+                }
+            }
+            let mut ids: HashMap<Vec<Value>, u64> = HashMap::new();
+            for row in 0..t.len() {
+                let tup = t.tuple(row, &prefix_fields);
+                let next = ids.len() as u64 + 1;
+                let id = *ids.entry(tup).or_insert(next);
+                class[i][row] = id;
+            }
+        }
+    }
+
+    // Each action attribute fires at the *earliest* stage whose path class
+    // determines its parameter (an undetermined action — e.g. the member
+    // choice before the inbound fields are seen — is deferred; the final
+    // class is the full match tuple, which determines everything because
+    // the source is 1NF).
+    let determined_at = |a: AttrId| -> usize {
+        'stage: for i in 0..k {
+            let mut per_class: HashMap<u64, &Value> = HashMap::new();
+            for row in 0..t.len() {
+                let v = t.cell(row, a);
+                match per_class.get(&class[i][row]) {
+                    Some(&prev) if prev != v => continue 'stage,
+                    Some(_) => {}
+                    None => {
+                        per_class.insert(class[i][row], v);
+                    }
+                }
+            }
+            return i;
+        }
+        k - 1
+    };
+    let mut stage_actions: Vec<Vec<AttrId>> = vec![Vec::new(); k];
+    {
+        let mut placed: Vec<AttrId> = Vec::new();
+        for comp in components {
+            for &a in comp {
+                if !catalog.attr(a).kind.is_matchable() && !placed.contains(&a) {
+                    placed.push(a);
+                    stage_actions[determined_at(a)].push(a);
+                }
+            }
+        }
+    }
+
+    // Ordering hazards (see `decompose`): colliding actions must not be
+    // reordered across stages, within-stage order must follow the source
+    // columns, and no stage may rewrite a field a later stage matches.
+    for i in 0..k {
+        stage_actions[i].sort_by_key(|a| t.action_attrs.iter().position(|b| b == a));
+    }
+    for i in 0..k {
+        let later_actions: Vec<AttrId> = stage_actions[i + 1..].concat();
+        let later_matches: Vec<AttrId> = components[i + 1..]
+            .concat()
+            .into_iter()
+            .filter(|&a| catalog.attr(a).kind.is_matchable())
+            .collect();
+        crate::decompose::validate_action_split(
+            t,
+            &catalog,
+            &stage_actions[i],
+            &later_actions,
+            &later_matches,
+        )
+        .map_err(|e| match e {
+            crate::decompose::DecomposeError::OrderSensitiveActionSplit { .. }
+            | crate::decompose::DecomposeError::RewriteBeforeMatch { .. } => {
+                JdError::StageNot1NF {
+                    stage: names[i].clone(),
+                }
+            }
+            _ => JdError::SourceNot1NF,
+        })?;
+    }
+
+    let mut stages = Vec::with_capacity(k);
+    for (i, comp) in components.iter().enumerate() {
+        let mut match_attrs: Vec<AttrId> = Vec::new();
+        if i > 0 {
+            match_attrs.push(metas[i - 1]);
+        }
+        for &a in comp {
+            if catalog.attr(a).kind.is_matchable() {
+                match_attrs.push(a);
+            }
+        }
+        let mut action_attrs = stage_actions[i].clone();
+        if i + 1 < k {
+            action_attrs.push(tags[i]);
+        }
+        let mut st = Table::new(names[i].clone(), match_attrs.clone(), action_attrs.clone());
+        st.miss = t.miss.clone();
+        if i + 1 < k {
+            st.next = Some(names[i + 1].clone());
+        } else {
+            st.next = t.next.clone();
+        }
+        let mut emitted = std::collections::HashSet::new();
+        for row in 0..t.len() {
+            if !emitted.insert(class[i][row]) {
+                continue; // one entry per path class
+            }
+            let mut m: Vec<Value> = Vec::new();
+            if i > 0 {
+                m.push(Value::Int(class[i - 1][row]));
+            }
+            for &a in comp {
+                if catalog.attr(a).kind.is_matchable() {
+                    m.push(t.cell(row, a).clone());
+                }
+            }
+            let mut acts: Vec<Value> = stage_actions[i]
+                .iter()
+                .map(|&a| t.cell(row, a).clone())
+                .collect();
+            if i + 1 < k {
+                acts.push(Value::Int(class[i][row]));
+            }
+            st.push(Entry::new(m, acts));
+        }
+        if !st.rows_unique() || !st.order_independence(&catalog).is_empty() {
+            return Err(JdError::StageNot1NF {
+                stage: st.name.clone(),
+            });
+        }
+        stages.push(st);
+    }
+
+    let mut tables = Vec::new();
+    for old in &p.tables {
+        if old.name == t.name {
+            tables.extend(stages.iter().cloned());
+        } else {
+            tables.push(old.clone());
+        }
+    }
+    Ok(Pipeline::new(catalog, tables, p.start.clone()))
+}
+
+/// Binary split along a multi-valued dependency `X ↠ Y` (the 4NF
+/// decomposition): `T ⇒ π_{X∪Y}(T) ≫ π_{X∪Z}(T)` with a metadata tag
+/// identifying the packet's `X`-class. Unlike [`decompose_jd`]'s
+/// conservative full-path tags, the MVD guarantees that the `X`-class
+/// alone disambiguates — any `(Y, Z)` combination within one `X` value is
+/// valid — so both stages deduplicate fully (the space win of 4NF).
+///
+/// `X` must consist of matchable attributes; `Y` may contain actions
+/// (they fire in stage 1) and `Z`'s actions (including plumbing) fire in
+/// stage 2.
+#[allow(clippy::needless_range_loop)] // row indices drive parallel xid array
+pub fn decompose_mvd(
+    p: &Pipeline,
+    table: &str,
+    x: &[AttrId],
+    y: &[AttrId],
+) -> Result<Pipeline, JdError> {
+    let t = p
+        .table(table)
+        .ok_or_else(|| JdError::TableNotFound(table.to_owned()))?;
+    if !t.rows_unique() || !t.order_independence(&p.catalog).is_empty() {
+        return Err(JdError::SourceNot1NF);
+    }
+    for &a in x.iter().chain(y) {
+        if t.column_of(a).is_none() {
+            return Err(JdError::ComponentsDontCover);
+        }
+    }
+    if x.iter().any(|a| !p.catalog.attr(*a).kind.is_matchable()) {
+        return Err(JdError::ComponentsDontCover);
+    }
+    if !mapro_fd::mvd_holds(t, x, y) {
+        return Err(JdError::JoinDependencyDoesNotHold);
+    }
+    let z: Vec<AttrId> = t
+        .attrs()
+        .into_iter()
+        .filter(|a| !x.contains(a) && !y.contains(a))
+        .collect();
+    let is_field = |a: AttrId| p.catalog.attr(a).kind.is_matchable();
+    let fy: Vec<AttrId> = y.iter().copied().filter(|&a| is_field(a)).collect();
+    let ay: Vec<AttrId> = y.iter().copied().filter(|&a| !is_field(a)).collect();
+    let fz: Vec<AttrId> = z.iter().copied().filter(|&a| is_field(a)).collect();
+    let az: Vec<AttrId> = z.iter().copied().filter(|&a| !is_field(a)).collect();
+
+    let mut catalog = p.catalog.clone();
+    let taken: Vec<String> = p.tables.iter().map(|t| t.name.clone()).collect();
+    let s2_name = fresh_table_name(&taken, &format!("{}_m", t.name));
+    let meta = fresh_meta(&mut catalog, &format!("{}_x", t.name));
+    let tag = fresh_tag_action(&mut catalog, &format!("{}_x", t.name), meta);
+
+    // X-class ids in first-occurrence order.
+    let mut ids: HashMap<Vec<Value>, u64> = HashMap::new();
+    let xid: Vec<u64> = (0..t.len())
+        .map(|row| {
+            let tup = t.tuple(row, x);
+            let next = ids.len() as u64 + 1;
+            *ids.entry(tup).or_insert(next)
+        })
+        .collect();
+
+    crate::decompose::validate_action_split(t, &catalog, &ay, &az, &fz).map_err(|e| {
+        match e {
+            crate::decompose::DecomposeError::OrderSensitiveActionSplit { .. }
+            | crate::decompose::DecomposeError::RewriteBeforeMatch { .. } => {
+                JdError::StageNot1NF {
+                    stage: t.name.clone(),
+                }
+            }
+            _ => JdError::SourceNot1NF,
+        }
+    })?;
+
+    // Stage 1: (X, fields(Y) | actions(Y), tag).
+    let mut s1_match: Vec<AttrId> = x.to_vec();
+    s1_match.extend(&fy);
+    let mut s1_actions = ay.clone();
+    s1_actions.push(tag);
+    let mut s1 = Table::new(t.name.clone(), s1_match.clone(), s1_actions);
+    s1.miss = t.miss.clone();
+    s1.next = Some(s2_name.clone());
+    let mut seen = std::collections::HashSet::new();
+    for row in 0..t.len() {
+        let mut m: Vec<Value> = x.iter().map(|&a| t.cell(row, a).clone()).collect();
+        m.extend(fy.iter().map(|&a| t.cell(row, a).clone()));
+        let mut acts: Vec<Value> = ay.iter().map(|&a| t.cell(row, a).clone()).collect();
+        acts.push(Value::Int(xid[row]));
+        if seen.insert((m.clone(), acts.clone())) {
+            s1.push(Entry::new(m, acts));
+        }
+    }
+
+    // Stage 2: (tag, fields(Z) | actions(Z)).
+    let mut s2_match = vec![meta];
+    s2_match.extend(&fz);
+    let mut s2 = Table::new(s2_name, s2_match, az.clone());
+    s2.miss = t.miss.clone();
+    s2.next = t.next.clone();
+    let mut seen = std::collections::HashSet::new();
+    for row in 0..t.len() {
+        let mut m = vec![Value::Int(xid[row])];
+        m.extend(fz.iter().map(|&a| t.cell(row, a).clone()));
+        let acts: Vec<Value> = az.iter().map(|&a| t.cell(row, a).clone()).collect();
+        if seen.insert((m.clone(), acts.clone())) {
+            s2.push(Entry::new(m, acts));
+        }
+    }
+
+    for st in [&s1, &s2] {
+        if !st.rows_unique() || !st.order_independence(&catalog).is_empty() {
+            return Err(JdError::StageNot1NF {
+                stage: st.name.clone(),
+            });
+        }
+    }
+    let mut tables = Vec::new();
+    for old in &p.tables {
+        if old.name == t.name {
+            tables.push(s1.clone());
+            tables.push(s2.clone());
+        } else {
+            tables.push(old.clone());
+        }
+    }
+    Ok(Pipeline::new(catalog, tables, p.start.clone()))
+}
+
+/// One step of the 4NF driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MvdStep {
+    /// The table that was split.
+    pub table: String,
+    /// Determinant attribute names.
+    pub lhs: Vec<String>,
+    /// One side of the split (the other is the complement).
+    pub rhs: Vec<String>,
+}
+
+/// Drive a pipeline toward fourth normal form: repeatedly find a
+/// nontrivial multi-valued dependency `X ↠ Y` whose determinant is not a
+/// superkey and split the table into `{X∪Y, X∪Z}` with path metadata.
+///
+/// MVD mining is exponential in the attribute count, so tables with more
+/// than `max_attrs` attributes are left untouched (reported via the
+/// returned steps being absent — 4NF is a small-table refinement on top
+/// of 3NF, matching the appendix's scope). Violations whose split is
+/// refused (order-dependent stages) are skipped.
+pub fn normalize_to_4nf(
+    p: &Pipeline,
+    max_attrs: usize,
+    max_steps: usize,
+) -> (Pipeline, Vec<MvdStep>) {
+    let mut cur = p.clone();
+    let mut steps = Vec::new();
+    let mut dead: std::collections::HashSet<(String, Vec<AttrId>, Vec<AttrId>)> =
+        Default::default();
+    for _ in 0..max_steps {
+        let mut progressed = false;
+        'tables: for ti in 0..cur.tables.len() {
+            let t = &cur.tables[ti];
+            // Analyze the program view (tags and goto columns are
+            // representation plumbing, not policy — see the FD normalizer).
+            let view = crate::normalize::program_view(t, &cur);
+            if view.attrs().len() > max_attrs || view.attrs().len() < 3 || t.len() < 2 {
+                continue;
+            }
+            let mined = mapro_fd::mine_fds(&view, &cur.catalog);
+            let u = mined.fds.universe.clone();
+            for (x, y) in mapro_fd::mine_mvds(&view, 2) {
+                if x.iter().any(|a| !cur.catalog.attr(*a).kind.is_matchable()) {
+                    continue; // tags must be matchable
+                }
+                if dead.contains(&(t.name.clone(), x.clone(), y.clone())) {
+                    continue;
+                }
+                let xs = u.encode(&x);
+                if mined.fds.is_superkey(xs) {
+                    continue; // not a 4NF violation
+                }
+                // Skip MVDs already implied by an FD X -> Y (3NF territory).
+                let ys = u.encode(&y);
+                if mined.fds.implies(mapro_fd::Fd::new(xs, ys)) {
+                    continue;
+                }
+                // The MVD must also hold on the full relation (plumbing in Z).
+                let tname = t.name.clone();
+                if !mapro_fd::mvd_holds(t, &x, &y) {
+                    dead.insert((tname, x, y));
+                    continue;
+                }
+                match decompose_mvd(&cur, &tname, &x, &y) {
+                    Ok(next) => {
+                        steps.push(MvdStep {
+                            table: tname,
+                            lhs: x.iter().map(|&a| cur.catalog.name(a).to_owned()).collect(),
+                            rhs: y.iter().map(|&a| cur.catalog.name(a).to_owned()).collect(),
+                        });
+                        cur = next;
+                        progressed = true;
+                        break 'tables;
+                    }
+                    Err(_) => {
+                        dead.insert((tname, x, y));
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (cur, steps)
+}
+
+/// The *naive* chained split the appendix warns about: one stage per
+/// component, no tags, each stage matching only its own fields. Returned
+/// even when stages violate 1NF, so callers can demonstrate the failure;
+/// pair with [`mapro_core::check_equivalent`] to exhibit misrouting.
+pub fn chain_components_naive(
+    p: &Pipeline,
+    table: &str,
+    components: &[Vec<AttrId>],
+) -> Result<Pipeline, JdError> {
+    let t = p
+        .table(table)
+        .ok_or_else(|| JdError::TableNotFound(table.to_owned()))?;
+    let all = t.attrs();
+    for a in &all {
+        if !components.iter().any(|c| c.contains(a)) {
+            return Err(JdError::ComponentsDontCover);
+        }
+    }
+    let catalog = p.catalog.clone();
+    let taken: Vec<String> = p.tables.iter().map(|t| t.name.clone()).collect();
+    let k = components.len();
+    let mut names = vec![t.name.clone()];
+    for i in 1..k {
+        names.push(fresh_table_name(&taken, &format!("{}_n{}", t.name, i + 1)));
+    }
+    let mut stages = Vec::new();
+    for (i, comp) in components.iter().enumerate() {
+        let match_attrs: Vec<AttrId> = comp
+            .iter()
+            .copied()
+            .filter(|&a| catalog.attr(a).kind.is_matchable())
+            .collect();
+        let action_attrs: Vec<AttrId> = comp
+            .iter()
+            .copied()
+            .filter(|&a| !catalog.attr(a).kind.is_matchable())
+            .collect();
+        let mut st = Table::new(names[i].clone(), match_attrs, action_attrs);
+        st.miss = t.miss.clone();
+        st.next = if i + 1 < k {
+            Some(names[i + 1].clone())
+        } else {
+            t.next.clone()
+        };
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..t.len() {
+            let m: Vec<Value> = st
+                .match_attrs
+                .iter()
+                .map(|&a| t.cell(row, a).clone())
+                .collect();
+            let acts: Vec<Value> = st
+                .action_attrs
+                .iter()
+                .map(|&a| t.cell(row, a).clone())
+                .collect();
+            if seen.insert((m.clone(), acts.clone())) {
+                st.push(Entry::new(m, acts));
+            }
+        }
+        stages.push(st);
+    }
+    let mut tables = Vec::new();
+    for old in &p.tables {
+        if old.name == t.name {
+            tables.extend(stages.iter().cloned());
+        } else {
+            tables.push(old.clone());
+        }
+    }
+    Ok(Pipeline::new(catalog, tables, p.start.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{assert_equivalent, check_equivalent, ActionSem, Catalog, EquivConfig};
+
+    /// A small SDX-flavoured table over (dst, dport, src | member, fwd):
+    /// the outbound policy selects the egress *member* (an opaque action
+    /// annotation, the `N`/`M` columns of Fig. 5), and the inbound policy
+    /// balances that member's routers by source prefix. The 3-way split
+    /// through the shared `member` column is a join dependency.
+    /// ids: [dst, dport, src, member, fwd]
+    fn sdx_like() -> (Pipeline, Vec<AttrId>) {
+        let mut c = Catalog::new();
+        let dst = c.field("dst", 4);
+        let dport = c.field("dport", 8);
+        let src = c.field("src", 4);
+        let member = c.action("member", ActionSem::Opaque);
+        let fwd = c.action("fwd", ActionSem::Output);
+        let mut t = Table::new("sdx", vec![dst, dport, src], vec![member, fwd]);
+        // dst=1: HTTP (80) → member C, balanced across C1/C2 by src;
+        //        other ports → D. dst=2: only D announces.
+        let rows: [(u64, u64, Value, &str, &str); 5] = [
+            (1, 80, Value::prefix(0b0000, 1, 4), "C", "c1"),
+            (1, 80, Value::prefix(0b1000, 1, 4), "C", "c2"),
+            (1, 22, Value::Any, "D", "d"),
+            (2, 80, Value::Any, "D", "d"),
+            (2, 22, Value::Any, "D", "d"),
+        ];
+        for (d, pt, s, m, o) in rows {
+            t.row(
+                vec![Value::Int(d), Value::Int(pt), s],
+                vec![Value::sym(m), Value::sym(o)],
+            );
+        }
+        (Pipeline::single(c, t), vec![dst, dport, src, member, fwd])
+    }
+
+    #[test]
+    fn tagged_jd_decomposition_is_equivalent() {
+        let (p, ids) = sdx_like();
+        // outbound: (dst, dport, member); inbound: (member, src, fwd).
+        let comps = vec![
+            vec![ids[0], ids[1], ids[3]],
+            vec![ids[3], ids[2], ids[4]],
+        ];
+        let q = decompose_jd(&p, "sdx", &comps).unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_equivalent(&p, &q);
+    }
+
+    #[test]
+    fn three_way_tagged_jd() {
+        let (p, ids) = sdx_like();
+        // announcement: (dst, member); outbound: (dst, dport, member);
+        // inbound: (member, src, fwd). Lossless through `member`.
+        let comps = vec![
+            vec![ids[0], ids[3]],
+            vec![ids[0], ids[1], ids[3]],
+            vec![ids[3], ids[2], ids[4]],
+        ];
+        match decompose_jd(&p, "sdx", &comps) {
+            Ok(q) => {
+                assert_eq!(q.tables.len(), 3);
+                assert_equivalent(&p, &q);
+            }
+            Err(JdError::JoinDependencyDoesNotHold) => {
+                panic!("3-way SDX split should be lossless")
+            }
+            Err(e) => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn naive_chain_is_order_dependent_and_wrong() {
+        let (p, ids) = sdx_like();
+        let comps = vec![
+            vec![ids[0], ids[1], ids[3]],
+            vec![ids[3], ids[2], ids[4]],
+        ];
+        let naive = chain_components_naive(&p, "sdx", &comps).unwrap();
+        // The inbound stage has overlapping rows (src 0*→c1 vs *→d shapes).
+        let last = naive.tables.last().unwrap();
+        assert!(
+            !last.order_independence(&naive.catalog).is_empty(),
+            "naive inbound stage should be order-dependent"
+        );
+        // And the pipeline misroutes some packet.
+        let r = check_equivalent(&p, &naive, &EquivConfig::default()).unwrap();
+        assert!(!r.is_equivalent(), "naive chain should be incorrect");
+    }
+
+    #[test]
+    fn lossy_split_rejected() {
+        let (p, ids) = sdx_like();
+        // {dst, member} + {dport, src, fwd}: no linkage through which to
+        // rejoin, so the join manufactures spurious tuples.
+        let comps = vec![vec![ids[0], ids[3]], vec![ids[1], ids[2], ids[4]]];
+        assert_eq!(
+            decompose_jd(&p, "sdx", &comps),
+            Err(JdError::JoinDependencyDoesNotHold)
+        );
+    }
+
+    #[test]
+    fn coverage_checked() {
+        let (p, ids) = sdx_like();
+        assert_eq!(
+            decompose_jd(&p, "sdx", &[vec![ids[0]]]),
+            Err(JdError::ComponentsDontCover)
+        );
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let (p, ids) = sdx_like();
+        assert!(matches!(
+            decompose_jd(&p, "zzz", &[vec![ids[0]]]),
+            Err(JdError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn normalize_to_4nf_splits_course_style_table() {
+        // (course, teacher, book): teachers × books per course — the
+        // classic 4NF violation; no FD implies the split.
+        let mut c = Catalog::new();
+        let course = c.field("course", 8);
+        let teacher = c.field("teacher", 8);
+        let book = c.field("book", 8);
+        let mut t = Table::new("ctb", vec![course, teacher, book], vec![]);
+        // Course 1: 3 teachers × 3 books (a dense cross product — where
+        // 4NF actually pays for its tag columns); course 2: single row.
+        for tv in 1u64..=3 {
+            for bv in [10u64, 20, 30] {
+                t.row(vec![Value::Int(1), Value::Int(tv), Value::Int(bv)], vec![]);
+            }
+        }
+        t.row(vec![Value::Int(2), Value::Int(9), Value::Int(90)], vec![]);
+        let p = Pipeline::single(c, t);
+        let (q, steps) = normalize_to_4nf(&p, 8, 8);
+        assert!(!steps.is_empty(), "should find the course MVD");
+        assert!(q.tables.len() >= 2);
+        assert_equivalent(&p, &q);
+        // The split deduplicates: (course,teacher) 3 rows + (course,book)
+        // 3 rows < 5 original rows of width 3.
+        let before = mapro_core::SizeReport::of(&p).fields();
+        let after = mapro_core::SizeReport::of(&q).fields();
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn normalize_to_4nf_is_identity_when_no_mvd() {
+        let (p, _) = sdx_like();
+        // sdx_like has JD structure but key-determined rows; take a plain
+        // keyed table instead.
+        let mut c = Catalog::new();
+        let k = c.field("k", 8);
+        let v = c.field("v", 8);
+        let mut t = Table::new("kv", vec![k, v], vec![]);
+        t.row(vec![Value::Int(1), Value::Int(2)], vec![]);
+        t.row(vec![Value::Int(2), Value::Int(3)], vec![]);
+        let kv = Pipeline::single(c, t);
+        let (q, steps) = normalize_to_4nf(&kv, 8, 8);
+        assert!(steps.is_empty());
+        assert_eq!(q.tables.len(), 1);
+        let _ = p;
+    }
+
+    #[test]
+    fn two_way_jd_via_shared_fields() {
+        // Components overlapping on (dst, member): the FD (dst,dport) →
+        // member makes this binary JD hold; the tagged decomposition must
+        // then be equivalent.
+        let (p, ids) = sdx_like();
+        let comps = vec![
+            vec![ids[0], ids[1], ids[3]],
+            vec![ids[0], ids[3], ids[2], ids[4]],
+        ];
+        let q = decompose_jd(&p, "sdx", &comps).expect("JD holds via shared columns");
+        assert_equivalent(&p, &q);
+    }
+}

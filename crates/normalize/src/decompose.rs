@@ -1,0 +1,932 @@
+//! Decomposition of a match-action table along a functional dependency.
+//!
+//! Given a table `T` over attributes `X ∪ Y ∪ Z` and a dependency `X → Y`,
+//! [`decompose`] rewrites the pipeline so that the fact "`X` determines
+//! `Y`" is stated once, in its own stage, and the rest of the logic lives
+//! in a second stage chained with the selected [`JoinKind`] — Heath's
+//! theorem transported to match-action programs (§4).
+//!
+//! The attribute *kinds* on each side select the stage layout:
+//!
+//! | shape | `X` | `Y` | stage 1 | stage 2 |
+//! |---|---|---|---|---|
+//! | A (Thm 1, Fig. 1) | fields | fields | `(X, Y \| link)` | `(link, Z \| Z-actions)` |
+//! | B (Fig. 2b) | any | actions | `(X-fields, Z-fields \| Z-actions, link)` | `(link \| X-actions, Y)` |
+//! | C (Fig. 3) | has actions | has fields | `(X-fields, Z-fields \| Z-actions, link)` | `(link, Y-fields \| X-actions, Y-actions)` |
+//! | D | fields | mixed | `(X, Y-fields \| Y-actions, link)` | `(link, Z-fields \| Z-actions)` |
+//!
+//! Shape C is the paper's cautionary tale: the first stage drops the `Y`
+//! match columns, so its rows may stop being order-independent — exactly
+//! Fig. 3's incorrect decomposition. The constructor detects this and
+//! refuses (unless explicitly permitted for demonstration purposes).
+
+use crate::join::{
+    fresh_goto_action, fresh_meta, fresh_table_name, fresh_tag_action, JoinKind,
+};
+use mapro_core::{
+    check_equivalent, ActionSem, AttrId, AttrKind, Counterexample, EquivConfig, EquivOutcome,
+    Pipeline, Table, Value,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Options for [`decompose`].
+#[derive(Debug, Clone)]
+pub struct DecomposeOpts {
+    /// The `≫` encoding.
+    pub join: JoinKind,
+    /// Re-check semantic equivalence of the rewritten pipeline against the
+    /// original (exhaustive where feasible). Decomposition is equivalence-
+    /// preserving by construction; this guards the implementation, not the
+    /// theory.
+    pub verify: bool,
+    /// Permit producing stages that violate 1NF (used by the Fig. 3
+    /// demonstration; never by the normalizer).
+    pub allow_non_1nf: bool,
+}
+
+impl Default for DecomposeOpts {
+    fn default() -> Self {
+        DecomposeOpts {
+            join: JoinKind::Metadata,
+            verify: false,
+            allow_non_1nf: false,
+        }
+    }
+}
+
+/// Why a decomposition was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecomposeError {
+    /// The named table is not in the pipeline.
+    TableNotFound(String),
+    /// An `X`/`Y` attribute is not a column of the table.
+    AttrNotInTable(AttrId),
+    /// `X` and `Y` overlap, or `Y` is empty.
+    BadSides,
+    /// `X → Y` does not hold in the instance — decomposing would lose
+    /// information (Heath's theorem is an iff).
+    FdDoesNotHold {
+        /// Two row indices with equal `X` but different `Y`.
+        rows: (usize, usize),
+    },
+    /// The source table is not in 1NF.
+    SourceNot1NF,
+    /// A `goto` column sits in `Z` while `Y` is action-valued: the jump
+    /// would fire before the second stage could apply `Y`.
+    GotoNotInLastStage,
+    /// [`JoinKind::Rematch`] requires `X` to consist of match fields.
+    RematchNeedsFieldX,
+    /// A produced stage violates 1NF — the Fig. 3 phenomenon. The paper:
+    /// "a naïve decomposition along … dependencies X → Y where X contains
+    /// actions and Y includes predicates does not result \[in\] 1NF
+    /// sub-tables".
+    StageNot1NF {
+        /// Name of the offending stage.
+        stage: String,
+        /// Indices of two conflicting rows in that stage.
+        rows: (usize, usize),
+    },
+    /// Splitting these two action columns across stages would reverse
+    /// their application order, and they write the same thing (two
+    /// outputs, or two rewrites of one field) — last-write-wins semantics
+    /// would flip.
+    OrderSensitiveActionSplit {
+        /// The action that originally fired first (would now fire second).
+        first: String,
+        /// The action that originally fired second.
+        second: String,
+    },
+    /// A first-stage action rewrites a field the second stage matches on;
+    /// the original table matched the *pre-rewrite* value.
+    RewriteBeforeMatch {
+        /// The set-field action.
+        action: String,
+        /// The field it writes and the later stage matches.
+        field: String,
+    },
+    /// Verification found a semantic difference (implementation bug guard).
+    NotEquivalent(Box<Counterexample>),
+    /// Verification could not run.
+    VerifyFailed(String),
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::TableNotFound(t) => write!(f, "table {t:?} not found"),
+            DecomposeError::AttrNotInTable(a) => write!(f, "attribute {a} not in table"),
+            DecomposeError::BadSides => write!(f, "X and Y must be disjoint and Y non-empty"),
+            DecomposeError::FdDoesNotHold { rows } => {
+                write!(f, "X -> Y violated by rows {} and {}", rows.0, rows.1)
+            }
+            DecomposeError::SourceNot1NF => write!(f, "source table is not in 1NF"),
+            DecomposeError::GotoNotInLastStage => {
+                write!(f, "goto column would not be in the last stage")
+            }
+            DecomposeError::RematchNeedsFieldX => {
+                write!(f, "rematch join requires X to be match fields")
+            }
+            DecomposeError::StageNot1NF { stage, rows } => write!(
+                f,
+                "decomposition not 1NF: stage {stage:?} rows {} and {} overlap (Fig. 3 phenomenon)",
+                rows.0, rows.1
+            ),
+            DecomposeError::OrderSensitiveActionSplit { first, second } => write!(
+                f,
+                "decomposition would reorder colliding actions {first:?} and {second:?}"
+            ),
+            DecomposeError::RewriteBeforeMatch { action, field } => write!(
+                f,
+                "stage-1 action {action:?} rewrites field {field:?} which stage 2 matches"
+            ),
+            DecomposeError::NotEquivalent(cx) => {
+                write!(f, "verification failed on packet {:?}", cx.fields)
+            }
+            DecomposeError::VerifyFailed(e) => write!(f, "verification error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecomposeError {}
+
+/// The stage shape selected for a decomposition (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    A,
+    B,
+    C,
+    D,
+}
+
+/// Do two action attributes write the same externally visible slot, so
+/// that their application order matters?
+pub(crate) fn writes_collide(catalog: &mapro_core::Catalog, a: AttrId, b: AttrId) -> bool {
+    use mapro_core::AttrKind::Action;
+    match (&catalog.attr(a).kind, &catalog.attr(b).kind) {
+        (Action(ActionSem::Output), Action(ActionSem::Output)) => true,
+        (Action(ActionSem::SetField(x)), Action(ActionSem::SetField(y))) => x == y,
+        _ => false,
+    }
+}
+
+/// Validate an action split across two stages: refuse when it would flip
+/// the application order of colliding actions, or rewrite (in stage 1) a
+/// field stage 2 matches. `orig` is the source table (for column order and
+/// row co-occupancy), `s1_actions`/`s2_actions` the original action attrs
+/// assigned to each stage, `s2_match` the fields stage 2 matches.
+pub(crate) fn validate_action_split(
+    orig: &Table,
+    catalog: &mapro_core::Catalog,
+    s1_actions: &[AttrId],
+    s2_actions: &[AttrId],
+    s2_match: &[AttrId],
+) -> Result<(), DecomposeError> {
+    let col_index = |a: AttrId| orig.action_attrs.iter().position(|&b| b == a);
+    // Both cells non-Any in some row ⇒ the pair can actually conflict.
+    let co_occupied = |a: AttrId, b: AttrId| -> bool {
+        let (Some((ca, false)), Some((cb, false))) = (orig.column_of(a), orig.column_of(b))
+        else {
+            return false;
+        };
+        orig.entries.iter().any(|e| {
+            !matches!(e.actions[ca], Value::Any) && !matches!(e.actions[cb], Value::Any)
+        })
+    };
+    for &a2 in s2_actions {
+        for &b1 in s1_actions {
+            if writes_collide(catalog, a2, b1)
+                && col_index(a2) < col_index(b1)
+                && co_occupied(a2, b1)
+            {
+                return Err(DecomposeError::OrderSensitiveActionSplit {
+                    first: catalog.name(a2).to_owned(),
+                    second: catalog.name(b1).to_owned(),
+                });
+            }
+        }
+    }
+    for &b1 in s1_actions {
+        if let mapro_core::AttrKind::Action(ActionSem::SetField(target)) = &catalog.attr(b1).kind
+        {
+            if s2_match.contains(target) {
+                if let Some((c, false)) = orig.column_of(b1) {
+                    if orig
+                        .entries
+                        .iter()
+                        .any(|e| !matches!(e.actions[c], Value::Any))
+                    {
+                        return Err(DecomposeError::RewriteBeforeMatch {
+                            action: catalog.name(b1).to_owned(),
+                            field: catalog.name(*target).to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decompose `table` (a member of `p`) along `x → y`, returning the
+/// rewritten pipeline. The first stage keeps the table's name, so inbound
+/// `goto`s keep working; the second stage inherits the original
+/// continuation and miss policy.
+///
+/// ```
+/// use mapro_core::{ActionSem, Catalog, Pipeline, Table, Value, assert_equivalent};
+/// use mapro_normalize::{decompose, DecomposeOpts, JoinKind};
+///
+/// // (dst, port | out) with dst → port: the Fig. 1 shape in miniature.
+/// let mut c = Catalog::new();
+/// let dst = c.field("dst", 8);
+/// let port = c.field("port", 16);
+/// let out = c.action("out", ActionSem::Output);
+/// let mut t = Table::new("t0", vec![dst, port], vec![out]);
+/// t.row(vec![Value::Int(1), Value::Int(80)], vec![Value::sym("a")]);
+/// t.row(vec![Value::Int(2), Value::Int(443)], vec![Value::sym("b")]);
+/// let p = Pipeline::single(c, t);
+///
+/// let opts = DecomposeOpts { join: JoinKind::Goto, ..Default::default() };
+/// let q = decompose(&p, "t0", &[dst], &[port], &opts).unwrap();
+/// assert_eq!(q.tables.len(), 3); // T0 + one table per distinct dst
+/// assert_equivalent(&p, &q);
+/// ```
+pub fn decompose(
+    p: &Pipeline,
+    table: &str,
+    x: &[AttrId],
+    y: &[AttrId],
+    opts: &DecomposeOpts,
+) -> Result<Pipeline, DecomposeError> {
+    let t = p
+        .table(table)
+        .ok_or_else(|| DecomposeError::TableNotFound(table.to_owned()))?;
+
+    // -- validate sides ---------------------------------------------------
+    if y.is_empty() || x.iter().any(|a| y.contains(a)) {
+        return Err(DecomposeError::BadSides);
+    }
+    for &a in x.iter().chain(y) {
+        if t.column_of(a).is_none() {
+            return Err(DecomposeError::AttrNotInTable(a));
+        }
+    }
+    if !t.rows_unique() || !t.order_independence(&p.catalog).is_empty() {
+        return Err(DecomposeError::SourceNot1NF);
+    }
+
+    // -- verify the dependency in the instance ----------------------------
+    let mut first_of: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut xid: Vec<usize> = Vec::with_capacity(t.len()); // row → distinct-X ordinal
+    let mut x_order: Vec<usize> = Vec::new(); // ordinal → representative row
+    for row in 0..t.len() {
+        let xv = t.tuple(row, x);
+        match first_of.get(&xv) {
+            Some(&r0) => {
+                if t.tuple(r0, y) != t.tuple(row, y) {
+                    return Err(DecomposeError::FdDoesNotHold { rows: (r0, row) });
+                }
+                xid.push(xid[r0]);
+            }
+            None => {
+                first_of.insert(xv, row);
+                xid.push(x_order.len());
+                x_order.push(row);
+            }
+        }
+    }
+
+    // -- classify attribute kinds -----------------------------------------
+    let is_field = |a: AttrId| p.catalog.attr(a).kind.is_matchable();
+    let split = |attrs: &[AttrId]| -> (Vec<AttrId>, Vec<AttrId>) {
+        let f: Vec<_> = attrs.iter().copied().filter(|&a| is_field(a)).collect();
+        let ac: Vec<_> = attrs.iter().copied().filter(|&a| !is_field(a)).collect();
+        (f, ac)
+    };
+    let (fx, ax) = split(x);
+    let (fy, ay) = split(y);
+    let z: Vec<AttrId> = t
+        .attrs()
+        .into_iter()
+        .filter(|a| !x.contains(a) && !y.contains(a))
+        .collect();
+    let (fz, az) = split(&z);
+
+    let shape = if ay.is_empty() && fy.is_empty() {
+        return Err(DecomposeError::BadSides); // unreachable: y non-empty
+    } else if ax.is_empty() && ay.is_empty() {
+        Shape::A
+    } else if fy.is_empty() {
+        Shape::B
+    } else if !ax.is_empty() {
+        Shape::C
+    } else {
+        Shape::D
+    };
+
+    // A goto column must end up in the final stage.
+    let has_goto = |attrs: &[AttrId]| {
+        attrs
+            .iter()
+            .any(|&a| matches!(p.catalog.attr(a).kind, AttrKind::Action(ActionSem::Goto)))
+    };
+    match shape {
+        Shape::A | Shape::D => {
+            // stage 2 carries Z actions: goto in Z fine; goto in Y (A: none) /
+            // ay (D) would fire in stage 1 — refuse.
+            if has_goto(&ay) {
+                return Err(DecomposeError::GotoNotInLastStage);
+            }
+        }
+        Shape::B | Shape::C => {
+            if has_goto(&az) {
+                return Err(DecomposeError::GotoNotInLastStage);
+            }
+        }
+    }
+    if opts.join == JoinKind::Rematch && !ax.is_empty() {
+        return Err(DecomposeError::RematchNeedsFieldX);
+    }
+
+    // -- degenerate case: X = ∅ (Y is constant) ----------------------------
+    // A one-row T_XY carries no information to communicate, so the join
+    // degenerates into the Cartesian product of §3 / Fig. 2c: plain
+    // sequential chaining, no metadata tag or goto fan-out.
+    if x.is_empty() {
+        validate_action_split(t, &p.catalog, &ay, &az, &fz)?;
+        let taken: Vec<String> = p.tables.iter().map(|t| t.name.clone()).collect();
+        let s2_name = fresh_table_name(&taken, &format!("{}_r", t.name));
+        let mut s1 = Table::new(t.name.clone(), fy.clone(), ay.clone());
+        s1.miss = t.miss.clone();
+        s1.next = Some(s2_name.clone());
+        if !t.is_empty() {
+            s1.push(mapro_core::Entry::new(
+                fy.iter().map(|&a| t.cell(0, a).clone()).collect(),
+                ay.iter().map(|&a| t.cell(0, a).clone()).collect(),
+            ));
+        }
+        let rest_attrs: Vec<AttrId> = fz.iter().chain(&az).copied().collect();
+        let mut s2 = t.project(&p.catalog, s2_name, &rest_attrs);
+        s2.miss = t.miss.clone();
+        s2.next = t.next.clone();
+        let mut tables: Vec<Table> = Vec::new();
+        for old in &p.tables {
+            if old.name == t.name {
+                tables.push(s1.clone());
+                tables.push(s2.clone());
+            } else {
+                tables.push(old.clone());
+            }
+        }
+        let out = Pipeline::new(p.catalog.clone(), tables, p.start.clone());
+        if !opts.allow_non_1nf {
+            for nt in &out.tables {
+                if let Some(ov) = nt.order_independence(&out.catalog).first() {
+                    return Err(DecomposeError::StageNot1NF {
+                        stage: nt.name.clone(),
+                        rows: (ov.first, ov.second),
+                    });
+                }
+            }
+        }
+        if opts.verify {
+            match check_equivalent(p, &out, &EquivConfig::default()) {
+                Ok(EquivOutcome::Equivalent { .. }) => {}
+                Ok(EquivOutcome::Counterexample(cx)) => {
+                    return Err(DecomposeError::NotEquivalent(cx))
+                }
+                Err(e) => return Err(DecomposeError::VerifyFailed(e.to_string())),
+            }
+        }
+        return Ok(out);
+    }
+
+    // -- build the stages --------------------------------------------------
+    let mut catalog = p.catalog.clone();
+    let taken: Vec<String> = p.tables.iter().map(|t| t.name.clone()).collect();
+    let s2_name = fresh_table_name(&taken, &format!("{}_r", t.name));
+
+    // Link plumbing.
+    let (meta, tag) = if opts.join == JoinKind::Metadata {
+        let m = fresh_meta(&mut catalog, &t.name);
+        let a = fresh_tag_action(&mut catalog, &t.name, m);
+        (Some(m), Some(a))
+    } else {
+        (None, None)
+    };
+    let goto_attr = if opts.join == JoinKind::Goto {
+        Some(fresh_goto_action(&mut catalog, &t.name))
+    } else {
+        None
+    };
+    let sub_name = |k: usize| format!("{}_x{}", t.name, k + 1);
+
+    // The value stage 1 emits for its link column, per distinct-X ordinal.
+    let link_action_value = |k: usize| -> Value {
+        match opts.join {
+            JoinKind::Metadata => Value::Int(k as u64 + 1),
+            JoinKind::Goto => Value::sym(sub_name(k)),
+            JoinKind::Rematch => Value::Any, // no link action
+        }
+    };
+
+    // Stage-1/-2 schemas and rows per shape.
+    //
+    // `s1_per_row == true` means stage 1 has one row per original row
+    // (dedup'd); otherwise one row per distinct X value.
+    struct Plan {
+        s1_match: Vec<AttrId>,
+        s1_actions: Vec<AttrId>, // excluding the link column
+        s1_per_row: bool,
+        s2_match: Vec<AttrId>, // excluding the link column
+        s2_actions: Vec<AttrId>,
+        s2_per_row: bool,
+    }
+    // Actions assigned to one stage must keep their original column order
+    // (application order is column order; reordering colliding writes —
+    // two outputs, two rewrites of one field — would flip last-write-wins).
+    let in_table_order = |attrs: Vec<AttrId>| -> Vec<AttrId> {
+        let mut v = attrs;
+        v.sort_by_key(|a| t.action_attrs.iter().position(|b| b == a));
+        v
+    };
+    let plan = match shape {
+        Shape::A => Plan {
+            s1_match: fx.iter().chain(&fy).copied().collect(),
+            s1_actions: vec![],
+            s1_per_row: false,
+            s2_match: fz.clone(),
+            s2_actions: az.clone(),
+            s2_per_row: true,
+        },
+        Shape::B => Plan {
+            s1_match: fx.iter().chain(&fz).copied().collect(),
+            s1_actions: az.clone(),
+            s1_per_row: true,
+            s2_match: vec![],
+            s2_actions: in_table_order(ax.iter().chain(&ay).copied().collect()),
+            s2_per_row: false,
+        },
+        Shape::C => Plan {
+            s1_match: fx.iter().chain(&fz).copied().collect(),
+            s1_actions: az.clone(),
+            s1_per_row: true,
+            s2_match: fy.clone(),
+            s2_actions: in_table_order(ax.iter().chain(&ay).copied().collect()),
+            s2_per_row: false,
+        },
+        Shape::D => Plan {
+            s1_match: fx.iter().chain(&fy).copied().collect(),
+            s1_actions: ay.clone(),
+            s1_per_row: false,
+            s2_match: fz.clone(),
+            s2_actions: az.clone(),
+            s2_per_row: true,
+        },
+    };
+
+    // Order-sensitivity and write-before-match validation for the split.
+    {
+        let mut s2_match_all = plan.s2_match.clone();
+        if opts.join == JoinKind::Rematch {
+            s2_match_all.extend(fx.iter().copied());
+        }
+        validate_action_split(
+            t,
+            &p.catalog,
+            &plan.s1_actions,
+            &plan.s2_actions,
+            &s2_match_all,
+        )?;
+    }
+
+    // Rows feeding each stage: (link ordinal, source row index).
+    let stage_rows = |per_row: bool| -> Vec<(usize, usize)> {
+        if per_row {
+            (0..t.len()).map(|r| (xid[r], r)).collect()
+        } else {
+            x_order.iter().copied().enumerate().collect()
+        }
+    };
+
+    let cells = |row: usize, attrs: &[AttrId]| -> Vec<Value> {
+        attrs.iter().map(|&a| t.cell(row, a).clone()).collect()
+    };
+
+    // ---- stage 1 ----
+    let mut s1_action_attrs = plan.s1_actions.clone();
+    match opts.join {
+        JoinKind::Metadata => s1_action_attrs.push(tag.unwrap()),
+        JoinKind::Goto => s1_action_attrs.push(goto_attr.unwrap()),
+        JoinKind::Rematch => {}
+    }
+    let mut s1 = Table::new(t.name.clone(), plan.s1_match.clone(), s1_action_attrs);
+    s1.miss = t.miss.clone();
+    if opts.join != JoinKind::Goto {
+        s1.next = Some(s2_name.clone());
+    }
+    // For shapes whose stage 1 is per-X, inherit next only via stage 2.
+    let mut seen1 = std::collections::HashSet::new();
+    for (k, row) in stage_rows(plan.s1_per_row) {
+        let m = cells(row, &plan.s1_match);
+        let mut a = cells(row, &plan.s1_actions);
+        match opts.join {
+            JoinKind::Metadata | JoinKind::Goto => a.push(link_action_value(k)),
+            JoinKind::Rematch => {}
+        }
+        if seen1.insert((m.clone(), a.clone())) {
+            s1.push(mapro_core::Entry::new(m, a));
+        }
+    }
+
+    // ---- stage 2 (single table for metadata/rematch; split for goto) ----
+    let mut new_tables: Vec<Table> = Vec::new();
+    match opts.join {
+        JoinKind::Metadata | JoinKind::Rematch => {
+            let mut s2_match = Vec::new();
+            if opts.join == JoinKind::Metadata {
+                s2_match.push(meta.unwrap());
+            } else {
+                s2_match.extend(fx.iter().copied());
+            }
+            s2_match.extend(plan.s2_match.iter().copied());
+            let mut s2 = Table::new(s2_name.clone(), s2_match, plan.s2_actions.clone());
+            s2.miss = t.miss.clone();
+            s2.next = t.next.clone();
+            let mut seen = std::collections::HashSet::new();
+            for (k, row) in stage_rows(plan.s2_per_row) {
+                let mut m = Vec::new();
+                if opts.join == JoinKind::Metadata {
+                    m.push(Value::Int(k as u64 + 1));
+                } else {
+                    m.extend(cells(row, &fx));
+                }
+                m.extend(cells(row, &plan.s2_match));
+                let a = cells(row, &plan.s2_actions);
+                if seen.insert((m.clone(), a.clone())) {
+                    s2.push(mapro_core::Entry::new(m, a));
+                }
+            }
+            new_tables.push(s1);
+            new_tables.push(s2);
+        }
+        JoinKind::Goto => {
+            // One second-stage table per distinct X value (Fig. 1b).
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); x_order.len()];
+            for (k, row) in stage_rows(plan.s2_per_row) {
+                groups[k].push(row);
+            }
+            new_tables.push(s1);
+            for (k, rows) in groups.iter().enumerate() {
+                let mut sub = Table::new(
+                    sub_name(k),
+                    plan.s2_match.clone(),
+                    plan.s2_actions.clone(),
+                );
+                sub.miss = t.miss.clone();
+                sub.next = t.next.clone();
+                let mut seen = std::collections::HashSet::new();
+                for &row in rows {
+                    let m = cells(row, &plan.s2_match);
+                    let a = cells(row, &plan.s2_actions);
+                    if seen.insert((m.clone(), a.clone())) {
+                        sub.push(mapro_core::Entry::new(m, a));
+                    }
+                }
+                new_tables.push(sub);
+            }
+        }
+    }
+
+    // -- 1NF validation of produced stages ---------------------------------
+    if !opts.allow_non_1nf {
+        for nt in &new_tables {
+            if let Some(ov) = nt.order_independence(&catalog).first() {
+                return Err(DecomposeError::StageNot1NF {
+                    stage: nt.name.clone(),
+                    rows: (ov.first, ov.second),
+                });
+            }
+            if !nt.rows_unique() {
+                // locate a duplicate pair for the report
+                let mut seen: HashMap<&Vec<Value>, usize> = HashMap::new();
+                let mut pair = (0, 0);
+                for (i, e) in nt.entries.iter().enumerate() {
+                    if let Some(&j) = seen.get(&e.matches) {
+                        pair = (j, i);
+                        break;
+                    }
+                    seen.insert(&e.matches, i);
+                }
+                return Err(DecomposeError::StageNot1NF {
+                    stage: nt.name.clone(),
+                    rows: pair,
+                });
+            }
+        }
+    }
+
+    // -- splice into the pipeline ------------------------------------------
+    let mut tables: Vec<Table> = Vec::new();
+    for old in &p.tables {
+        if old.name == t.name {
+            tables.extend(new_tables.iter().cloned());
+        } else {
+            tables.push(old.clone());
+        }
+    }
+    let out = Pipeline::new(catalog, tables, p.start.clone());
+
+    if opts.verify {
+        match check_equivalent(p, &out, &EquivConfig::default()) {
+            Ok(EquivOutcome::Equivalent { .. }) => {}
+            Ok(EquivOutcome::Counterexample(cx)) => {
+                return Err(DecomposeError::NotEquivalent(cx))
+            }
+            Err(e) => return Err(DecomposeError::VerifyFailed(e.to_string())),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{assert_equivalent, ActionSem, Catalog, Table};
+
+    /// Miniature Fig. 1a: src distributes load, dst determines port.
+    /// Attrs: src(4b), dst(4b), port(8b) | out.
+    fn mini_gw() -> (Pipeline, Vec<AttrId>) {
+        let mut c = Catalog::new();
+        let src = c.field("src", 4);
+        let dst = c.field("dst", 4);
+        let port = c.field("port", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t0", vec![src, dst, port], vec![out]);
+        let rows = [
+            (Value::prefix(0b0000, 1, 4), 1u64, 80u64, "vm1"),
+            (Value::prefix(0b1000, 1, 4), 1, 80, "vm2"),
+            (Value::prefix(0b0000, 1, 4), 2, 80, "vm3"),
+            (Value::prefix(0b1000, 2, 4), 2, 80, "vm4"),
+            (Value::prefix(0b1100, 2, 4), 2, 80, "vm5"),
+            (Value::Any, 3, 22, "vm6"),
+        ];
+        for (s, d, pt, o) in rows {
+            t.row(
+                vec![s, Value::Int(d), Value::Int(pt)],
+                vec![Value::sym(o)],
+            );
+        }
+        (Pipeline::single(c, t), vec![src, dst, port, out])
+    }
+
+    #[test]
+    fn shape_a_metadata_join_equivalent() {
+        let (p, ids) = mini_gw();
+        let opts = DecomposeOpts {
+            join: JoinKind::Metadata,
+            ..Default::default()
+        };
+        let q = decompose(&p, "t0", &[ids[1]], &[ids[2]], &opts).unwrap();
+        assert_eq!(q.tables.len(), 2);
+        // Stage 1: (dst, port | A_t0); 3 distinct dst values.
+        assert_eq!(q.tables[0].len(), 3);
+        assert_eq!(q.tables[0].match_attrs.len(), 2);
+        // Stage 2: (M_t0, src | out); one row per original row.
+        assert_eq!(q.tables[1].len(), 6);
+        assert_equivalent(&p, &q);
+    }
+
+    #[test]
+    fn shape_a_goto_join_equivalent_and_shaped_like_fig1b() {
+        let (p, ids) = mini_gw();
+        let opts = DecomposeOpts {
+            join: JoinKind::Goto,
+            ..Default::default()
+        };
+        let q = decompose(&p, "t0", &[ids[1]], &[ids[2]], &opts).unwrap();
+        // T0 + one per-tenant table per distinct dst.
+        assert_eq!(q.tables.len(), 4);
+        assert_eq!(q.tables[0].len(), 3);
+        assert_eq!(q.tables[1].len(), 2); // dst=1: vm1/vm2
+        assert_eq!(q.tables[2].len(), 3); // dst=2: vm3/vm4/vm5
+        assert_eq!(q.tables[3].len(), 1); // dst=3: vm6
+        assert_equivalent(&p, &q);
+        // Fig. 1 field-count arithmetic: universal 6×4 = 24; goto form
+        // 3×3 + (2+3+1)×2 = 21.
+        assert_eq!(p.field_count(), 24);
+        assert_eq!(q.field_count(), 21);
+    }
+
+    #[test]
+    fn shape_a_rematch_join_equivalent() {
+        let (p, ids) = mini_gw();
+        let opts = DecomposeOpts {
+            join: JoinKind::Rematch,
+            ..Default::default()
+        };
+        let q = decompose(&p, "t0", &[ids[1]], &[ids[2]], &opts).unwrap();
+        assert_eq!(q.tables.len(), 2);
+        // Second stage rematches dst: (dst, src | out).
+        assert!(q.tables[1].match_attrs.contains(&ids[1]));
+        assert_equivalent(&p, &q);
+    }
+
+    /// Fig. 2a miniature: dst | ttl-dec(opaque), smac(set), dmac(set), out.
+    fn mini_l3() -> (Pipeline, Vec<AttrId>) {
+        let mut c = Catalog::new();
+        let dst = c.field("dst", 4);
+        let smac_f = c.field("eth_src", 8);
+        let dmac_f = c.field("eth_dst", 8);
+        let ttl = c.action("mod_ttl", ActionSem::Opaque);
+        let smac = c.action("mod_smac", ActionSem::SetField(smac_f));
+        let dmac = c.action("mod_dmac", ActionSem::SetField(dmac_f));
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("l3", vec![dst], vec![ttl, smac, dmac, out]);
+        // Prefixes P1..P4 → next hops D1, D2, D3, D1 (D1 repeated, Fig. 2).
+        let rows: [(u64, u64, u64, &str); 4] = [
+            (1, 10, 101, "p1"),
+            (2, 10, 102, "p1"),
+            (3, 20, 103, "p2"),
+            (4, 10, 101, "p1"),
+        ];
+        for (d, sm, dm, o) in rows {
+            t.row(
+                vec![Value::Int(d)],
+                vec![
+                    Value::sym("dec"),
+                    Value::Int(sm),
+                    Value::Int(dm),
+                    Value::sym(o),
+                ],
+            );
+        }
+        (
+            Pipeline::single(c, t),
+            vec![dst, smac_f, dmac_f, ttl, smac, dmac, out],
+        )
+    }
+
+    #[test]
+    fn shape_b_action_determinant_like_fig2b() {
+        let (p, ids) = mini_l3();
+        // mod_dmac → (mod_ttl, mod_smac, out): X an action, Y actions.
+        let opts = DecomposeOpts {
+            join: JoinKind::Metadata,
+            verify: true,
+            ..Default::default()
+        };
+        let q = decompose(&p, "l3", &[ids[5]], &[ids[3], ids[4], ids[6]], &opts).unwrap();
+        assert_eq!(q.tables.len(), 2);
+        // Stage 1: (dst | A_l3) per row; stage 2: (M | dmac, ttl, smac, out)
+        // per distinct dmac (3 next-hops) — the group-table abstraction.
+        assert_eq!(q.tables[0].len(), 4);
+        assert_eq!(q.tables[1].len(), 3);
+        assert_eq!(q.tables[1].action_attrs.len(), 4);
+        assert_equivalent(&p, &q);
+    }
+
+    #[test]
+    fn shape_b_goto_join() {
+        let (p, ids) = mini_l3();
+        let opts = DecomposeOpts {
+            join: JoinKind::Goto,
+            ..Default::default()
+        };
+        let q = decompose(&p, "l3", &[ids[5]], &[ids[3], ids[4], ids[6]], &opts).unwrap();
+        // stage1 + 3 per-group tables, each with one row and no match.
+        assert_eq!(q.tables.len(), 4);
+        assert!(q.tables[1].match_attrs.is_empty());
+        assert_eq!(q.tables[1].len(), 1);
+        assert_equivalent(&p, &q);
+    }
+
+    #[test]
+    fn rematch_rejected_for_action_x() {
+        let (p, ids) = mini_l3();
+        let opts = DecomposeOpts {
+            join: JoinKind::Rematch,
+            ..Default::default()
+        };
+        assert_eq!(
+            decompose(&p, "l3", &[ids[5]], &[ids[3], ids[4], ids[6]], &opts),
+            Err(DecomposeError::RematchNeedsFieldX)
+        );
+    }
+
+    /// Fig. 3: (in_port, vlan | out) with out → vlan.
+    fn fig3() -> (Pipeline, Vec<AttrId>) {
+        let mut c = Catalog::new();
+        let in_port = c.field("in_port", 8);
+        let vlan = c.field("vlan", 12);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t0", vec![in_port, vlan], vec![out]);
+        for (ip, vl, o) in [(1u64, 1u64, "1"), (1, 2, "2"), (2, 1, "1"), (3, 1, "3")] {
+            t.row(vec![Value::Int(ip), Value::Int(vl)], vec![Value::sym(o)]);
+        }
+        (Pipeline::single(c, t), vec![in_port, vlan, out])
+    }
+
+    #[test]
+    fn fig3_action_to_match_dependency_rejected() {
+        let (p, ids) = fig3();
+        let opts = DecomposeOpts::default();
+        // out → vlan holds in the instance but decomposition must fail 1NF.
+        let err = decompose(&p, "t0", &[ids[2]], &[ids[1]], &opts).unwrap_err();
+        match err {
+            DecomposeError::StageNot1NF { stage, .. } => assert_eq!(stage, "t0"),
+            e => panic!("expected StageNot1NF, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn fig3_allowed_when_requested_but_inequivalent() {
+        let (p, ids) = fig3();
+        let opts = DecomposeOpts {
+            allow_non_1nf: true,
+            ..Default::default()
+        };
+        let q = decompose(&p, "t0", &[ids[2]], &[ids[1]], &opts).unwrap();
+        // The broken pipeline really is broken: equivalence fails.
+        let r = check_equivalent(&p, &q, &EquivConfig::default()).unwrap();
+        assert!(!r.is_equivalent());
+    }
+
+    #[test]
+    fn fd_violation_rejected() {
+        let (p, ids) = mini_gw();
+        // dst → out does not hold: dst=1 maps to vm1 and vm2.
+        let err = decompose(&p, "t0", &[ids[1]], &[ids[3]], &DecomposeOpts::default());
+        assert!(matches!(err, Err(DecomposeError::FdDoesNotHold { .. })));
+    }
+
+    #[test]
+    fn bad_sides_rejected() {
+        let (p, ids) = mini_gw();
+        let o = DecomposeOpts::default();
+        assert_eq!(
+            decompose(&p, "t0", &[ids[1]], &[], &o),
+            Err(DecomposeError::BadSides)
+        );
+        assert_eq!(
+            decompose(&p, "t0", &[ids[1]], &[ids[1]], &o),
+            Err(DecomposeError::BadSides)
+        );
+        assert!(matches!(
+            decompose(&p, "zzz", &[ids[1]], &[ids[2]], &o),
+            Err(DecomposeError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn source_not_1nf_rejected() {
+        let (mut p, ids) = mini_gw();
+        let t = p.table_mut("t0").unwrap();
+        let dup = t.entries[0].matches.clone();
+        t.entries[1].matches = dup;
+        assert_eq!(
+            decompose(&p, "t0", &[ids[1]], &[ids[2]], &DecomposeOpts::default()),
+            Err(DecomposeError::SourceNot1NF)
+        );
+    }
+
+    #[test]
+    fn verify_mode_passes_on_sound_decomposition() {
+        let (p, ids) = mini_gw();
+        let opts = DecomposeOpts {
+            join: JoinKind::Goto,
+            verify: true,
+            ..Default::default()
+        };
+        assert!(decompose(&p, "t0", &[ids[1]], &[ids[2]], &opts).is_ok());
+    }
+
+    #[test]
+    fn decomposition_in_mid_pipeline_preserves_goto_references() {
+        // front --goto--> t0; decomposing t0 must keep the name alive.
+        let (p, ids) = mini_gw();
+        let mut c = p.catalog.clone();
+        let front_goto = c.action("fgoto", ActionSem::Goto);
+        let mut front = Table::new("front", vec![ids[1]], vec![front_goto]);
+        for d in [1u64, 2, 3] {
+            front.row(vec![Value::Int(d)], vec![Value::sym("t0")]);
+        }
+        let mut tables = vec![front];
+        tables.extend(p.tables.iter().cloned());
+        let p2 = Pipeline::new(c, tables, "front");
+        let q = decompose(
+            &p2,
+            "t0",
+            &[ids[1]],
+            &[ids[2]],
+            &DecomposeOpts {
+                join: JoinKind::Metadata,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_equivalent(&p2, &q);
+        assert_eq!(q.tables[1].name, "t0");
+    }
+}

@@ -1,0 +1,336 @@
+//! Cartesian-product factoring of constant columns (Fig. 2c).
+//!
+//! When every entry of a table carries the same value in some columns
+//! (e.g. `eth_type = 0x800` and `mod_ttl = dec` in the L3 pipeline), the
+//! join with a single-row table holding just those columns degenerates
+//! into a Cartesian product `T_const × T_rest`. Because `×` is commutative
+//! (§3: "we could as well append T₀ at the end of the pipeline or anywhere
+//! in between"), the factored table may be placed before or after the rest.
+
+use mapro_core::{AttrId, Entry, MissPolicy, Pipeline, Table};
+use std::fmt;
+
+/// Where to place the factored constant table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FactorPlacement {
+    /// `T_const` runs first, then the remainder (Fig. 2c's layout).
+    #[default]
+    Before,
+    /// The remainder runs first, `T_const` last — exercising the paper's
+    /// commutativity observation.
+    After,
+}
+
+/// Why factoring was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorError {
+    /// The named table is not in the pipeline.
+    TableNotFound(String),
+    /// No constant columns exist (or none of the requested ones are
+    /// constant).
+    NothingToFactor,
+    /// Factoring would leave the remainder with no match columns.
+    WouldEraseMatch,
+    /// `After` placement is unsound when the constant columns include
+    /// match fields: the table would forward packets before filtering
+    /// them. Only constant *actions* may trail.
+    ConstMatchMustLead,
+}
+
+impl fmt::Display for FactorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorError::TableNotFound(t) => write!(f, "table {t:?} not found"),
+            FactorError::NothingToFactor => write!(f, "no constant columns to factor"),
+            FactorError::WouldEraseMatch => {
+                write!(f, "factoring would leave the table without match columns")
+            }
+            FactorError::ConstMatchMustLead => {
+                write!(f, "constant match fields must be factored before the table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Factor the constant columns of `table` into a standalone single-row
+/// table, chained per `placement`.
+///
+/// `only`, when given, restricts which columns are factored (they must be
+/// constant). Returns the rewritten pipeline; the constant table is named
+/// `<table>_const`.
+pub fn factor_constants(
+    p: &Pipeline,
+    table: &str,
+    only: Option<&[AttrId]>,
+    placement: FactorPlacement,
+) -> Result<Pipeline, FactorError> {
+    let t = p
+        .table(table)
+        .ok_or_else(|| FactorError::TableNotFound(table.to_owned()))?;
+    let consts = t.constant_columns();
+    let chosen: Vec<(AttrId, mapro_core::Value)> = match only {
+        None => consts,
+        Some(ids) => {
+            let filtered: Vec<_> = consts
+                .into_iter()
+                .filter(|(a, _)| ids.contains(a))
+                .collect();
+            if filtered.len() != ids.len() {
+                return Err(FactorError::NothingToFactor);
+            }
+            filtered
+        }
+    };
+    if chosen.is_empty() {
+        return Err(FactorError::NothingToFactor);
+    }
+    let const_ids: Vec<AttrId> = chosen.iter().map(|(a, _)| *a).collect();
+
+    let rem_match: Vec<AttrId> = t
+        .match_attrs
+        .iter()
+        .copied()
+        .filter(|a| !const_ids.contains(a))
+        .collect();
+    let rem_actions: Vec<AttrId> = t
+        .action_attrs
+        .iter()
+        .copied()
+        .filter(|a| !const_ids.contains(a))
+        .collect();
+    if rem_match.is_empty() && !t.match_attrs.is_empty() {
+        return Err(FactorError::WouldEraseMatch);
+    }
+    let const_match: Vec<AttrId> = t
+        .match_attrs
+        .iter()
+        .copied()
+        .filter(|a| const_ids.contains(a))
+        .collect();
+    let const_actions: Vec<AttrId> = t
+        .action_attrs
+        .iter()
+        .copied()
+        .filter(|a| const_ids.contains(a))
+        .collect();
+    if placement == FactorPlacement::After && !const_match.is_empty() {
+        return Err(FactorError::ConstMatchMustLead);
+    }
+
+    // Build T_const (one row) and the remainder.
+    let const_name = crate::join::fresh_table_name(
+        &p.tables.iter().map(|t| t.name.clone()).collect::<Vec<_>>(),
+        &format!("{}_const", t.name),
+    );
+    let mut t_const = Table::new(const_name.clone(), const_match.clone(), const_actions.clone());
+    t_const.miss = t.miss.clone();
+    t_const.push(Entry::new(
+        const_match
+            .iter()
+            .map(|a| chosen.iter().find(|(b, _)| b == a).unwrap().1.clone())
+            .collect(),
+        const_actions
+            .iter()
+            .map(|a| chosen.iter().find(|(b, _)| b == a).unwrap().1.clone())
+            .collect(),
+    ));
+
+    let mut rest = Table::new(t.name.clone(), rem_match.clone(), rem_actions.clone());
+    rest.miss = t.miss.clone();
+    for row in 0..t.len() {
+        rest.push(Entry::new(
+            rem_match.iter().map(|&a| t.cell(row, a).clone()).collect(),
+            rem_actions
+                .iter()
+                .map(|&a| t.cell(row, a).clone())
+                .collect(),
+        ));
+    }
+
+    // Chain according to placement; splice into the pipeline.
+    let mut start = p.start.clone();
+    match placement {
+        FactorPlacement::Before => {
+            t_const.next = Some(t.name.clone());
+            rest.next = t.next.clone();
+            // The const table takes over the original's role as entry point
+            // only if the original was the start; gotos keep targeting the
+            // remainder (whose name is unchanged) — but then they would skip
+            // the constant stage. To stay correct in all cases the constant
+            // table takes the *original name* and the remainder gets a new
+            // one when the table is goto-referenced or the start.
+            let referenced = p.start == t.name
+                || p.tables.iter().any(|tab| {
+                    tab.entries.iter().any(|e| {
+                        e.actions
+                            .iter()
+                            .any(|v| matches!(v, mapro_core::Value::Sym(s) if **s == *t.name))
+                    }) || tab.next.as_deref() == Some(t.name.as_str())
+                });
+            if referenced {
+                let rest_name = crate::join::fresh_table_name(
+                    &p.tables.iter().map(|t| t.name.clone()).collect::<Vec<_>>(),
+                    &format!("{}_rest", t.name),
+                );
+                t_const.name = t.name.clone();
+                t_const.next = Some(rest_name.clone());
+                rest.name = rest_name;
+                if p.start == t.name {
+                    start = t_const.name.clone();
+                }
+            }
+        }
+        FactorPlacement::After => {
+            // remainder keeps name and position; const runs last. The
+            // remainder's continuation becomes the const table, which then
+            // continues wherever the original did. Per-entry gotos would
+            // bypass the constant stage; refuse those.
+            if t.entries.iter().any(|e| {
+                t.action_attrs.iter().zip(&e.actions).any(|(&a, v)| {
+                    matches!(
+                        p.catalog.attr(a).kind,
+                        mapro_core::AttrKind::Action(mapro_core::ActionSem::Goto)
+                    ) && !matches!(v, mapro_core::Value::Any)
+                })
+            }) {
+                return Err(FactorError::ConstMatchMustLead);
+            }
+            rest.next = Some(t_const.name.clone());
+            t_const.next = t.next.clone();
+            t_const.miss = MissPolicy::Drop;
+        }
+    }
+
+    let mut tables = Vec::new();
+    for old in &p.tables {
+        if old.name == t.name {
+            match placement {
+                FactorPlacement::Before => {
+                    tables.push(t_const.clone());
+                    tables.push(rest.clone());
+                }
+                FactorPlacement::After => {
+                    tables.push(rest.clone());
+                    tables.push(t_const.clone());
+                }
+            }
+        } else {
+            tables.push(old.clone());
+        }
+    }
+    Ok(Pipeline::new(p.catalog.clone(), tables, start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{assert_equivalent, ActionSem, Catalog, Value};
+
+    /// Fig. 2a miniature with constant eth_type and mod_ttl.
+    fn l3() -> Pipeline {
+        let mut c = Catalog::new();
+        let ety = c.field("eth_type", 16);
+        let dst = c.field("dst", 8);
+        let ttl = c.action("mod_ttl", ActionSem::Opaque);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("l3", vec![ety, dst], vec![ttl, out]);
+        for (d, o) in [(1u64, "p1"), (2, "p2"), (3, "p1")] {
+            t.row(
+                vec![Value::Int(0x800), Value::Int(d)],
+                vec![Value::sym("dec"), Value::sym(o)],
+            );
+        }
+        Pipeline::single(c, t)
+    }
+
+    #[test]
+    fn factor_before_like_fig2c() {
+        let p = l3();
+        let q = factor_constants(&p, "l3", None, FactorPlacement::Before).unwrap();
+        assert_eq!(q.tables.len(), 2);
+        // Constant stage: (eth_type | mod_ttl), one row; remainder (dst | out).
+        assert_eq!(q.tables[0].len(), 1);
+        assert_eq!(q.tables[0].match_attrs.len(), 1);
+        assert_eq!(q.tables[0].action_attrs.len(), 1);
+        assert_eq!(q.tables[1].len(), 3);
+        assert_equivalent(&p, &q);
+    }
+
+    #[test]
+    fn factor_after_commutes() {
+        let p = l3();
+        // Only the constant *action* may trail.
+        let ttl = p.catalog.lookup("mod_ttl").unwrap();
+        let q = factor_constants(&p, "l3", Some(&[ttl]), FactorPlacement::After).unwrap();
+        assert_eq!(q.tables.len(), 2);
+        assert_eq!(q.tables[1].name, "l3_const");
+        assert_equivalent(&p, &q);
+    }
+
+    #[test]
+    fn after_placement_with_const_match_rejected() {
+        let p = l3();
+        let ety = p.catalog.lookup("eth_type").unwrap();
+        assert_eq!(
+            factor_constants(&p, "l3", Some(&[ety]), FactorPlacement::After),
+            Err(FactorError::ConstMatchMustLead)
+        );
+    }
+
+    #[test]
+    fn nothing_to_factor() {
+        let p = l3();
+        let dst = p.catalog.lookup("dst").unwrap();
+        assert_eq!(
+            factor_constants(&p, "l3", Some(&[dst]), FactorPlacement::Before),
+            Err(FactorError::NothingToFactor)
+        );
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let mut t = Table::new("t", vec![f], vec![]);
+        t.row(vec![Value::Int(1)], vec![]);
+        t.row(vec![Value::Int(2)], vec![]);
+        let p = Pipeline::single(c, t);
+        assert_eq!(
+            factor_constants(&p, "t", None, FactorPlacement::Before),
+            Err(FactorError::NothingToFactor)
+        );
+    }
+
+    #[test]
+    fn refuses_erasing_all_match_columns() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::Int(7)], vec![Value::sym("a")]);
+        t.row(vec![Value::Int(7)], vec![Value::sym("b")]); // f constant
+        let p = Pipeline::single(c, t);
+        // f is the only match column; factoring it would leave rest matchless.
+        let f_id = p.catalog.lookup("f").unwrap();
+        assert_eq!(
+            factor_constants(&p, "t", Some(&[f_id]), FactorPlacement::Before),
+            Err(FactorError::WouldEraseMatch)
+        );
+    }
+
+    #[test]
+    fn goto_referenced_table_keeps_entry_name() {
+        let p0 = l3();
+        let mut c = p0.catalog.clone();
+        let g = c.action("jump", ActionSem::Goto);
+        let dst = c.lookup("dst").unwrap();
+        let mut front = Table::new("front", vec![dst], vec![g]);
+        front.row(vec![Value::Any], vec![Value::sym("l3")]);
+        let mut tables = vec![front];
+        tables.extend(p0.tables.iter().cloned());
+        let p = Pipeline::new(c, tables, "front");
+        let q = factor_constants(&p, "l3", None, FactorPlacement::Before).unwrap();
+        // goto "l3" must now hit the const stage first.
+        assert_equivalent(&p, &q);
+        assert_eq!(q.tables[1].name, "l3");
+        assert_eq!(q.tables[1].next.as_deref(), Some("l3_rest"));
+    }
+}

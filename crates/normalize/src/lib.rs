@@ -1,0 +1,46 @@
+//! # mapro-normalize — the paper's transformation engine
+//!
+//! Equivalent transformations of match-action programs between single-table
+//! and multi-table representations (§3–4 of *Normal Forms for Match-Action
+//! Programs*, CoNEXT'19):
+//!
+//! * [`decompose()`] — split a table along a functional dependency under the
+//!   goto / metadata / rematch join abstractions, with shape analysis for
+//!   action-valued sides and detection of the Fig. 3 order-independence
+//!   failure.
+//! * [`normalize()`] — iterate decomposition to 2NF/3NF, mining dependencies
+//!   from the instance.
+//! * [`factor`] — Cartesian-product extraction of constant columns
+//!   (Fig. 2c).
+//! * [`flatten()`] — denormalization: collapse a pipeline back into one
+//!   universal table (the transformation OVS's flow cache performs).
+//! * [`beyond3nf`] — join-dependency decompositions with path metadata for
+//!   the appendix's SDX use case (4NF/5NF territory), plus MVD splits and
+//!   the 4NF driver.
+//! * [`prune`] — exact dead-entry minimization, demonstrating §3's
+//!   orthogonality remark.
+//!
+//! Every transformation can be verified against the source program with
+//! `mapro-core`'s complete equivalence checker; the test suites do so
+//! throughout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beyond3nf;
+pub mod decompose;
+pub mod factor;
+pub mod flatten;
+pub mod join;
+pub mod normalize;
+pub mod prune;
+
+pub use beyond3nf::{chain_components_naive, decompose_jd, decompose_mvd, normalize_to_4nf, JdError, MvdStep};
+pub use decompose::{decompose, DecomposeError, DecomposeOpts};
+pub use factor::{factor_constants, FactorError, FactorPlacement};
+pub use flatten::{flatten, FlattenError};
+pub use join::JoinKind;
+pub use prune::{prune_dead_entries, PruneError, Pruned};
+pub use normalize::{
+    normalize, pipeline_level, report, Normalized, NormalizeOpts, SkipRecord, StepRecord, Target,
+};

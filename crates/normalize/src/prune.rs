@@ -1,0 +1,210 @@
+//! Dead-entry pruning — classifier minimization, the paper's §3 aside.
+//!
+//! "Our normal forms are orthogonal to existing approaches for minimizing
+//! packet classifiers [21, 23]": normalization removes *semantic*
+//! redundancy (facts stated twice), minimization removes *reachability*
+//! redundancy (entries no packet can hit — shadowed by higher-priority
+//! entries or unreachable stages). This module implements an exact
+//! minimizer over the interval-predicate fragment by enumerating the
+//! derived packet domain and deleting every entry no representative packet
+//! reaches; composing it with [`crate::normalize()`] demonstrates the
+//! orthogonality (tests do both orders).
+
+use mapro_core::{check_equivalent, Domain, EquivConfig, EquivOutcome, Packet, Pipeline};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Result of a pruning pass.
+#[derive(Debug, Clone)]
+pub struct Pruned {
+    /// The minimized pipeline.
+    pub pipeline: Pipeline,
+    /// Removed entries as `(table, original row index)`.
+    pub removed: Vec<(String, usize)>,
+    /// True when the packet domain was enumerated exhaustively (the pass
+    /// is exact); false when it was sampled (the pass is conservative —
+    /// only provably-hit entries are kept, so it re-verifies and refuses
+    /// on mismatch).
+    pub exhaustive: bool,
+}
+
+/// Why pruning failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneError {
+    /// Domain derivation or evaluation failed.
+    Analysis(String),
+    /// The sampled (non-exhaustive) pass would have changed semantics.
+    WouldChangeSemantics,
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::Analysis(e) => write!(f, "analysis failed: {e}"),
+            PruneError::WouldChangeSemantics => {
+                write!(f, "sampled pruning would change semantics; aborted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PruneError {}
+
+/// Remove every entry no packet of the derived domain can hit.
+///
+/// Exact (sound and complete) when the domain product is small enough to
+/// enumerate; falls back to sampling plus a full equivalence re-check
+/// otherwise.
+pub fn prune_dead_entries(p: &Pipeline, cfg: &EquivConfig) -> Result<Pruned, PruneError> {
+    let domain =
+        Domain::from_pipelines(&[p]).map_err(|e| PruneError::Analysis(e.to_string()))?;
+    let proto = Packet::zero(&p.catalog);
+    let index = p.name_index();
+
+    let mut hit: HashSet<(String, usize)> = HashSet::new();
+    let mut observe = |pkt: &Packet| -> Result<(), PruneError> {
+        let v = p
+            .run_indexed(pkt, &index)
+            .map_err(|e| PruneError::Analysis(e.to_string()))?;
+        for (t, h) in v.path.iter().zip(&v.hits) {
+            if let Some(row) = h {
+                hit.insert((t.clone(), *row));
+            }
+        }
+        Ok(())
+    };
+
+    let exhaustive = domain.product_size() <= cfg.max_exhaustive;
+    if exhaustive {
+        for pkt in domain.packets(&proto) {
+            observe(&pkt)?;
+        }
+    } else {
+        for pkt in domain.sample(&proto, cfg.samples, cfg.seed) {
+            observe(&pkt)?;
+        }
+    }
+
+    let mut out = p.clone();
+    let mut removed = Vec::new();
+    for t in &mut out.tables {
+        let name = t.name.clone();
+        let mut kept = Vec::with_capacity(t.entries.len());
+        for (row, e) in t.entries.drain(..).enumerate() {
+            if hit.contains(&(name.clone(), row)) {
+                kept.push(e);
+            } else {
+                removed.push((name.clone(), row));
+            }
+        }
+        t.entries = kept;
+    }
+
+    if !exhaustive {
+        match check_equivalent(p, &out, cfg) {
+            Ok(EquivOutcome::Equivalent { .. }) => {}
+            Ok(EquivOutcome::Counterexample(_)) => {
+                return Err(PruneError::WouldChangeSemantics)
+            }
+            Err(e) => return Err(PruneError::Analysis(e.to_string())),
+        }
+    }
+    Ok(Pruned {
+        pipeline: out,
+        removed,
+        exhaustive,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{assert_equivalent, ActionSem, Catalog, Table, Value};
+
+    fn shadowed_table() -> Pipeline {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::prefix(0, 0, 8)], vec![Value::sym("all")]); // matches everything
+        t.row(vec![Value::Int(5)], vec![Value::sym("never")]); // shadowed
+        t.row(vec![Value::Int(6)], vec![Value::sym("never2")]); // shadowed
+        Pipeline::single(c, t)
+    }
+
+    #[test]
+    fn shadowed_entries_removed_exactly() {
+        let p = shadowed_table();
+        let r = prune_dead_entries(&p, &EquivConfig::default()).unwrap();
+        assert!(r.exhaustive);
+        assert_eq!(
+            r.removed,
+            vec![("t".to_owned(), 1), ("t".to_owned(), 2)]
+        );
+        assert_eq!(r.pipeline.table("t").unwrap().len(), 1);
+        assert_equivalent(&p, &r.pipeline);
+    }
+
+    #[test]
+    fn live_entries_kept() {
+        use mapro_workloads::Gwlb;
+        let g = Gwlb::fig1();
+        let r = prune_dead_entries(&g.universal, &EquivConfig::default()).unwrap();
+        assert!(r.removed.is_empty(), "Fig. 1a has no dead entries");
+        assert_eq!(r.pipeline, g.universal);
+    }
+
+    #[test]
+    fn unreachable_stage_emptied() {
+        // A goto pipeline where one sub-table is never targeted.
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let goto = c.action("goto", ActionSem::Goto);
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![goto]);
+        t0.row(vec![Value::Int(1)], vec![Value::sym("live")]);
+        let mut live = Table::new("live", vec![f], vec![out]);
+        live.row(vec![Value::Any], vec![Value::sym("a")]);
+        let mut dead = Table::new("dead", vec![f], vec![out]);
+        dead.row(vec![Value::Any], vec![Value::sym("b")]);
+        let p = Pipeline::new(c, vec![t0, live, dead], "t0");
+        let r = prune_dead_entries(&p, &EquivConfig::default()).unwrap();
+        assert!(r.removed.contains(&("dead".to_owned(), 0)));
+        assert!(r.pipeline.table("dead").unwrap().is_empty());
+        assert_equivalent(&p, &r.pipeline);
+    }
+
+    #[test]
+    fn pruning_composes_with_normalization_both_orders() {
+        // §3: minimization and normalization are orthogonal. Build a GWLB
+        // with a shadowed row; prune∘normalize ≡ normalize∘prune ≡ source.
+        use mapro_workloads::Gwlb;
+        let g = Gwlb::random(4, 2, 3);
+        let mut p = g.universal.clone();
+        {
+            let t = p.table_mut("t0").unwrap();
+            // Append a row fully shadowed by the service it duplicates.
+            let dup = t.entries[0].clone();
+            let mut shadowed = dup.clone();
+            shadowed.actions[0] = Value::sym("ghost");
+            // Make its match a strict subset of entry 0's (same prefix, same
+            // exact fields) — identical matches would break 1NF, so narrow
+            // the source prefix.
+            if let Value::Prefix { bits, len } = shadowed.matches[0] {
+                shadowed.matches[0] = Value::prefix(bits, len + 1, 32);
+            }
+            t.entries.push(shadowed);
+        }
+        let cfg = EquivConfig::default();
+        // prune then normalize
+        let a = prune_dead_entries(&p, &cfg).unwrap();
+        assert!(!a.removed.is_empty());
+        let an = crate::normalize::normalize(&a.pipeline, &crate::NormalizeOpts::default());
+        assert_equivalent(&p, &an.pipeline);
+        // normalize then prune
+        let n = crate::normalize::normalize(&p, &crate::NormalizeOpts::default());
+        let np = prune_dead_entries(&n.pipeline, &cfg).unwrap();
+        assert_equivalent(&p, &np.pipeline);
+        assert_equivalent(&an.pipeline, &np.pipeline);
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic lookup-cost models.
+//!
+//! The paper's §5 numbers come from a physical testbed we do not have; the
+//! simulators replace it with explicit per-template cost functions. The
+//! *mechanisms* are structural (which template a table compiles to, how
+//! many tuples a TSS probes, how many stages a packet traverses); the
+//! *constants* below are calibrated so that the paper's workload (GWLB,
+//! N=20 services × M=8 backends, §5) lands in the right order of magnitude
+//! and reproduces the published shape:
+//!
+//! | switch | universal | goto-normalized | paper (Table 1) |
+//! |---|---|---|---|
+//! | ESwitch | slow wildcard template | exact + LPM templates | 9.6 → 15.0 Mpps, latency halves |
+//! | OVS | megaflow cache hit | megaflow cache hit | 4.7 ≈ 4.8 Mpps |
+//! | Lagopus | TSS, constant-ish | TSS, constant-ish | 1.4 ≈ 1.4 Mpps |
+//! | NoviFlow | line rate, 1 stage | line rate, +1 stage latency | rate flat, delay 6.4 → 8.4 µs |
+//!
+//! Absolute agreement with the testbed is explicitly a non-goal
+//! (EXPERIMENTS.md reports shape, not numbers).
+
+use mapro_classifier::{LookupStats, TemplateKind};
+
+/// Per-switch cost parameters (all times in nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostParams {
+    /// Fixed per-packet cost (RX/TX, parsing, bookkeeping).
+    pub per_packet_ns: f64,
+    /// Fixed per-table-visit cost.
+    pub per_table_ns: f64,
+    /// Exact-match probe.
+    pub exact_ns: f64,
+    /// LPM trie: base plus per-level cost.
+    pub lpm_base_ns: f64,
+    /// LPM trie per-level cost (× depth).
+    pub lpm_level_ns: f64,
+    /// Linear ternary scan: base plus per-entry cost.
+    pub linear_base_ns: f64,
+    /// Linear ternary per-entry cost (× entries; average scan is half, the
+    /// constant should fold that in).
+    pub linear_entry_ns: f64,
+    /// Tuple-space search per-tuple probe cost.
+    pub tss_tuple_ns: f64,
+    /// TCAM lookup (parallel compare).
+    pub tcam_ns: f64,
+    /// Multiplier from per-packet service time to measured latency
+    /// (queueing/batching scale of the original testbed; purely a
+    /// reporting scale, does not affect throughput).
+    pub queue_factor: f64,
+}
+
+impl CostParams {
+    /// ESwitch-like specializing software datapath.
+    pub fn eswitch() -> CostParams {
+        CostParams {
+            per_packet_ns: 44.0,
+            per_table_ns: 0.0,
+            exact_ns: 15.0,
+            lpm_base_ns: 6.0,
+            lpm_level_ns: 0.25,
+            linear_base_ns: 20.0,
+            linear_entry_ns: 0.25,
+            tss_tuple_ns: 15.0,
+            tcam_ns: 10.0,
+            queue_factor: 4100.0,
+        }
+    }
+
+    /// OVS-like datapath (costs apply to its megaflow cache and slow path).
+    pub fn ovs() -> CostParams {
+        CostParams {
+            per_packet_ns: 175.0,
+            per_table_ns: 0.0,
+            exact_ns: 15.0,
+            lpm_base_ns: 8.0,
+            lpm_level_ns: 0.5,
+            linear_base_ns: 30.0,
+            linear_entry_ns: 2.0,
+            tss_tuple_ns: 12.0,
+            tcam_ns: 10.0,
+            queue_factor: 2000.0,
+        }
+    }
+
+    /// Lagopus-like datapath: heavy fixed I/O cost, generic TSS tables.
+    pub fn lagopus() -> CostParams {
+        CostParams {
+            per_packet_ns: 680.0,
+            per_table_ns: 5.0,
+            exact_ns: 12.0,
+            lpm_base_ns: 8.0,
+            lpm_level_ns: 0.5,
+            linear_base_ns: 30.0,
+            linear_entry_ns: 2.0,
+            tss_tuple_ns: 10.0,
+            tcam_ns: 10.0,
+            queue_factor: 1000.0,
+        }
+    }
+
+    /// Hardware TCAM pipeline (per-packet cost is the line-rate slot; the
+    /// pipeline is fully parallel so stages do not reduce throughput).
+    pub fn noviflow() -> CostParams {
+        CostParams {
+            per_packet_ns: 93.2, // 10.73 Mpps line rate
+            per_table_ns: 0.0,
+            exact_ns: 0.0,
+            lpm_base_ns: 0.0,
+            lpm_level_ns: 0.0,
+            linear_base_ns: 0.0,
+            linear_entry_ns: 0.0,
+            tss_tuple_ns: 0.0,
+            tcam_ns: 0.0,
+            queue_factor: 1.0,
+        }
+    }
+
+    /// Modeled cost of one lookup in a classifier with the given stats.
+    pub fn lookup_ns(&self, s: &LookupStats) -> f64 {
+        self.per_table_ns
+            + match s.kind {
+                TemplateKind::Exact => self.exact_ns,
+                TemplateKind::Lpm => self.lpm_base_ns + self.lpm_level_ns * s.depth as f64,
+                TemplateKind::Linear => {
+                    self.linear_base_ns + self.linear_entry_ns * s.entries as f64
+                }
+                TemplateKind::Tss => self.tss_tuple_ns * s.tuples as f64,
+                TemplateKind::Tcam => self.tcam_ns,
+            }
+    }
+}
+
+/// Hardware pipeline latency model for the NoviFlow simulator: a fixed
+/// ingress/egress latency plus a per-stage traversal cost. Matches the
+/// paper's 6.4 µs (1 stage) → 8.4 µs (2 stages) observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HwLatency {
+    /// Fixed portion (µs).
+    pub base_us: f64,
+    /// Added per pipeline stage (µs).
+    pub per_stage_us: f64,
+}
+
+impl Default for HwLatency {
+    fn default() -> Self {
+        HwLatency {
+            base_us: 4.4,
+            per_stage_us: 2.0,
+        }
+    }
+}
+
+/// Control-channel stall model for hardware flow-mods (Fig. 4).
+///
+/// Each flow-mod stalls the forwarding pipeline briefly; a multi-entry
+/// *atomic* update additionally requires a bundle commit whose
+/// reconciliation dominates. Kuźniar et al. (ref. 18) measured flow-mod costs
+/// in the millisecond range on hardware OpenFlow switches; the bundle
+/// figure is calibrated to reproduce the paper's 20× throughput collapse
+/// at 100 updates/s × 8 touched entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlStall {
+    /// Datapath stall per individual flow-mod (ns).
+    pub per_flowmod_ns: f64,
+    /// Extra stall per atomic bundle spanning more than one entry (ns).
+    pub bundle_ns: f64,
+}
+
+impl Default for ControlStall {
+    fn default() -> Self {
+        ControlStall {
+            per_flowmod_ns: 50_000.0,      // 50 µs
+            bundle_ns: 9_100_000.0,        // 9.1 ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(kind: TemplateKind, entries: usize, tuples: usize, depth: usize) -> LookupStats {
+        LookupStats {
+            kind,
+            entries,
+            tuples,
+            depth,
+            key_cols: 2,
+        }
+    }
+
+    #[test]
+    fn eswitch_wildcard_much_slower_than_specialized() {
+        let p = CostParams::eswitch();
+        let universal = p.lookup_ns(&stats(TemplateKind::Linear, 160, 1, 160));
+        let exact = p.lookup_ns(&stats(TemplateKind::Exact, 20, 1, 1));
+        let lpm = p.lookup_ns(&stats(TemplateKind::Lpm, 8, 1, 4));
+        assert!(universal > exact + lpm, "{universal} vs {}", exact + lpm);
+        // Paper shape: universal ≈ 104 ns/pkt (9.6 Mpps), goto ≈ 67 (15).
+        let uni_pkt = p.per_packet_ns + universal;
+        let goto_pkt = p.per_packet_ns + exact + lpm;
+        let ratio = uni_pkt / goto_pkt;
+        assert!((1.3..1.9).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn tss_scales_with_tuples_not_entries() {
+        let p = CostParams::lagopus();
+        let few = p.lookup_ns(&stats(TemplateKind::Tss, 1000, 2, 1));
+        let many = p.lookup_ns(&stats(TemplateKind::Tss, 10, 8, 1));
+        assert!(many > few);
+    }
+
+    #[test]
+    fn tcam_constant() {
+        let p = CostParams::noviflow();
+        let a = p.lookup_ns(&stats(TemplateKind::Tcam, 10, 1, 1));
+        let b = p.lookup_ns(&stats(TemplateKind::Tcam, 100_000, 1, 1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hw_latency_matches_paper_shape() {
+        let h = HwLatency::default();
+        let one = h.base_us + h.per_stage_us;
+        let two = h.base_us + 2.0 * h.per_stage_us;
+        assert!((one - 6.4).abs() < 1e-9);
+        assert!((two - 8.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,481 @@
+//! The generic compiled datapath: a pipeline whose tables have been
+//! instantiated as concrete classifier templates.
+//!
+//! Every software-switch simulator is this executor with a different
+//! template-selection policy and cost parameterization. Semantics mirror
+//! [`mapro_core::Pipeline::run`] — the workspace test suite checks the
+//! two agree — while the compiled form adds per-lookup cost accounting
+//! against real data structures.
+
+use crate::cost::CostParams;
+use mapro_classifier::{
+    build_generic, build_specialized, Classifier, LookupStats, TableView, TemplateKind,
+};
+use mapro_core::{ActionSem, AttrId, AttrKind, MissPolicy, Packet, Pipeline};
+use std::fmt;
+use std::sync::Arc;
+
+/// How a datapath chooses classifier templates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplatePolicy {
+    /// Pick the cheapest template the table's shape admits (ESwitch).
+    Specialize {
+        /// Fallback for general-shaped tables.
+        generic: TemplateKind,
+    },
+    /// Use one generic template for every table (Lagopus: TSS).
+    Uniform(TemplateKind),
+    /// Hardware TCAM everywhere.
+    Tcam,
+}
+
+/// A compiled action.
+#[derive(Debug, Clone)]
+enum Act {
+    Output(Arc<str>),
+    Goto(usize),
+    SetField(AttrId, u64),
+    /// Annotation-only action (counted, no datapath effect).
+    Opaque,
+}
+
+struct CompiledTable {
+    name: String,
+    match_attrs: Vec<AttrId>,
+    classifier: Box<dyn Classifier + Send + Sync>,
+    stats: LookupStats,
+    actions: Vec<Vec<Act>>, // per entry
+    next: Option<usize>,
+    miss: CompiledMiss,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum CompiledMiss {
+    Drop,
+    Controller,
+    Fall(usize),
+}
+
+/// Why a pipeline could not be compiled to a datapath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// A goto/next/fall target does not exist.
+    UnknownTable(String),
+    /// A goto parameter was not symbolic, or a set-field parameter was not
+    /// an integer.
+    BadActionParam {
+        /// Offending table.
+        table: String,
+    },
+    /// A match cell was symbolic.
+    BadMatchCell {
+        /// Offending table.
+        table: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            CompileError::BadActionParam { table } => {
+                write!(f, "table {table:?}: bad action parameter")
+            }
+            CompileError::BadMatchCell { table } => {
+                write!(f, "table {table:?}: symbolic match cell")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Result of processing one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessOut {
+    /// Output port, if forwarded.
+    pub output: Option<Arc<str>>,
+    /// True if the packet was dropped (miss with drop policy).
+    pub dropped: bool,
+    /// Table lookups performed.
+    pub lookups: usize,
+    /// Modeled service time (occupancy) in ns.
+    pub service_ns: f64,
+    /// Modeled one-way latency in ns (before the reporting queue factor).
+    pub latency_ns: f64,
+    /// True if the packet took a slow path (OVS cache miss).
+    pub slow_path: bool,
+}
+
+/// A compiled pipeline plus its cost parameters.
+pub struct Datapath {
+    tables: Vec<CompiledTable>,
+    start: usize,
+    params: CostParams,
+    scratch_key: Vec<u64>,
+}
+
+impl Datapath {
+    /// Compile `p` under the given template policy and cost model.
+    pub fn compile(
+        p: &Pipeline,
+        policy: TemplatePolicy,
+        params: CostParams,
+    ) -> Result<Datapath, CompileError> {
+        let index = |name: &str| -> Result<usize, CompileError> {
+            p.tables
+                .iter()
+                .position(|t| t.name == name)
+                .ok_or_else(|| CompileError::UnknownTable(name.to_owned()))
+        };
+        let mut tables = Vec::with_capacity(p.tables.len());
+        for t in &p.tables {
+            let view = TableView::of(t, &p.catalog);
+            // Reject symbolic match cells up front (classifiers would panic).
+            for row in &view.rows {
+                if row.iter().any(|v| matches!(v, mapro_core::Value::Sym(_))) {
+                    return Err(CompileError::BadMatchCell {
+                        table: t.name.clone(),
+                    });
+                }
+            }
+            let classifier: Box<dyn Classifier + Send + Sync> = match policy {
+                TemplatePolicy::Specialize { generic } => build_specialized(&view, generic),
+                TemplatePolicy::Uniform(kind) => build_generic(&view, kind),
+                TemplatePolicy::Tcam => Box::new(
+                    mapro_classifier::TcamModel::build(&view, usize::MAX)
+                        .expect("unbounded capacity"),
+                ),
+            };
+            let stats = classifier.stats();
+            let mut actions = Vec::with_capacity(t.len());
+            for e in &t.entries {
+                let mut acts = Vec::new();
+                for (col, &attr) in t.action_attrs.iter().enumerate() {
+                    let param = &e.actions[col];
+                    if matches!(param, mapro_core::Value::Any) {
+                        continue;
+                    }
+                    let sem = match &p.catalog.attr(attr).kind {
+                        AttrKind::Action(s) => s,
+                        _ => unreachable!("action column"),
+                    };
+                    let act = match (sem, param) {
+                        (ActionSem::Output, mapro_core::Value::Sym(s)) => Act::Output(s.clone()),
+                        (ActionSem::Goto, mapro_core::Value::Sym(s)) => Act::Goto(index(s)?),
+                        (ActionSem::SetField(target), mapro_core::Value::Int(v)) => {
+                            Act::SetField(*target, *v)
+                        }
+                        (ActionSem::Opaque, _) => Act::Opaque,
+                        _ => {
+                            return Err(CompileError::BadActionParam {
+                                table: t.name.clone(),
+                            })
+                        }
+                    };
+                    acts.push(act);
+                }
+                actions.push(acts);
+            }
+            let next = match &t.next {
+                Some(n) => Some(index(n)?),
+                None => None,
+            };
+            let miss = match &t.miss {
+                MissPolicy::Drop => CompiledMiss::Drop,
+                MissPolicy::Controller => CompiledMiss::Controller,
+                MissPolicy::Fall(n) => CompiledMiss::Fall(index(n)?),
+            };
+            tables.push(CompiledTable {
+                name: t.name.clone(),
+                match_attrs: t.match_attrs.clone(),
+                classifier,
+                stats,
+                actions,
+                next,
+                miss,
+            });
+        }
+        let start = index(&p.start)?;
+        Ok(Datapath {
+            tables,
+            start,
+            params,
+            scratch_key: Vec::new(),
+        })
+    }
+
+    /// The template each table compiled to, for reports.
+    pub fn templates(&self) -> Vec<(String, TemplateKind)> {
+        self.tables
+            .iter()
+            .map(|t| (t.name.clone(), t.stats.kind))
+            .collect()
+    }
+
+    /// Number of pipeline stages a start-to-end walk traverses at most
+    /// (linear chain length from the start table; used by hardware latency
+    /// models).
+    pub fn max_stages(&self) -> usize {
+        // Depth of the longest goto/next chain, bounded by table count.
+        fn depth(dp: &Datapath, i: usize, seen: &mut Vec<bool>) -> usize {
+            if seen[i] {
+                return 0;
+            }
+            seen[i] = true;
+            let mut best = 0usize;
+            if let Some(n) = dp.tables[i].next {
+                best = best.max(depth(dp, n, seen));
+            }
+            if let CompiledMiss::Fall(n) = dp.tables[i].miss {
+                best = best.max(depth(dp, n, seen));
+            }
+            for acts in &dp.tables[i].actions {
+                for a in acts {
+                    if let Act::Goto(n) = a {
+                        best = best.max(depth(dp, *n, seen));
+                    }
+                }
+            }
+            seen[i] = false;
+            1 + best
+        }
+        let mut seen = vec![false; self.tables.len()];
+        depth(self, self.start, &mut seen)
+    }
+
+    /// Total modeled lookup cost of the full table set (diagnostics).
+    pub fn static_cost_ns(&self) -> f64 {
+        self.tables
+            .iter()
+            .map(|t| self.params.lookup_ns(&t.stats))
+            .sum()
+    }
+
+    /// Cost parameters in use.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Process one packet (mutating a private copy for set-field actions).
+    pub fn process(&mut self, pkt: &Packet) -> ProcessOut {
+        let mut pkt = pkt.clone();
+        let mut cur = Some(self.start);
+        let mut out = ProcessOut {
+            output: None,
+            dropped: false,
+            lookups: 0,
+            service_ns: self.params.per_packet_ns,
+            latency_ns: self.params.per_packet_ns,
+            slow_path: false,
+        };
+        let limit = self.tables.len() * 2 + 8;
+        let mut steps = 0;
+        while let Some(ti) = cur {
+            steps += 1;
+            if steps > limit {
+                break; // cycle guard; compiled pipelines are acyclic
+            }
+            let t = &self.tables[ti];
+            self.scratch_key.clear();
+            self.scratch_key
+                .extend(t.match_attrs.iter().map(|&a| pkt.get(a)));
+            let cost = self.params.lookup_ns(&t.stats);
+            out.lookups += 1;
+            out.service_ns += cost;
+            out.latency_ns += cost;
+            match t.classifier.lookup(&self.scratch_key) {
+                None => {
+                    match t.miss {
+                        CompiledMiss::Drop | CompiledMiss::Controller => {
+                            out.dropped = matches!(t.miss, CompiledMiss::Drop);
+                            cur = None;
+                        }
+                        CompiledMiss::Fall(n) => cur = Some(n),
+                    };
+                }
+                Some(row) => {
+                    let mut goto = None;
+                    for a in &self.tables[ti].actions[row] {
+                        match a {
+                            Act::Output(s) => out.output = Some(s.clone()),
+                            Act::Goto(n) => goto = Some(*n),
+                            Act::SetField(f, v) => pkt.set(*f, *v),
+                            Act::Opaque => {}
+                        }
+                    }
+                    cur = goto.or(self.tables[ti].next);
+                }
+            }
+        }
+        out
+    }
+
+    /// Table name by compiled index (diagnostics).
+    pub fn table_name(&self, i: usize) -> &str {
+        &self.tables[i].name
+    }
+}
+
+impl fmt::Debug for Datapath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Datapath")
+            .field("tables", &self.templates())
+            .field("start", &self.start)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{ActionSem, Catalog, Table, Value};
+
+    fn two_stage() -> Pipeline {
+        let mut c = Catalog::new();
+        let dst = c.field("dst", 16);
+        let src = c.field("src", 32);
+        let m = c.meta("m", 32);
+        let set_m = c.action("set_m", ActionSem::SetField(m));
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![dst], vec![set_m]);
+        t0.row(vec![Value::Int(1)], vec![Value::Int(10)]);
+        t0.row(vec![Value::Int(2)], vec![Value::Int(20)]);
+        t0.next = Some("t1".into());
+        let mut t1 = Table::new("t1", vec![m, src], vec![out]);
+        t1.row(
+            vec![Value::Int(10), Value::prefix(0, 1, 32)],
+            vec![Value::sym("a")],
+        );
+        t1.row(
+            vec![Value::Int(10), Value::prefix(0x8000_0000, 1, 32)],
+            vec![Value::sym("b")],
+        );
+        t1.row(vec![Value::Int(20), Value::Any], vec![Value::sym("c")]);
+        Pipeline::new(c, vec![t0, t1], "t0")
+    }
+
+    #[test]
+    fn compiled_datapath_agrees_with_interpreter() {
+        let p = two_stage();
+        for policy in [
+            TemplatePolicy::Specialize {
+                generic: TemplateKind::Linear,
+            },
+            TemplatePolicy::Uniform(TemplateKind::Tss),
+            TemplatePolicy::Uniform(TemplateKind::Linear),
+            TemplatePolicy::Tcam,
+        ] {
+            let mut dp = Datapath::compile(&p, policy, CostParams::eswitch()).unwrap();
+            for (dst, src) in [(1u64, 0u64), (1, u32::MAX as u64), (2, 5), (3, 5)] {
+                let pkt = Packet::from_fields(&p.catalog, &[("dst", dst), ("src", src)]);
+                let want = p.run(&pkt).unwrap();
+                let got = dp.process(&pkt);
+                assert_eq!(got.output.as_deref(), want.output.as_deref(), "{policy:?}");
+                assert_eq!(got.dropped, want.dropped);
+                assert_eq!(got.lookups, want.lookups);
+            }
+        }
+    }
+
+    #[test]
+    fn specialization_templates_visible() {
+        let p = two_stage();
+        let dp = Datapath::compile(
+            &p,
+            TemplatePolicy::Specialize {
+                generic: TemplateKind::Linear,
+            },
+            CostParams::eswitch(),
+        )
+        .unwrap();
+        let t: Vec<_> = dp.templates().into_iter().map(|(_, k)| k).collect();
+        // t0: single exact column → Exact; t1: meta exact + prefix → General.
+        assert_eq!(t[0], TemplateKind::Exact);
+        assert_eq!(t[1], TemplateKind::Linear);
+    }
+
+    #[test]
+    fn costs_accumulate_per_stage() {
+        let p = two_stage();
+        let mut dp = Datapath::compile(
+            &p,
+            TemplatePolicy::Uniform(TemplateKind::Linear),
+            CostParams::eswitch(),
+        )
+        .unwrap();
+        let pkt = Packet::from_fields(&p.catalog, &[("dst", 1), ("src", 0)]);
+        let r = dp.process(&pkt);
+        assert_eq!(r.lookups, 2);
+        assert!(r.service_ns > CostParams::eswitch().per_packet_ns);
+    }
+
+    #[test]
+    fn max_stages_counts_chain() {
+        let p = two_stage();
+        let dp = Datapath::compile(
+            &p,
+            TemplatePolicy::Tcam,
+            CostParams::noviflow(),
+        )
+        .unwrap();
+        assert_eq!(dp.max_stages(), 2);
+    }
+
+    #[test]
+    fn fall_miss_policy_resubmits() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![out]);
+        t0.row(vec![Value::Int(1)], vec![Value::sym("fast")]);
+        t0.miss = mapro_core::MissPolicy::Fall("t1".into());
+        let mut t1 = Table::new("t1", vec![f], vec![out]);
+        t1.row(vec![Value::Any], vec![Value::sym("slow")]);
+        let p = Pipeline::new(c, vec![t0, t1], "t0");
+        let mut dp = Datapath::compile(
+            &p,
+            TemplatePolicy::Uniform(TemplateKind::Linear),
+            CostParams::eswitch(),
+        )
+        .unwrap();
+        let hit = dp.process(&Packet::from_fields(&p.catalog, &[("f", 1)]));
+        assert_eq!(hit.output.as_deref(), Some("fast"));
+        assert_eq!(hit.lookups, 1);
+        let miss = dp.process(&Packet::from_fields(&p.catalog, &[("f", 9)]));
+        assert_eq!(miss.output.as_deref(), Some("slow"));
+        assert_eq!(miss.lookups, 2);
+        // The interpreter agrees.
+        let v = p
+            .run(&Packet::from_fields(&p.catalog, &[("f", 9)]))
+            .unwrap();
+        assert_eq!(v.output.as_deref(), Some("slow"));
+    }
+
+    #[test]
+    fn bad_goto_target_detected() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let g = c.action("g", ActionSem::Goto);
+        let mut t = Table::new("t", vec![f], vec![g]);
+        t.row(vec![Value::Int(1)], vec![Value::sym("zzz")]);
+        let p = Pipeline::new(c, vec![t], "t");
+        assert!(matches!(
+            Datapath::compile(&p, TemplatePolicy::Tcam, CostParams::noviflow()),
+            Err(CompileError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn symbolic_match_cell_rejected() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let mut t = Table::new("t", vec![f], vec![]);
+        t.row(vec![Value::sym("oops")], vec![]);
+        let p = Pipeline::single(c, t);
+        assert!(matches!(
+            Datapath::compile(&p, TemplatePolicy::Tcam, CostParams::noviflow()),
+            Err(CompileError::BadMatchCell { .. })
+        ));
+    }
+}

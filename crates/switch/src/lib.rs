@@ -1,0 +1,58 @@
+//! # mapro-switch — the simulated testbed
+//!
+//! §5 of the paper measures the GWLB pipeline on OVS, ESwitch, Lagopus and
+//! a NoviFlow 2128. This crate is the substitute testbed (see DESIGN.md
+//! §2 for the substitution argument):
+//!
+//! * [`datapath`] — the generic compiled-pipeline executor over real
+//!   classifier data structures with per-lookup cost accounting.
+//! * [`sims`] — [`EswitchSim`] (template specialization), [`LagopusSim`]
+//!   (uniform TSS), [`NoviflowSim`] (TCAM line rate + per-stage latency).
+//! * [`ovs`] — [`OvsSim`]: slow path + megaflow cache (OVS's explicit
+//!   denormalization).
+//! * [`harness`] — trace replay producing Table-1-style Mpps / latency
+//!   quartiles, modeled (deterministic) and wall-clock modes.
+//! * [`churn`] — the Fig. 4 control-plane stall model (analytic and
+//!   discrete-event timeline).
+//! * [`live`] — a datapath accepting control-plane flow-mods at runtime.
+//! * [`cost`] — the calibrated cost constants, documented in one place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod cost;
+pub mod datapath;
+pub mod harness;
+pub mod live;
+pub mod ovs;
+pub mod sims;
+
+pub use churn::{
+    churn_point, churn_sweep, queue_timeline, simulate_churn_timeline, ChurnPoint, ChurnSpec,
+    QueueConfig, QueueReport,
+};
+pub use cost::{ControlStall, CostParams, HwLatency};
+pub use datapath::{CompileError, Datapath, ProcessOut, TemplatePolicy};
+pub use harness::{
+    run_modeled, run_modeled_parallel, run_wallclock, run_with_updates, ClosedLoopReport,
+    RunReport,
+};
+pub use live::{LiveError, LiveSwitch, UpdateReceipt};
+pub use ovs::OvsSim;
+pub use sims::{EswitchSim, LagopusSim, NoviflowSim};
+
+use mapro_core::Packet;
+
+/// A switch model under test.
+pub trait Switch {
+    /// Short identifier (`eswitch`, `ovs`, …).
+    fn name(&self) -> &'static str;
+    /// Process one packet.
+    fn process(&mut self, pkt: &Packet) -> ProcessOut;
+    /// Reporting scale from service time to measured latency (testbed
+    /// queueing/batching; 1.0 for hardware).
+    fn queue_factor(&self) -> f64;
+    /// Longest pipeline chain (for hardware latency accounting).
+    fn stages(&self) -> usize;
+}

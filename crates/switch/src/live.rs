@@ -1,0 +1,319 @@
+//! A live switch: a datapath plus its installed pipeline state, accepting
+//! control-plane flow-mods at runtime.
+//!
+//! The reactiveness story (Fig. 4) has two halves: *how many* flow-mods an
+//! intent costs (modeled in [`crate::churn`]) and *what the datapath does*
+//! while applying them. [`LiveSwitch`] closes the loop functionally: it
+//! owns the authoritative [`Pipeline`], applies `RuleUpdate`s to it, and
+//! recompiles exactly the touched tables' classifiers — so routing changes
+//! take effect mid-trace, and per-update datapath work is observable
+//! (entries recompiled, stall estimate).
+
+use crate::cost::{ControlStall, CostParams};
+use crate::datapath::{CompileError, Datapath, ProcessOut, TemplatePolicy};
+use crate::Switch;
+use mapro_core::{Packet, Pipeline};
+
+/// One update's accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateReceipt {
+    /// Tables whose classifier was rebuilt.
+    pub recompiled_tables: Vec<String>,
+    /// Entries re-installed across those tables.
+    pub entries_touched: usize,
+    /// Modeled datapath stall for this flow-mod (ns).
+    pub stall_ns: f64,
+}
+
+/// A switch whose rules can change while traffic flows.
+pub struct LiveSwitch {
+    /// Authoritative control-plane state.
+    pipeline: Pipeline,
+    policy: TemplatePolicy,
+    params: CostParams,
+    stall: ControlStall,
+    dp: Datapath,
+    name: &'static str,
+    /// Cumulative modeled stall (ns) since construction.
+    pub total_stall_ns: f64,
+}
+
+impl LiveSwitch {
+    /// Install a pipeline under the given template policy / cost model.
+    pub fn install(
+        name: &'static str,
+        pipeline: Pipeline,
+        policy: TemplatePolicy,
+        params: CostParams,
+        stall: ControlStall,
+    ) -> Result<LiveSwitch, CompileError> {
+        let dp = Datapath::compile(&pipeline, policy, params.clone())?;
+        Ok(LiveSwitch {
+            pipeline,
+            policy,
+            params,
+            stall,
+            dp,
+            name,
+            total_stall_ns: 0.0,
+        })
+    }
+
+    /// A NoviFlow-flavoured live switch (TCAM templates, hardware stall
+    /// constants).
+    pub fn noviflow(pipeline: Pipeline) -> Result<LiveSwitch, CompileError> {
+        LiveSwitch::install(
+            "noviflow-live",
+            pipeline,
+            TemplatePolicy::Tcam,
+            CostParams::noviflow(),
+            ControlStall::default(),
+        )
+    }
+
+    /// An ESwitch-flavoured live switch: template specialization with
+    /// software-switch stall constants (flow-mods on a software datapath
+    /// cost microseconds of classifier rebuild, no TCAM bundle penalty).
+    pub fn eswitch(pipeline: Pipeline) -> Result<LiveSwitch, CompileError> {
+        LiveSwitch::install(
+            "eswitch-live",
+            pipeline,
+            TemplatePolicy::Specialize {
+                generic: mapro_classifier::TemplateKind::Linear,
+            },
+            CostParams::eswitch(),
+            ControlStall {
+                per_flowmod_ns: 5_000.0,
+                bundle_ns: 0.0,
+            },
+        )
+    }
+
+    /// The authoritative pipeline (what a controller would read back).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Apply one flow-mod: update control state, recompile the touched
+    /// table, account the stall.
+    pub fn apply_update(
+        &mut self,
+        update: &mapro_control::RuleUpdate,
+    ) -> Result<UpdateReceipt, LiveError> {
+        mapro_control::apply_update(&mut self.pipeline, update).map_err(LiveError::Apply)?;
+        // Recompile: our Datapath is immutable per table, so rebuild it and
+        // account the touched table's entries. (Hardware rewrites one TCAM
+        // line; the recompile here is the simulator's equivalent — the
+        // *stall model* stays per-flow-mod, not per-table.)
+        self.dp = Datapath::compile(&self.pipeline, self.policy, self.params.clone())
+            .map_err(LiveError::Compile)?;
+        let entries = self
+            .pipeline
+            .table(update.table())
+            .map(|t| t.len())
+            .unwrap_or(0);
+        let stall = self.stall.per_flowmod_ns;
+        self.total_stall_ns += stall;
+        Ok(UpdateReceipt {
+            recompiled_tables: vec![update.table().to_owned()],
+            entries_touched: entries,
+            stall_ns: stall,
+        })
+    }
+
+    /// Apply a whole plan; an atomic multi-entry plan additionally pays the
+    /// bundle-commit stall (§5 / Fig. 4).
+    pub fn apply_plan(
+        &mut self,
+        plan: &mapro_control::UpdatePlan,
+    ) -> Result<f64, LiveError> {
+        let mut stall = 0.0;
+        for u in &plan.updates {
+            stall += self.apply_update(u)?.stall_ns;
+        }
+        if plan.needs_bundle() {
+            stall += self.stall.bundle_ns;
+            self.total_stall_ns += self.stall.bundle_ns;
+        }
+        Ok(stall)
+    }
+}
+
+/// Errors from live updates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveError {
+    /// The flow-mod did not apply (unknown table/entry).
+    Apply(mapro_control::ApplyError),
+    /// The updated pipeline no longer compiles (e.g. dangling goto).
+    Compile(CompileError),
+}
+
+impl std::fmt::Display for LiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiveError::Apply(e) => write!(f, "update failed: {e}"),
+            LiveError::Compile(e) => write!(f, "recompile failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {}
+
+impl Switch for LiveSwitch {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn process(&mut self, pkt: &Packet) -> ProcessOut {
+        self.dp.process(pkt)
+    }
+
+    fn queue_factor(&self) -> f64 {
+        self.params.queue_factor
+    }
+
+    fn stages(&self) -> usize {
+        self.dp.max_stages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{ActionSem, AttrId, Catalog, Table, Value};
+    use mapro_control::{RuleUpdate, UpdatePlan};
+
+    fn pipeline() -> (Pipeline, AttrId, AttrId) {
+        let mut c = Catalog::new();
+        let f = c.field("f", 16);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::Int(1)], vec![Value::sym("a")]);
+        t.row(vec![Value::Int(2)], vec![Value::sym("b")]);
+        (Pipeline::single(c, t), f, out)
+    }
+
+    #[test]
+    fn updates_take_effect_mid_traffic() {
+        let (p, _, out) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p.clone()).unwrap();
+        let pkt = Packet::from_fields(&p.catalog, &[("f", 1)]);
+        assert_eq!(sw.process(&pkt).output.as_deref(), Some("a"));
+        let receipt = sw
+            .apply_update(&RuleUpdate::Modify {
+                table: "t".into(),
+                matches: vec![Value::Int(1)],
+                set: vec![(out, Value::sym("z"))],
+            })
+            .unwrap();
+        assert_eq!(receipt.recompiled_tables, vec!["t".to_owned()]);
+        assert!(receipt.stall_ns > 0.0);
+        assert_eq!(sw.process(&pkt).output.as_deref(), Some("z"));
+    }
+
+    #[test]
+    fn plan_application_accounts_bundle_stall() {
+        let (p, f, _) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p).unwrap();
+        let plan = UpdatePlan {
+            intent: "renumber".into(),
+            updates: vec![
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(1)],
+                    set: vec![(f, Value::Int(11))],
+                },
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(2)],
+                    set: vec![(f, Value::Int(12))],
+                },
+            ],
+        };
+        let stall = sw.apply_plan(&plan).unwrap();
+        let cs = ControlStall::default();
+        assert_eq!(stall, 2.0 * cs.per_flowmod_ns + cs.bundle_ns);
+        assert_eq!(sw.total_stall_ns, stall);
+        // The new match values route.
+        let pkt = Packet::from_fields(&sw.pipeline().catalog, &[("f", 11)]);
+        assert_eq!(sw.process(&pkt).output.as_deref(), Some("a"));
+        let pkt = Packet::from_fields(&sw.pipeline().catalog, &[("f", 1)]);
+        assert!(sw.process(&pkt).dropped);
+    }
+
+    #[test]
+    fn bad_update_rejected_and_state_unchanged() {
+        let (p, f, _) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p.clone()).unwrap();
+        let err = sw.apply_update(&RuleUpdate::Modify {
+            table: "t".into(),
+            matches: vec![Value::Int(99)],
+            set: vec![(f, Value::Int(1))],
+        });
+        assert!(matches!(err, Err(LiveError::Apply(_))));
+        assert_eq!(*sw.pipeline(), p);
+        assert_eq!(sw.total_stall_ns, 0.0);
+    }
+
+    #[test]
+    fn live_eswitch_respecializes_templates_after_update() {
+        use mapro_workloads::Gwlb;
+        let g = Gwlb::random(4, 2, 1);
+        let goto = g.normalized(mapro_normalize::JoinKind::Goto).unwrap();
+        let mut sw = LiveSwitch::eswitch(goto.clone()).unwrap();
+        let plan = g.move_service_port(&goto, 0, 4443);
+        sw.apply_plan(&plan).unwrap();
+        // Traffic to the new port routes; the old port drops.
+        let svc = &g.services[0];
+        let pkt = mapro_core::Packet::from_fields(
+            &sw.pipeline().catalog,
+            &[
+                ("ip_src", 3),
+                ("ip_dst", svc.ip as u64),
+                ("tcp_dst", 4443),
+            ],
+        );
+        assert!(sw.process(&pkt).output.is_some());
+        let old = mapro_core::Packet::from_fields(
+            &sw.pipeline().catalog,
+            &[
+                ("ip_src", 3),
+                ("ip_dst", svc.ip as u64),
+                ("tcp_dst", svc.port as u64),
+            ],
+        );
+        assert!(sw.process(&old).dropped);
+    }
+
+    #[test]
+    fn normalized_gwlb_update_on_live_switch() {
+        use mapro_workloads::Gwlb;
+        let g = Gwlb::fig1();
+        let goto = g.normalized(mapro_normalize::JoinKind::Goto).unwrap();
+        let mut uni_sw = LiveSwitch::noviflow(g.universal.clone()).unwrap();
+        let mut norm_sw = LiveSwitch::noviflow(goto.clone()).unwrap();
+        // Move tenant 1 to port 8443 on both.
+        let uni_stall = uni_sw
+            .apply_plan(&g.move_service_port(&g.universal, 0, 8443))
+            .unwrap();
+        let norm_stall = norm_sw
+            .apply_plan(&g.move_service_port(&goto, 0, 8443))
+            .unwrap();
+        // The universal switch paid the bundle; the normalized one did not.
+        assert!(uni_stall > 10.0 * norm_stall, "{uni_stall} vs {norm_stall}");
+        // Both now route the new port identically.
+        let pkt = mapro_core::Packet::from_fields(
+            &g.universal.catalog,
+            &[
+                ("ip_src", 7),
+                ("ip_dst", mapro_packet::ipv4("192.0.2.1") as u64),
+                ("tcp_dst", 8443),
+            ],
+        );
+        assert_eq!(
+            uni_sw.process(&pkt).output.as_deref(),
+            norm_sw.process(&pkt).output.as_deref()
+        );
+        assert_eq!(uni_sw.process(&pkt).output.as_deref(), Some("vm1"));
+    }
+}

@@ -1,0 +1,463 @@
+//! The Open vSwitch model: slow-path interpretation plus a megaflow cache.
+//!
+//! §5: "the \[OVS\] datapath collapses OpenFlow tables into a single flow
+//! cache; in other words, OVS explicitly denormalizes the pipeline prior
+//! to encoding it into the datapath" — which is why OVS is agnostic to
+//! normalization. We model exactly that: the first packet of a flow walks
+//! the full pipeline in the slow path; the walk's *megaflow* (the union of
+//! the masks of every field examined along the way, conservative
+//! unwildcarding) is installed into a single tuple-space cache; later
+//! packets covered by the megaflow hit the cache in one lookup, at a cost
+//! independent of how many tables the pipeline has.
+
+use crate::cost::CostParams;
+use crate::datapath::ProcessOut;
+use crate::Switch;
+use mapro_core::value::prefix_mask;
+use mapro_core::{AttrId, AttrKind, Packet, Pipeline, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, PartialEq)]
+struct CachedVerdict {
+    output: Option<Arc<str>>,
+    dropped: bool,
+    pipeline_lookups: usize,
+}
+
+/// The OVS simulator.
+pub struct OvsSim {
+    pipeline: Pipeline,
+    fields: Vec<AttrId>,
+    /// Per-table, per-field conservative mask (precomputed).
+    table_masks: HashMap<String, Vec<u64>>,
+    /// The megaflow cache: (mask tuple, masked-key map).
+    #[allow(clippy::type_complexity)]
+    cache: Vec<(Vec<u64>, HashMap<Vec<u64>, CachedVerdict>)>,
+    params: CostParams,
+    /// Modeled slow-path cost (upcall + pipeline interpretation), ns.
+    pub slow_path_ns: f64,
+    /// Maximum megaflow entries before eviction (OVS's `flow-limit`;
+    /// defaults to the real datapath's 200 000).
+    pub cache_capacity: usize,
+    /// FIFO of installed (tuple index is rediscovered by mask) masked keys,
+    /// for eviction order.
+    fifo: std::collections::VecDeque<(Vec<u64>, Vec<u64>)>,
+    name_index_cache: Vec<(String, usize)>,
+}
+
+impl OvsSim {
+    /// Build the simulator around a pipeline (kept for slow-path walks).
+    pub fn compile(p: &Pipeline) -> OvsSim {
+        let fields: Vec<AttrId> = p
+            .catalog
+            .iter()
+            .filter(|(_, a)| matches!(a.kind, AttrKind::Field))
+            .map(|(id, _)| id)
+            .collect();
+        // Conservative per-table unwildcarding: every field bit any entry
+        // of the table examines.
+        let mut table_masks = HashMap::new();
+        for t in &p.tables {
+            let mut mask = vec![0u64; fields.len()];
+            for (col, &attr) in t.match_attrs.iter().enumerate() {
+                let Some(fi) = fields.iter().position(|&f| f == attr) else {
+                    continue; // metadata: internal, resolved by the walk
+                };
+                let w = p.catalog.attr(attr).width;
+                for e in &t.entries {
+                    mask[fi] |= cell_mask(&e.matches[col], w);
+                }
+            }
+            table_masks.insert(t.name.clone(), mask);
+        }
+        let name_index_cache = p
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name.clone(), i))
+            .collect();
+        OvsSim {
+            pipeline: p.clone(),
+            fields,
+            table_masks,
+            cache: Vec::new(),
+            params: CostParams::ovs(),
+            slow_path_ns: 50_000.0,
+            cache_capacity: 200_000,
+            fifo: std::collections::VecDeque::new(),
+            name_index_cache,
+        }
+    }
+
+    /// Apply a control-plane flow-mod: update the slow-path pipeline and
+    /// flush the megaflow cache (OVS's revalidators invalidate affected
+    /// megaflows on any OpenFlow table change; we model the conservative
+    /// full flush a table-version bump causes).
+    pub fn apply_update(
+        &mut self,
+        update: &mapro_control::RuleUpdate,
+    ) -> Result<(), mapro_control::ApplyError> {
+        mapro_control::apply_update(&mut self.pipeline, update)?;
+        // Masks may have changed shape; recompute them.
+        *self = OvsSim {
+            cache_capacity: self.cache_capacity,
+            slow_path_ns: self.slow_path_ns,
+            ..OvsSim::compile(&self.pipeline)
+        };
+        Ok(())
+    }
+
+    /// Drop every megaflow (revalidation flush).
+    pub fn invalidate_cache(&mut self) {
+        self.cache.clear();
+        self.fifo.clear();
+    }
+
+    /// Number of megaflow entries installed.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.iter().map(|(_, m)| m.len()).sum()
+    }
+
+    /// Number of distinct megaflow mask tuples.
+    pub fn cache_tuples(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn cache_lookup(&self, key: &[u64]) -> Option<&CachedVerdict> {
+        let mut probe = vec![0u64; key.len()];
+        for (mask, map) in &self.cache {
+            for (i, m) in mask.iter().enumerate() {
+                probe[i] = key[i] & m;
+            }
+            if let Some(v) = map.get(probe.as_slice()) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn install(&mut self, mask: Vec<u64>, key: &[u64], v: CachedVerdict) {
+        // Enforce the flow limit: evict the oldest megaflow (OVS's
+        // revalidators use fancier heuristics; FIFO preserves the property
+        // under test — bounded cache, churn under overload).
+        while self.cache_entries() >= self.cache_capacity {
+            let Some((emask, ekey)) = self.fifo.pop_front() else {
+                break;
+            };
+            if let Some((_, map)) = self.cache.iter_mut().find(|(m, _)| *m == emask) {
+                map.remove(&ekey);
+            }
+            self.cache.retain(|(_, map)| !map.is_empty());
+        }
+        let masked: Vec<u64> = key.iter().zip(&mask).map(|(k, m)| k & m).collect();
+        self.fifo.push_back((mask.clone(), masked.clone()));
+        match self.cache.iter_mut().find(|(m, _)| *m == mask) {
+            Some((_, map)) => {
+                map.insert(masked, v);
+            }
+            None => {
+                let mut map = HashMap::new();
+                map.insert(masked, v);
+                self.cache.push((mask, map));
+            }
+        }
+    }
+}
+
+fn cell_mask(v: &Value, width: u32) -> u64 {
+    match *v {
+        Value::Int(_) => prefix_mask(width as u8, width),
+        Value::Prefix { len, .. } => prefix_mask(len, width),
+        Value::Ternary { mask, .. } => mask,
+        Value::Any => 0,
+        Value::Sym(_) => 0,
+    }
+}
+
+impl Switch for OvsSim {
+    fn name(&self) -> &'static str {
+        "ovs"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> ProcessOut {
+        let key: Vec<u64> = self.fields.iter().map(|&a| pkt.get(a)).collect();
+        // Fast path: megaflow cache.
+        let tuples = self.cache.len().max(1);
+        if let Some(hit) = self.cache_lookup(&key) {
+            let cost = self.params.per_packet_ns + self.params.tss_tuple_ns * tuples as f64;
+            return ProcessOut {
+                output: hit.output.clone(),
+                dropped: hit.dropped,
+                lookups: 1,
+                service_ns: cost,
+                latency_ns: cost,
+                slow_path: false,
+            };
+        }
+        // Slow path: interpret the pipeline, collect the megaflow.
+        let index: HashMap<&str, usize> = self
+            .name_index_cache
+            .iter()
+            .map(|(n, i)| (n.as_str(), *i))
+            .collect();
+        let verdict = self
+            .pipeline
+            .run_indexed(pkt, &index)
+            .expect("pipeline evaluates (acyclic, resolved)");
+        let mut mask = vec![0u64; self.fields.len()];
+        for tname in &verdict.path {
+            if let Some(tm) = self.table_masks.get(tname) {
+                for (i, m) in tm.iter().enumerate() {
+                    mask[i] |= m;
+                }
+            }
+        }
+        let cached = CachedVerdict {
+            output: verdict.output.clone(),
+            dropped: verdict.dropped,
+            pipeline_lookups: verdict.lookups,
+        };
+        self.install(mask, &key, cached);
+        let cost = self.slow_path_ns
+            + self.params.per_packet_ns
+            + self.params.linear_base_ns * verdict.lookups as f64;
+        ProcessOut {
+            output: verdict.output,
+            dropped: verdict.dropped,
+            lookups: verdict.lookups,
+            service_ns: cost,
+            latency_ns: cost,
+            slow_path: true,
+        }
+    }
+
+    fn queue_factor(&self) -> f64 {
+        self.params.queue_factor
+    }
+
+    fn stages(&self) -> usize {
+        self.pipeline.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{ActionSem, Catalog, Table};
+
+    fn universal() -> Pipeline {
+        let mut c = Catalog::new();
+        let src = c.field("ip_src", 32);
+        let dst = c.field("ip_dst", 32);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t0", vec![src, dst], vec![out]);
+        for tenant in 0..3u64 {
+            for b in 0..2u64 {
+                t.row(
+                    vec![Value::prefix(b << 31, 1, 32), Value::Int(tenant)],
+                    vec![Value::sym(format!("vm{}", tenant * 2 + b))],
+                );
+            }
+        }
+        Pipeline::single(c, t)
+    }
+
+    /// Goto-chained two-stage equivalent of [`universal`], built by hand
+    /// (the two-field table has no FD to decompose along).
+    fn decomposed() -> Pipeline {
+        let p = universal();
+        let mut c = p.catalog.clone();
+        let goto = c.action("goto", ActionSem::Goto);
+        let dst = c.lookup("ip_dst").unwrap();
+        let src = c.lookup("ip_src").unwrap();
+        let out = c.lookup("out").unwrap();
+        let mut t0 = Table::new("t0", vec![dst], vec![goto]);
+        let mut subs = Vec::new();
+        for tenant in 0..3u64 {
+            t0.row(
+                vec![Value::Int(tenant)],
+                vec![Value::sym(format!("t{}", tenant + 1))],
+            );
+            let mut s = Table::new(format!("t{}", tenant + 1), vec![src], vec![out]);
+            for b in 0..2u64 {
+                s.row(
+                    vec![Value::prefix(b << 31, 1, 32)],
+                    vec![Value::sym(format!("vm{}", tenant * 2 + b))],
+                );
+            }
+            subs.push(s);
+        }
+        let mut tables = vec![t0];
+        tables.extend(subs);
+        Pipeline::new(c, tables, "t0")
+    }
+
+    #[test]
+    fn first_packet_slow_then_fast() {
+        let p = universal();
+        let mut sim = OvsSim::compile(&p);
+        let pkt = Packet::from_fields(&p.catalog, &[("ip_src", 7), ("ip_dst", 1)]);
+        let first = sim.process(&pkt);
+        assert!(first.slow_path);
+        assert_eq!(first.output.as_deref(), Some("vm2"));
+        let second = sim.process(&pkt);
+        assert!(!second.slow_path);
+        assert_eq!(second.output.as_deref(), Some("vm2"));
+        assert!(second.service_ns < first.service_ns);
+        assert_eq!(sim.cache_entries(), 1);
+    }
+
+    #[test]
+    fn megaflow_covers_the_flow_not_the_packet() {
+        let p = universal();
+        let mut sim = OvsSim::compile(&p);
+        let a = Packet::from_fields(&p.catalog, &[("ip_src", 7), ("ip_dst", 1)]);
+        sim.process(&a);
+        // Different ip_src in the same /1 + same dst → same megaflow.
+        let b = Packet::from_fields(&p.catalog, &[("ip_src", 1234), ("ip_dst", 1)]);
+        let r = sim.process(&b);
+        assert!(!r.slow_path, "megaflow should cover the whole /1 flow");
+        assert_eq!(r.output.as_deref(), Some("vm2"));
+        // Other half of the /1 split → new megaflow.
+        let c = Packet::from_fields(&p.catalog, &[("ip_src", 1u64 << 31), ("ip_dst", 1)]);
+        let r = sim.process(&c);
+        assert!(r.slow_path);
+        assert_eq!(r.output.as_deref(), Some("vm3"));
+    }
+
+    #[test]
+    fn cache_collapses_multi_table_pipeline() {
+        let p = decomposed();
+        let mut sim = OvsSim::compile(&p);
+        let pkt = Packet::from_fields(&p.catalog, &[("ip_src", 7), ("ip_dst", 1)]);
+        let first = sim.process(&pkt);
+        assert!(first.slow_path);
+        assert_eq!(first.lookups, 2); // walked two tables
+        let second = sim.process(&pkt);
+        assert_eq!(second.lookups, 1); // single cache lookup
+        assert_eq!(second.output.as_deref(), Some("vm2"));
+    }
+
+    #[test]
+    fn fast_path_cost_representation_independent() {
+        // Universal vs goto: once the cache is warm, per-packet cost is
+        // within a whisker (same mask tuples → same probe count).
+        let pu = universal();
+        let pd = decomposed();
+        let mut su = OvsSim::compile(&pu);
+        let mut sd = OvsSim::compile(&pd);
+        for sim in [&mut su, &mut sd] {
+            for tenant in 0..3u64 {
+                for srcbit in [0u64, 1] {
+                    let pkt = Packet::from_fields(
+                        &pu.catalog,
+                        &[("ip_src", srcbit << 31), ("ip_dst", tenant)],
+                    );
+                    sim.process(&pkt);
+                }
+            }
+        }
+        let pkt = Packet::from_fields(&pu.catalog, &[("ip_src", 9), ("ip_dst", 2)]);
+        let a = su.process(&pkt);
+        let b = sd.process(&pkt);
+        assert!(!a.slow_path && !b.slow_path);
+        assert_eq!(a.output, b.output);
+        let ratio = a.service_ns / b.service_ns;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn updates_invalidate_stale_megaflows() {
+        use mapro_control::RuleUpdate;
+        let p = universal();
+        let out = p.catalog.lookup("out").unwrap();
+        let mut sim = OvsSim::compile(&p);
+        let pkt = Packet::from_fields(&p.catalog, &[("ip_src", 7), ("ip_dst", 1)]);
+        assert_eq!(sim.process(&pkt).output.as_deref(), Some("vm2"));
+        assert!(!sim.process(&pkt).slow_path); // warm
+        // Rewire the flow's backend; the warm cache must not serve vm2.
+        sim.apply_update(&RuleUpdate::Modify {
+            table: "t0".into(),
+            matches: vec![Value::prefix(0, 1, 32), Value::Int(1)],
+            set: vec![(out, Value::sym("vmX"))],
+        })
+        .unwrap();
+        let r = sim.process(&pkt);
+        assert!(r.slow_path, "cache must be revalidated after a flow-mod");
+        assert_eq!(r.output.as_deref(), Some("vmX"));
+        assert_eq!(sim.process(&pkt).output.as_deref(), Some("vmX"));
+    }
+
+    #[test]
+    fn manual_invalidation_flushes() {
+        let p = universal();
+        let mut sim = OvsSim::compile(&p);
+        let pkt = Packet::from_fields(&p.catalog, &[("ip_src", 7), ("ip_dst", 1)]);
+        sim.process(&pkt);
+        assert_eq!(sim.cache_entries(), 1);
+        sim.invalidate_cache();
+        assert_eq!(sim.cache_entries(), 0);
+        assert!(sim.process(&pkt).slow_path);
+    }
+
+    #[test]
+    fn flow_limit_evicts_oldest_megaflow() {
+        let p = universal();
+        let mut sim = OvsSim::compile(&p);
+        sim.cache_capacity = 2;
+        let pkts: Vec<_> = (0..3u64)
+            .map(|t| Packet::from_fields(&p.catalog, &[("ip_src", 7), ("ip_dst", t)]))
+            .collect();
+        for pkt in &pkts {
+            assert!(sim.process(pkt).slow_path);
+        }
+        assert_eq!(sim.cache_entries(), 2);
+        // The first flow was evicted: slow path again; the last still hits.
+        assert!(sim.process(&pkts[0]).slow_path);
+        assert!(!sim.process(&pkts[2]).slow_path);
+    }
+
+    #[test]
+    fn skewed_traffic_keeps_hit_rate_high_under_small_cache() {
+        use mapro_packet::{generate, Popularity};
+        let g = mapro_workloads::Gwlb::random(32, 4, 3);
+        let mut spec = g.trace_spec();
+        spec.popularity = Popularity::Zipf(1.6);
+        let trace = generate(&g.universal.catalog, &spec, 6_000, 5);
+        let mut small = OvsSim::compile(&g.universal);
+        small.cache_capacity = 16; // 128 flows total
+        let mut upcalls = 0usize;
+        for (_, pkt) in &trace.packets {
+            if small.process(pkt).slow_path {
+                upcalls += 1;
+            }
+        }
+        let hit_rate = 1.0 - upcalls as f64 / trace.len() as f64;
+        // Zipf(1.6) concentrates traffic on the top flows: even a 16-entry
+        // FIFO cache serves most packets from the fast path.
+        assert!(hit_rate > 0.7, "hit rate {hit_rate}");
+        // Uniform traffic with the same tiny cache thrashes much more.
+        let uniform = generate(&g.universal.catalog, &g.trace_spec(), 6_000, 5);
+        let mut sim2 = OvsSim::compile(&g.universal);
+        sim2.cache_capacity = 16;
+        let mut upcalls2 = 0usize;
+        for (_, pkt) in &uniform.packets {
+            if sim2.process(pkt).slow_path {
+                upcalls2 += 1;
+            }
+        }
+        assert!(upcalls2 > upcalls * 2, "{upcalls2} vs {upcalls}");
+    }
+
+    #[test]
+    fn dropped_flows_cached_too() {
+        let p = universal();
+        let mut sim = OvsSim::compile(&p);
+        let pkt = Packet::from_fields(&p.catalog, &[("ip_src", 7), ("ip_dst", 99)]);
+        let first = sim.process(&pkt);
+        assert!(first.dropped && first.slow_path);
+        let second = sim.process(&pkt);
+        assert!(second.dropped && !second.slow_path);
+    }
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate every artifact of the reproduction:
+#   - the full test suite (shape assertions per experiment),
+#   - every table/figure via the repro binary (text + JSON),
+#   - the Criterion benches (wall-clock corroboration).
+#
+# Results land in ./reproduction-output/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=reproduction-output
+mkdir -p "$OUT"
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee "$OUT/test_output.txt" | grep -E "test result" | tail -5
+
+echo "== experiments (text) =="
+cargo run --release -p mapro-bench --bin repro | tee "$OUT/experiments.txt" | grep '############'
+
+echo "== experiments (json) =="
+for e in table1 fig4 fig4queue size control monitor theorem1 templates cache scaling joins; do
+    cargo run --release -p mapro-bench --bin repro -- --experiment "$e" --json \
+        | sed '1,/############/d' > "$OUT/$e.json"
+done
+
+echo "== benches =="
+cargo bench --workspace 2>&1 | tee "$OUT/bench_output.txt" | grep -E "^(table1|fig4|encoding|classifier|normalize)/" || true
+
+echo "done; see $OUT/"

@@ -1,0 +1,76 @@
+//! E6 — §2 encoding-size claims: 24 vs 21 on Fig. 1, and the parametric
+//! `4MN` vs `N(3+2M)` formulas, including the asymptotic "roughly half"
+//! claim for large M.
+
+use mapro::prelude::*;
+use mapro_bench::encoding_sizes;
+
+#[test]
+fn fig1_counts_24_vs_21() {
+    let g = Gwlb::fig1();
+    assert_eq!(g.universal.field_count(), 24);
+    assert_eq!(g.normalized(JoinKind::Goto).unwrap().field_count(), 21);
+}
+
+#[test]
+fn parametric_formulas_hold_exactly() {
+    for row in encoding_sizes(&[5, 10, 20], &[2, 4, 8, 16], 2019) {
+        assert_eq!(row.universal, row.formula_universal, "N={} M={}", row.n, row.m);
+        assert_eq!(row.goto, row.formula_goto, "N={} M={}", row.n, row.m);
+    }
+}
+
+#[test]
+fn goto_approaches_half_the_universal_size_for_large_m() {
+    // §2: "roughly half the data-plane encoding size … for M large enough":
+    // N(3+2M) / 4MN → 1/2 as M → ∞.
+    let rows = encoding_sizes(&[10], &[2, 4, 8, 16, 32], 2019);
+    let mut prev_ratio = f64::MAX;
+    for r in &rows {
+        let ratio = r.goto as f64 / r.universal as f64;
+        assert!(ratio < prev_ratio, "ratio should fall with M");
+        prev_ratio = ratio;
+    }
+    let last = rows.last().unwrap();
+    let ratio = last.goto as f64 / last.universal as f64;
+    assert!((0.5..0.56).contains(&ratio), "M=32 ratio {ratio:.3}");
+}
+
+#[test]
+fn join_size_ordering_goto_smallest() {
+    // §4: "the goto_table … join abstraction results [in] the smallest
+    // aggregate space in general". (Metadata vs rematch is workload-
+    // dependent: for a single-field X the rematch form saves the tag
+    // column; the paper only warns rematch *may* be larger "since X may
+    // involve matching on multiple header fields".)
+    for row in encoding_sizes(&[10, 20], &[4, 8], 2019) {
+        assert!(row.goto <= row.metadata, "N={} M={}", row.n, row.m);
+        assert!(row.goto <= row.rematch, "N={} M={}", row.n, row.m);
+        assert!(row.goto < row.universal);
+    }
+}
+
+#[test]
+fn tcam_bits_shrink_too() {
+    let g = Gwlb::random(20, 8, 2019);
+    let goto = g.normalized(JoinKind::Goto).unwrap();
+    let uni_bits = SizeReport::of(&g.universal).tcam_bits();
+    let goto_bits = SizeReport::of(&goto).tcam_bits();
+    assert!(
+        goto_bits < uni_bits,
+        "TCAM bits {goto_bits} !< {uni_bits}"
+    );
+}
+
+#[test]
+fn size_report_breakdown_consistent() {
+    let g = Gwlb::fig1();
+    let goto = g.normalized(JoinKind::Goto).unwrap();
+    let rep = SizeReport::of(&goto);
+    assert_eq!(rep.tables.len(), 4);
+    assert_eq!(rep.fields(), goto.field_count());
+    assert_eq!(
+        rep.entries(),
+        goto.tables.iter().map(|t| t.len()).sum::<usize>()
+    );
+}

@@ -1,0 +1,96 @@
+//! E1 — Fig. 1: the four GWLB representations and their equivalence.
+
+use mapro::prelude::*;
+
+#[test]
+fn fig1a_universal_matches_paper_layout() {
+    let g = Gwlb::fig1();
+    let t = g.universal.table("t0").unwrap();
+    assert_eq!(t.len(), 6);
+    assert_eq!(t.match_attrs.len(), 3);
+    assert_eq!(t.action_attrs.len(), 1);
+    assert_eq!(g.universal.field_count(), 24); // §2: "contains 24 match-action fields"
+    // 1NF: uniquely identified, order independent.
+    assert!(t.rows_unique());
+    assert!(t.order_independence(&g.universal.catalog).is_empty());
+}
+
+#[test]
+fn fig1b_goto_decomposition_layout() {
+    let g = Gwlb::fig1();
+    let p = g.normalized(JoinKind::Goto).unwrap();
+    // T0 plus three per-tenant tables, sized 2 / 3 / 1.
+    assert_eq!(p.tables.len(), 4);
+    assert_eq!(p.tables[0].len(), 3);
+    assert_eq!(p.tables[1].len(), 2);
+    assert_eq!(p.tables[2].len(), 3);
+    assert_eq!(p.tables[3].len(), 1);
+    assert_eq!(p.field_count(), 21); // §2: "only 21"
+    assert_equivalent(&g.universal, &p);
+}
+
+#[test]
+fn fig1c_metadata_decomposition() {
+    let g = Gwlb::fig1();
+    let p = g.normalized(JoinKind::Metadata).unwrap();
+    assert_eq!(p.tables.len(), 2);
+    // Stage 1 carries a write-metadata action column; stage 2 matches a
+    // metadata field that did not exist in the universal catalog.
+    let meta = p.catalog.lookup("M_t0").expect("tag field introduced");
+    assert!(p.tables[1].match_attrs.contains(&meta));
+    assert!(g.universal.catalog.lookup("M_t0").is_none());
+    assert_equivalent(&g.universal, &p);
+}
+
+#[test]
+fn fig1d_rematch_decomposition() {
+    let g = Gwlb::fig1();
+    let p = g.normalized(JoinKind::Rematch).unwrap();
+    assert_eq!(p.tables.len(), 2);
+    // The second stage re-matches ip_dst.
+    assert!(p.tables[1].match_attrs.contains(&g.ip_dst));
+    assert_equivalent(&g.universal, &p);
+}
+
+#[test]
+fn every_packet_reaches_the_same_backend_in_all_forms() {
+    let g = Gwlb::fig1();
+    let forms: Vec<Pipeline> = [JoinKind::Goto, JoinKind::Metadata, JoinKind::Rematch]
+        .into_iter()
+        .map(|j| g.normalized(j).unwrap())
+        .collect();
+    // Spot-check the paper's narrative packets.
+    let cases = [
+        (0u64, "192.0.2.1", 80u64, Some("vm1")),
+        (u32::MAX as u64, "192.0.2.1", 80, Some("vm2")),
+        (0, "192.0.2.2", 443, Some("vm3")),
+        (0x4000_0000, "192.0.2.2", 443, Some("vm4")),
+        (0x9000_0000, "192.0.2.2", 443, Some("vm5")),
+        (0x1234_5678, "192.0.2.3", 22, Some("vm6")),
+        (0, "192.0.2.9", 80, None), // unknown service → drop
+    ];
+    for (src, dst, port, want) in cases {
+        let pkt = Packet::from_fields(
+            &g.universal.catalog,
+            &[
+                ("ip_src", src),
+                ("ip_dst", mapro::packet::ipv4(dst) as u64),
+                ("tcp_dst", port),
+            ],
+        );
+        let v = g.universal.run(&pkt).unwrap();
+        assert_eq!(v.output.as_deref(), want, "universal {dst}:{port}");
+        for f in &forms {
+            let v = f.run(&pkt).unwrap();
+            assert_eq!(v.output.as_deref(), want, "{} {dst}:{port}", f.start);
+        }
+    }
+}
+
+#[test]
+fn declared_fds_classify_fig1a_as_first_normal_form_only() {
+    let g = Gwlb::fig1();
+    let t = g.universal.table("t0").unwrap();
+    let r = mapro::fd::analyze_with(t, &g.universal.catalog, g.declared_fds());
+    assert_eq!(r.level, NfLevel::First);
+}

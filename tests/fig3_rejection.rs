@@ -1,0 +1,75 @@
+//! E3 — Fig. 3: action-to-match dependencies do not decompose.
+
+use mapro::normalize::DecomposeError;
+use mapro::prelude::*;
+
+#[test]
+fn out_to_vlan_decomposition_rejected_with_fig3_diagnosis() {
+    let v = Vlan::fig3();
+    let err = decompose(
+        &v.universal,
+        "t0",
+        &[v.out],
+        &[v.vlan],
+        &DecomposeOpts::default(),
+    )
+    .unwrap_err();
+    match err {
+        DecomposeError::StageNot1NF { stage, rows } => {
+            assert_eq!(stage, "t0");
+            // The two in_port = 1 rows are the colliding pair.
+            assert_eq!(rows, (0, 1));
+        }
+        e => panic!("expected StageNot1NF, got {e}"),
+    }
+}
+
+#[test]
+fn forced_fig3b_pipeline_is_demonstrably_wrong() {
+    let v = Vlan::fig3();
+    let broken = decompose(
+        &v.universal,
+        "t0",
+        &[v.out],
+        &[v.vlan],
+        &DecomposeOpts {
+            allow_non_1nf: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let r = check_equivalent(&v.universal, &broken, &EquivConfig::default()).unwrap();
+    assert!(!r.is_equivalent());
+}
+
+#[test]
+fn match_to_action_direction_on_same_table_works() {
+    // The dual direction — (in_port, vlan) → out — is the ordinary
+    // match-to-action shape and decomposes fine (B-shape), showing the
+    // asymmetry §4 describes.
+    let v = Vlan::fig3();
+    let p = decompose(
+        &v.universal,
+        "t0",
+        &[v.in_port, v.vlan],
+        &[v.out],
+        &DecomposeOpts::default(),
+    )
+    .unwrap();
+    assert_equivalent(&v.universal, &p);
+}
+
+#[test]
+fn normalizer_leaves_fig3_intact_but_equivalent() {
+    let v = Vlan::fig3();
+    let n = normalize(&v.universal, &NormalizeOpts::default());
+    // Whatever the normalizer managed, semantics are preserved and the
+    // impossible decomposition was not forced.
+    assert_equivalent(&v.universal, &n.pipeline);
+    for s in &n.skipped {
+        assert!(matches!(
+            s.reason,
+            DecomposeError::StageNot1NF { .. } | DecomposeError::RematchNeedsFieldX
+        ));
+    }
+}

@@ -1,0 +1,62 @@
+//! E8 — §2 monitorability claims.
+
+use mapro::prelude::*;
+use mapro_bench::{monitorability, BenchConfig};
+
+#[test]
+fn fig1_needs_3_counters_universal_1_normalized() {
+    let g = Gwlb::fig1();
+    // "This requires the installation of 3 counters into the universal
+    // table (for entries 3-5)".
+    let rules = g.tenant_counters(&g.universal, 1);
+    assert_eq!(rules.len(), 3);
+    assert_eq!(
+        rules,
+        vec![
+            ("t0".to_owned(), 2),
+            ("t0".to_owned(), 3),
+            ("t0".to_owned(), 4)
+        ]
+    );
+    // "…the normal form allows to monitor at a single point".
+    for join in [JoinKind::Goto, JoinKind::Metadata, JoinKind::Rematch] {
+        let p = g.normalized(join).unwrap();
+        assert_eq!(g.tenant_counters(&p, 1).len(), 1, "{join}");
+    }
+}
+
+#[test]
+fn aggregates_agree_with_ground_truth_in_all_representations() {
+    let rows = monitorability(&BenchConfig {
+        packets: 6_000,
+        ..Default::default()
+    });
+    assert_eq!(rows.len(), 4);
+    for r in &rows {
+        assert_eq!(r.aggregate, r.ground_truth, "{}", r.repr);
+    }
+    let uni = rows.iter().find(|r| r.repr == "universal").unwrap();
+    let goto = rows.iter().find(|r| r.repr == "goto").unwrap();
+    assert_eq!(uni.counters, 8); // M = 8
+    assert_eq!(goto.counters, 1);
+}
+
+#[test]
+fn counter_readback_effort_scales_with_placement() {
+    // The controller-side work is one read per counter plus the sum.
+    let g = Gwlb::random(10, 4, 3);
+    let goto = g.normalized(JoinKind::Goto).unwrap();
+    let mut uni_counters = mapro::control::CounterSet::new(g.tenant_counters(&g.universal, 2));
+    let mut norm_counters = mapro::control::CounterSet::new(g.tenant_counters(&goto, 2));
+    assert_eq!(uni_counters.readings().len(), 4);
+    assert_eq!(norm_counters.readings().len(), 1);
+    // Both see the same traffic.
+    let trace = mapro::packet::generate(&g.universal.catalog, &g.trace_spec(), 3_000, 4);
+    let ui = g.universal.name_index();
+    let ni = goto.name_index();
+    for (_, pkt) in &trace.packets {
+        uni_counters.observe(&g.universal.run_indexed(pkt, &ui).unwrap());
+        norm_counters.observe(&goto.run_indexed(pkt, &ni).unwrap());
+    }
+    assert_eq!(uni_counters.aggregate(), norm_counters.aggregate());
+}

@@ -1,0 +1,54 @@
+//! Golden checks on the figure renderings (E1/E2/E3/E10 text output):
+//! load-bearing lines of each rendering must keep appearing, so a
+//! formatting or transformation regression cannot slip out unnoticed.
+
+use mapro_bench::{fig1_rendering, fig2_rendering, fig3_rendering, fig5_rendering};
+
+#[test]
+fn fig1_rendering_contains_paper_structure() {
+    let s = fig1_rendering();
+    // The universal table, rendered in the paper's notation.
+    for line in [
+        "Fig. 1a: universal table",
+        "| 0*     192.0.2.1 80",
+        "| 1*     192.0.2.2 443",
+        "| *      192.0.2.3 22",
+        "Fig. 1b: goto join",
+        "Fig. 1c: metadata join",
+        "Fig. 1d: rematch join",
+    ] {
+        assert!(s.contains(line), "missing {line:?} in:\n{s}");
+    }
+    // Goto join: the per-tenant tables exist.
+    assert!(s.contains("table t0_x1:"));
+    assert!(s.contains("table t0_x3:"));
+    // Metadata join introduces the tag pair.
+    assert!(s.contains("M_t0"));
+    assert!(s.contains("A_t0"));
+}
+
+#[test]
+fn fig2_rendering_shows_the_chain() {
+    let s = fig2_rendering();
+    assert!(s.contains("Fig. 2a: universal L3 table"));
+    assert!(s.contains("Cartesian factor"));
+    assert!(s.contains("normalized to 3NF") || s.contains("normalized to BCNF"));
+    // The group table: mod_dmac and friends in a second-stage table.
+    assert!(s.contains("mod_dmac"));
+    assert!(s.contains("mod_smac"));
+}
+
+#[test]
+fn fig3_rendering_reports_the_refusal() {
+    let s = fig3_rendering();
+    assert!(s.contains("REFUSED"));
+    assert!(s.contains("Fig. 3 phenomenon"));
+}
+
+#[test]
+fn fig5_rendering_contrasts_naive_and_tagged() {
+    let s = fig5_rendering();
+    assert!(s.contains("Naive 3-table chain equivalent? false"));
+    assert!(s.contains("Tagged pipeline equivalent? true"));
+    assert!(s.contains("all"), "the `all` metadata fields should show");
+}

@@ -1,0 +1,20 @@
+//! E13 — extension: the normalization gain grows with table size.
+
+use mapro_bench::scaling;
+
+#[test]
+fn universal_degrades_goto_flat() {
+    let rows = scaling(8, &[5, 20, 80], 3_000, 2019);
+    // Universal throughput strictly falls with N.
+    assert!(rows[0].universal_mpps > rows[1].universal_mpps);
+    assert!(rows[1].universal_mpps > rows[2].universal_mpps);
+    // Goto throughput stays within 5% across the sweep (the exact-match
+    // first stage and the per-tenant LPM stages don't grow with N).
+    let base = rows[0].goto_mpps;
+    for r in &rows {
+        assert!((r.goto_mpps / base - 1.0).abs() < 0.05, "{:?}", r);
+    }
+    // Hence the gain grows monotonically.
+    assert!(rows[0].gain < rows[1].gain && rows[1].gain < rows[2].gain);
+    assert!(rows[2].gain > 2.5, "gain at 80 services: {}", rows[2].gain);
+}

@@ -1,0 +1,86 @@
+//! Property tests for the core predicate algebra — the soundness bedrock
+//! under order-independence checking, flattening and the equivalence
+//! domains.
+
+use mapro::core::Value;
+use proptest::prelude::*;
+
+const W: u32 = 16;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u64..1 << W).prop_map(Value::Int),
+        (0u64..1 << W, 0u8..=W as u8).prop_map(|(b, l)| Value::prefix(b, l, W)),
+        (0u64..1 << W, 0u64..1 << W).prop_map(|(b, m)| Value::Ternary { bits: b & m, mask: m }),
+        Just(Value::Any),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `intersects` is exactly "some packet matches both".
+    #[test]
+    fn intersects_iff_shared_packet(a in arb_value(), b in arb_value(), probes in proptest::collection::vec(0u64..1 << W, 64)) {
+        let claim = a.intersects(&b, W);
+        let witness = probes.iter().any(|&v| a.matches(v, W) && b.matches(v, W));
+        // A witness implies the claim (completeness of intersects).
+        if witness {
+            prop_assert!(claim, "{a} ∩ {b} missed witness");
+        }
+    }
+
+    /// `intersect` returns a predicate equal to the conjunction, wherever
+    /// it returns one.
+    #[test]
+    fn intersect_is_conjunction(a in arb_value(), b in arb_value(), v in 0u64..1 << W) {
+        match a.intersect(&b, W) {
+            Some(i) => {
+                prop_assert_eq!(
+                    i.matches(v, W),
+                    a.matches(v, W) && b.matches(v, W),
+                    "{} = {} ∩ {} at {}", i, a, b, v
+                );
+            }
+            None => {
+                prop_assert!(!(a.matches(v, W) && b.matches(v, W)),
+                    "{} ∩ {} nonempty at {}", a, b, v);
+            }
+        }
+    }
+
+    /// `interval` covers exactly the matching values for interval-shaped
+    /// predicates.
+    #[test]
+    fn interval_is_exact(a in arb_value(), v in 0u64..1 << W) {
+        if let Some((lo, hi)) = a.interval(W) {
+            prop_assert_eq!(a.matches(v, W), (lo..=hi).contains(&v), "{} at {}", a, v);
+        }
+    }
+
+    /// Intersection is commutative as a predicate.
+    #[test]
+    fn intersect_commutes(a in arb_value(), b in arb_value(), v in 0u64..1 << W) {
+        let ab = a.intersect(&b, W);
+        let ba = b.intersect(&a, W);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(x), Some(y)) = (ab, ba) {
+            prop_assert_eq!(x.matches(v, W), y.matches(v, W));
+        }
+    }
+
+    /// Symmetry of `intersects`.
+    #[test]
+    fn intersects_symmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.intersects(&b, W), b.intersects(&a, W));
+    }
+}
+
+#[test]
+fn prefix_normalization_makes_equality_semantic() {
+    // prefix() zeroes the don't-care bits, so structural equality equals
+    // predicate equality for prefixes of the same length.
+    let a = Value::prefix(0b1010_0000_0000_0000, 3, 16);
+    let b = Value::prefix(0b1011_1111_1111_1111, 3, 16);
+    assert_eq!(a, b);
+}
