@@ -16,6 +16,10 @@
 //!
 //! Transformation commands print the resulting program JSON to stdout (so
 //! they compose with shell pipes); human-readable reports go to stderr.
+//!
+//! Every subcommand also accepts `--metrics [out.json]`: after the command
+//! completes, the observability registry is dumped as JSON to the given
+//! file, or as a text table to stderr when no path follows.
 
 use mapro_core::{display, export, Pipeline};
 use mapro_normalize::{flatten, normalize, JoinKind, NormalizeOpts, Target};
@@ -64,6 +68,12 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let has = |name: &str| args.iter().any(|a| a == name);
+    // `--metrics` takes an optional path: Some(None) = text to stderr,
+    // Some(Some(path)) = JSON file.
+    let metrics: Option<Option<String>> = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| args.get(i + 1).filter(|v| !v.starts_with('-')).cloned());
 
     match cmd.as_str() {
         "demo" => {
@@ -71,7 +81,9 @@ fn main() {
             let p = match which {
                 "fig1" => mapro_workloads::Gwlb::fig1().universal,
                 "gwlb" => {
-                    let n = flag("--services").and_then(|v| v.parse().ok()).unwrap_or(20);
+                    let n = flag("--services")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(20);
                     let m = flag("--backends").and_then(|v| v.parse().ok()).unwrap_or(8);
                     let s = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(2019);
                     mapro_workloads::Gwlb::random(n, m, s).universal
@@ -222,6 +234,20 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+
+    if let Some(sink) = metrics {
+        let report = mapro_obs::registry().snapshot();
+        match sink {
+            None => eprint!("{}", report.to_text()),
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, report.to_json()) {
+                    eprintln!("cannot write metrics to {path}: {e}");
+                    exit(1);
+                }
+                eprintln!("metrics written to {path}");
+            }
+        }
     }
 }
 

@@ -3,61 +3,106 @@
 //! ```text
 //! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--json]
+//!       [--metrics [out.json]]
 //! ```
 //!
 //! Output is paper-shaped text (or JSON with `--json`) suitable for
-//! pasting into EXPERIMENTS.md.
+//! pasting into EXPERIMENTS.md. `--metrics` dumps the observability
+//! registry after the run: as JSON to the given file, or as a text table
+//! to stderr when no path follows.
 
 use mapro_bench::*;
+
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue] [--packets N] [--services N] [--backends M] [--seed S] [--json] [--metrics [out.json]]";
+
+/// Where `--metrics` sends the registry snapshot.
+enum MetricsSink {
+    /// `--metrics` with no path: text table on stderr.
+    Stderr,
+    /// `--metrics out.json`: JSON report to a file.
+    File(String),
+}
 
 struct Args {
     experiment: String,
     cfg: BenchConfig,
     json: bool,
+    metrics: Option<MetricsSink>,
 }
 
-fn parse_args() -> Args {
+fn take(it: &mut impl Iterator<Item = String>, name: &str) -> Result<String, String> {
+    it.next().ok_or_else(|| format!("missing value for {name}"))
+}
+
+fn num<T: std::str::FromStr>(
+    it: &mut impl Iterator<Item = String>,
+    name: &str,
+) -> Result<T, String> {
+    let v = take(it, name)?;
+    v.parse()
+        .map_err(|_| format!("invalid value {v:?} for {name}: expected a number"))
+}
+
+fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         experiment: "all".to_owned(),
         cfg: BenchConfig::default(),
         json: false,
+        metrics: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
-        let mut take = |name: &str| -> String {
-            it.next()
-                .unwrap_or_else(|| panic!("missing value for {name}"))
-        };
         match a.as_str() {
-            "--experiment" | "-e" => args.experiment = take("--experiment"),
-            "--packets" => args.cfg.packets = take("--packets").parse().expect("number"),
-            "--services" => args.cfg.services = take("--services").parse().expect("number"),
-            "--backends" => args.cfg.backends = take("--backends").parse().expect("number"),
-            "--seed" => args.cfg.seed = take("--seed").parse().expect("number"),
+            "--experiment" | "-e" => args.experiment = take(&mut it, "--experiment")?,
+            "--packets" => args.cfg.packets = num(&mut it, "--packets")?,
+            "--services" => args.cfg.services = num(&mut it, "--services")?,
+            "--backends" => args.cfg.backends = num(&mut it, "--backends")?,
+            "--seed" => args.cfg.seed = num(&mut it, "--seed")?,
             "--json" => args.json = true,
+            "--metrics" => {
+                args.metrics = Some(match it.peek() {
+                    Some(v) if !v.starts_with('-') => MetricsSink::File(it.next().expect("peeked")),
+                    _ => MetricsSink::Stderr,
+                });
+            }
             "--help" | "-h" => {
-                println!(
-                    "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue] [--packets N] [--services N] [--backends M] [--seed S] [--json]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
-            other => panic!("unknown argument {other:?} (try --help)"),
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
     }
-    args
+    Ok(args)
 }
 
 /// The single source of truth for experiment names: `want()` consults it
 /// (so a `want("typo")` block can never silently dead-end), and argument
 /// validation rejects anything outside it.
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "fig4queue", "fig5", "table1", "size", "control", "monitor",
-    "theorem1", "templates", "cache", "scaling", "joins",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig4queue",
+    "fig5",
+    "table1",
+    "size",
+    "control",
+    "monitor",
+    "theorem1",
+    "templates",
+    "cache",
+    "scaling",
+    "joins",
 ];
 
 fn main() {
     install_pipe_hook();
-    let args = parse_args();
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("repro: {e}");
+        eprintln!("usage: {USAGE}");
+        std::process::exit(2);
+    });
     let all = args.experiment == "all";
     if !all && !EXPERIMENTS.contains(&args.experiment.as_str()) {
         eprintln!(
@@ -255,20 +300,35 @@ fn main() {
         if args.json {
             println!("{}", serde_json::to_string_pretty(&rows).unwrap());
         } else {
-            println!("{:<10} {:>14} {:>8}  templates", "repr", "ESwitch Mpps", "fields");
+            println!(
+                "{:<10} {:>14} {:>8}  templates",
+                "repr", "ESwitch Mpps", "fields"
+            );
             for r in &rows {
                 let t = if r.templates.len() > 4 {
-                    format!("{} … ({} tables)", r.templates[..3].join(", "), r.templates.len())
+                    format!(
+                        "{} … ({} tables)",
+                        r.templates[..3].join(", "),
+                        r.templates.len()
+                    )
                 } else {
                     r.templates.join(", ")
                 };
-                println!("{:<10} {:>14.2} {:>8}  {t}", r.repr, r.eswitch_mpps, r.fields);
+                println!(
+                    "{:<10} {:>14.2} {:>8}  {t}",
+                    r.repr, r.eswitch_mpps, r.fields
+                );
             }
         }
     }
     if want("scaling") {
         println!("\n############ E13 — throughput vs table size (extension) ############");
-        let rows = scaling(args.cfg.backends, &[5, 10, 20, 40, 80], args.cfg.packets.min(20_000), args.cfg.seed);
+        let rows = scaling(
+            args.cfg.backends,
+            &[5, 10, 20, 40, 80],
+            args.cfg.packets.min(20_000),
+            args.cfg.seed,
+        );
         if args.json {
             println!("{}", serde_json::to_string_pretty(&rows).unwrap());
         } else {
@@ -292,6 +352,20 @@ fn main() {
         } else {
             for r in &rows {
                 println!("{:<10} {}", r.repr, r.templates.join(", "));
+            }
+        }
+    }
+
+    if let Some(sink) = &args.metrics {
+        let report = mapro_obs::registry().snapshot();
+        match sink {
+            MetricsSink::Stderr => eprint!("{}", report.to_text()),
+            MetricsSink::File(path) => {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("repro: cannot write metrics to {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("metrics written to {path}");
             }
         }
     }

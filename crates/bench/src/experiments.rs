@@ -225,13 +225,15 @@ pub fn fig4(cfg: &BenchConfig, rates: &[f64]) -> Vec<Fig4Point> {
     );
     uni.into_iter()
         .zip(norm)
-        .map(|((r, u), (_, n)): ((f64, ChurnPoint), (f64, ChurnPoint))| Fig4Point {
-            updates_per_sec: r,
-            universal_mpps: u.mpps,
-            normalized_mpps: n.mpps,
-            universal_latency_us: u.latency_us,
-            normalized_latency_us: n.latency_us,
-        })
+        .map(
+            |((r, u), (_, n)): ((f64, ChurnPoint), (f64, ChurnPoint))| Fig4Point {
+                updates_per_sec: r,
+                universal_mpps: u.mpps,
+                normalized_mpps: n.mpps,
+                universal_latency_us: u.latency_us,
+                normalized_latency_us: n.latency_us,
+            },
+        )
         .collect()
 }
 
@@ -534,9 +536,7 @@ pub fn fig3_rendering() -> String {
         &mapro_normalize::DecomposeOpts::default(),
     )
     .expect_err("must be rejected");
-    s.push_str(&format!(
-        "Decomposition along out -> vlan REFUSED: {err}\n"
-    ));
+    s.push_str(&format!("Decomposition along out -> vlan REFUSED: {err}\n"));
     s
 }
 
@@ -547,15 +547,11 @@ pub fn fig5_rendering() -> String {
     let mut s = String::new();
     s.push_str("=== Fig. 5a: collapsed SDX table ===\n");
     s.push_str(&display::render_pipeline(&sdx.universal));
-    let naive =
-        mapro_normalize::chain_components_naive(&sdx.universal, "sdx", &sdx.components)
-            .expect("builds");
-    let r = mapro_core::check_equivalent(
-        &sdx.universal,
-        &naive,
-        &mapro_core::EquivConfig::default(),
-    )
-    .expect("checks");
+    let naive = mapro_normalize::chain_components_naive(&sdx.universal, "sdx", &sdx.components)
+        .expect("builds");
+    let r =
+        mapro_core::check_equivalent(&sdx.universal, &naive, &mapro_core::EquivConfig::default())
+            .expect("checks");
     s.push_str(&format!(
         "Naive 3-table chain equivalent? {} (appendix: must be incorrect)\n",
         r.is_equivalent()
@@ -564,13 +560,13 @@ pub fn fig5_rendering() -> String {
         .expect("JD decomposition");
     s.push_str("=== Fig. 5c: `all`-metadata pipeline ===\n");
     s.push_str(&display::render_pipeline(&tagged));
-    let r = mapro_core::check_equivalent(
-        &sdx.universal,
-        &tagged,
-        &mapro_core::EquivConfig::default(),
-    )
-    .expect("checks");
-    s.push_str(&format!("Tagged pipeline equivalent? {}\n", r.is_equivalent()));
+    let r =
+        mapro_core::check_equivalent(&sdx.universal, &tagged, &mapro_core::EquivConfig::default())
+            .expect("checks");
+    s.push_str(&format!(
+        "Tagged pipeline equivalent? {}\n",
+        r.is_equivalent()
+    ));
     s
 }
 

@@ -1,0 +1,82 @@
+//! Smoke test of the `--metrics` plumbing: a real `repro` run must emit a
+//! parseable JSON report with counters and histograms from the
+//! instrumented crates.
+
+use serde::Content;
+use std::process::Command;
+
+#[test]
+fn repro_fig1_emits_parseable_metrics_json() {
+    let dir = std::env::temp_dir().join(format!("mapro-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metrics.json");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--experiment", "fig1", "--metrics", path.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let doc = serde_json::parse(&text).expect("metrics JSON parses");
+    let Some(Content::Map(metrics)) = doc.get("metrics") else {
+        panic!("no metrics object in {text}");
+    };
+
+    // fig1 normalizes the GWLB pipeline, so the decompose instrumentation
+    // must have fired (when built with the default `obs` feature).
+    if cfg!(feature = "obs") {
+        assert!(
+            metrics
+                .iter()
+                .any(|(k, _)| k == "normalize.decompose.calls"),
+            "expected decompose counters, got: {:?}",
+            metrics.iter().map(|(k, _)| k).collect::<Vec<_>>()
+        );
+        // Every entry carries a kind tag and histograms carry quantiles.
+        for (name, v) in metrics {
+            let kind = match v.get("kind") {
+                Some(Content::Str(s)) => s.clone(),
+                other => panic!("metric {name} has no kind: {other:?}"),
+            };
+            if kind == "histogram" {
+                for field in ["count", "sum", "p50", "p90", "p99", "max"] {
+                    assert!(v.get(field).is_some(), "{name} missing {field}");
+                }
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_rejects_unknown_arguments() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown argument"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn repro_rejects_missing_and_malformed_values() {
+    for args in [vec!["--packets"], vec!["--packets", "NaN"]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(&args)
+            .output()
+            .expect("repro runs");
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("--packets"),
+            "args: {args:?}"
+        );
+    }
+}

@@ -65,9 +65,7 @@ impl DecisionTree {
     /// full dimension).
     pub fn build(view: &TableView, cfg: DtreeConfig) -> DecisionTree {
         let dims = view.cols();
-        let full = |d: usize| -> (u64, u64) {
-            (0, mapro_core::value::low_mask(view.widths[d]))
-        };
+        let full = |d: usize| -> (u64, u64) { (0, mapro_core::value::low_mask(view.widths[d])) };
         let rules: Vec<Vec<(u64, u64)>> = view
             .rows
             .iter()
@@ -180,12 +178,17 @@ impl DecisionTree {
 
 impl Classifier for DecisionTree {
     fn lookup(&self, key: &[u64]) -> Option<usize> {
+        mapro_obs::counter!("classifier.dtree.lookups").inc();
+        let _t = mapro_obs::time!("classifier.dtree.lookup_ns");
+        let probes = mapro_obs::counter!("classifier.dtree.probes");
         let mut node = 0usize;
         loop {
+            probes.inc();
             match &self.nodes[node] {
                 Node::Leaf(rules) => {
                     let mut best: Option<usize> = None;
                     'rule: for &r in rules {
+                        probes.inc();
                         for (d, &(lo, hi)) in self.rules[r as usize].iter().enumerate() {
                             if key[d] < lo || key[d] > hi {
                                 continue 'rule;

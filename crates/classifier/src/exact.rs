@@ -58,6 +58,9 @@ impl ExactTable {
 
 impl Classifier for ExactTable {
     fn lookup(&self, key: &[u64]) -> Option<usize> {
+        mapro_obs::counter!("classifier.exact.lookups").inc();
+        let _t = mapro_obs::time!("classifier.exact.lookup_ns");
+        mapro_obs::counter!("classifier.exact.probes").inc();
         let probe: Vec<u64> = self.cols.iter().map(|&c| key[c]).collect();
         self.map.get(probe.as_slice()).copied()
     }

@@ -139,7 +139,9 @@ mod tests {
             rows: vec![vec![Value::prefix(0, 1, 32), Value::Int(5)]],
         };
         assert_eq!(
-            build_specialized(&general, TemplateKind::Linear).stats().kind,
+            build_specialized(&general, TemplateKind::Linear)
+                .stats()
+                .kind,
             TemplateKind::Linear
         );
         assert_eq!(

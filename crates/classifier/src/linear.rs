@@ -27,7 +27,11 @@ impl LinearTernary {
 
 impl Classifier for LinearTernary {
     fn lookup(&self, key: &[u64]) -> Option<usize> {
+        mapro_obs::counter!("classifier.linear.lookups").inc();
+        let _t = mapro_obs::time!("classifier.linear.lookup_ns");
+        let probes = mapro_obs::counter!("classifier.linear.probes");
         'row: for (i, row) in self.rows.iter().enumerate() {
+            probes.inc();
             for (c, v) in row.iter().enumerate() {
                 if !v.matches(key[c], self.widths[c]) {
                     continue 'row;

@@ -90,14 +90,18 @@ impl LpmTrie {
 
 impl Classifier for LpmTrie {
     fn lookup(&self, key: &[u64]) -> Option<usize> {
+        mapro_obs::counter!("classifier.trie.lookups").inc();
+        let _t = mapro_obs::time!("classifier.trie.lookup_ns");
         let v = key[self.col];
         let mut cur = 0usize;
         let mut best = self.nodes[0].entry;
+        let mut depth = 0u64;
         for d in 0..self.width {
             let bit = ((v >> (self.width - 1 - d)) & 1) as usize;
             match self.nodes[cur].child[bit] {
                 None => break,
                 Some(n) => {
+                    depth += 1;
                     cur = n as usize;
                     if let Some(e) = self.nodes[cur].entry {
                         best = Some(e);
@@ -105,6 +109,7 @@ impl Classifier for LpmTrie {
                 }
             }
         }
+        mapro_obs::counter!("classifier.trie.probes").add(depth);
         best.map(|e| e as usize)
     }
 

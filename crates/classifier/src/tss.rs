@@ -83,6 +83,9 @@ impl TupleSpace {
 
 impl Classifier for TupleSpace {
     fn lookup(&self, key: &[u64]) -> Option<usize> {
+        mapro_obs::counter!("classifier.tss.lookups").inc();
+        let _t = mapro_obs::time!("classifier.tss.lookup_ns");
+        mapro_obs::counter!("classifier.tss.probes").add(self.tuples.len() as u64);
         let mut best: Option<usize> = None;
         let mut probe = vec![0u64; key.len()];
         for (mask, map) in &self.tuples {
@@ -105,11 +108,7 @@ impl Classifier for TupleSpace {
             entries: self.entries,
             tuples: self.tuples.len().max(1),
             depth: 1,
-            key_cols: self
-                .tuples
-                .first()
-                .map(|(m, _)| m.len())
-                .unwrap_or(0),
+            key_cols: self.tuples.first().map(|(m, _)| m.len()).unwrap_or(0),
         }
     }
 }
@@ -175,20 +174,14 @@ mod tests {
         // Overlapping rows in different tuples: lowest index must win.
         let v = TableView {
             widths: vec![8],
-            rows: vec![
-                vec![Value::prefix(0x80, 1, 8)],
-                vec![Value::Int(0x81)],
-            ],
+            rows: vec![vec![Value::prefix(0x80, 1, 8)], vec![Value::Int(0x81)]],
         };
         let ts = TupleSpace::build(&v).unwrap();
         assert_eq!(ts.lookup(&[0x81]), Some(0)); // row 0 has priority
-        // Reverse order: exact first.
+                                                 // Reverse order: exact first.
         let v = TableView {
             widths: vec![8],
-            rows: vec![
-                vec![Value::Int(0x81)],
-                vec![Value::prefix(0x80, 1, 8)],
-            ],
+            rows: vec![vec![Value::Int(0x81)], vec![Value::prefix(0x80, 1, 8)]],
         };
         let ts = TupleSpace::build(&v).unwrap();
         assert_eq!(ts.lookup(&[0x81]), Some(0));

@@ -97,17 +97,18 @@ pub fn table_shape(view: &TableView) -> TableShape {
     });
     // "Exact" columns may still contain sporadic Any cells; those defeat a
     // plain hash (a hash key can't wildcard), so require Int everywhere.
-    let strictly_exact = active.iter().all(|&c| {
-        view.rows.iter().all(|r| matches!(r[c], Value::Int(_)))
-    });
+    let strictly_exact = active
+        .iter()
+        .all(|&c| view.rows.iter().all(|r| matches!(r[c], Value::Int(_))));
     if active.is_empty() || (all_exact && strictly_exact) {
         return TableShape::AllExact { cols: active };
     }
     if active.len() == 1 {
         let c = active[0];
-        let prefix_like = view.rows.iter().all(|r| {
-            matches!(r[c], Value::Prefix { .. } | Value::Int(_) | Value::Any)
-        });
+        let prefix_like = view
+            .rows
+            .iter()
+            .all(|r| matches!(r[c], Value::Prefix { .. } | Value::Int(_) | Value::Any));
         if prefix_like && lpm_safe(view, c) {
             return TableShape::SinglePrefix { col: c };
         }
@@ -159,10 +160,7 @@ mod tests {
                 vec![Value::Int(2), Value::Int(443)],
             ],
         );
-        assert_eq!(
-            table_shape(&v),
-            TableShape::AllExact { cols: vec![0, 1] }
-        );
+        assert_eq!(table_shape(&v), TableShape::AllExact { cols: vec![0, 1] });
     }
 
     #[test]
@@ -179,10 +177,7 @@ mod tests {
 
     #[test]
     fn sporadic_any_defeats_hash() {
-        let v = view(
-            &[32],
-            vec![vec![Value::Int(1)], vec![Value::Any]],
-        );
+        let v = view(&[32], vec![vec![Value::Int(1)], vec![Value::Any]]);
         // One active column, prefix-like (Any = /0), LPM-safe (Int=/32 first).
         assert_eq!(table_shape(&v), TableShape::SinglePrefix { col: 0 });
     }
@@ -204,10 +199,7 @@ mod tests {
         // 0* before 00*: first-match would hide the longer prefix.
         let v = view(
             &[32],
-            vec![
-                vec![Value::prefix(0, 1, 32)],
-                vec![Value::prefix(0, 2, 32)],
-            ],
+            vec![vec![Value::prefix(0, 1, 32)], vec![Value::prefix(0, 2, 32)]],
         );
         assert_eq!(table_shape(&v), TableShape::General);
     }

@@ -98,7 +98,9 @@ mod tests {
         let mut cs = CounterSet::new(vec![("t".into(), 1), ("t".into(), 2)]);
         assert_eq!(cs.counters_needed(), 2);
         for f in [0u64, 1, 1, 2, 3, 1] {
-            let v = p.run(&Packet::from_fields(&p.catalog, &[("f", f)])).unwrap();
+            let v = p
+                .run(&Packet::from_fields(&p.catalog, &[("f", f)]))
+                .unwrap();
             cs.observe(&v);
         }
         assert_eq!(cs.aggregate(), 4); // three f=1 + one f=2
@@ -121,9 +123,10 @@ mod tests {
     #[test]
     fn rules_where_selects_by_predicate() {
         let p = pipeline();
-        let rules = rules_where(&p, |t, row| {
-            matches!(t.entries[row].actions.first(), Some(Value::Sym(s)) if &**s == "p2")
-        });
+        let rules = rules_where(
+            &p,
+            |t, row| matches!(t.entries[row].actions.first(), Some(Value::Sym(s)) if &**s == "p2"),
+        );
         assert_eq!(rules, vec![("t".to_owned(), 2)]);
     }
 }

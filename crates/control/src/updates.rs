@@ -87,6 +87,12 @@ impl std::error::Error for ApplyError {}
 
 /// Apply one update in place.
 pub fn apply_update(p: &mut Pipeline, u: &RuleUpdate) -> Result<(), ApplyError> {
+    let _t = mapro_obs::time!("control.updates.apply_ns");
+    match u {
+        RuleUpdate::Modify { .. } => mapro_obs::counter!("control.updates.modifies").inc(),
+        RuleUpdate::Insert { .. } => mapro_obs::counter!("control.updates.installs").inc(),
+        RuleUpdate::Delete { .. } => mapro_obs::counter!("control.updates.deletes").inc(),
+    }
     let table = p
         .table_mut(u.table())
         .ok_or_else(|| ApplyError::TableNotFound(u.table().to_owned()))?;
@@ -159,6 +165,8 @@ impl UpdatePlan {
 
 /// Apply a whole plan.
 pub fn apply_plan(p: &mut Pipeline, plan: &UpdatePlan) -> Result<(), ApplyError> {
+    mapro_obs::counter!("control.updates.plans").inc();
+    mapro_obs::histogram!("control.updates.plan_size").record(plan.updates.len() as u64);
     for u in &plan.updates {
         apply_update(p, u)?;
     }
@@ -298,7 +306,7 @@ mod tests {
         let t = half.table("t").unwrap();
         assert_eq!(t.entries[0].matches[0], Value::Int(11));
         assert_eq!(t.entries[1].matches[0], Value::Int(2)); // not yet applied
-        // Prefix 0 is the original.
+                                                            // Prefix 0 is the original.
         let zero = apply_prefix(&p, &plan, 0).unwrap();
         assert_eq!(zero, p);
     }

@@ -15,7 +15,9 @@ use std::fmt;
 /// Attribute ids are program-wide: every table of a pipeline draws its match
 /// and action columns from the same catalog, so ids can be compared across
 /// tables (as decomposition requires).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct AttrId(pub u32);
 
 impl AttrId {

@@ -32,7 +32,11 @@ pub fn render_cell(p: &Pipeline, attr: AttrId, v: &Value) -> String {
             // Paper notation: top bits in binary followed by a star.
             let mut s = String::new();
             for i in 0..*len {
-                s.push(if (bits >> (31 - i)) & 1 == 1 { '1' } else { '0' });
+                s.push(if (bits >> (31 - i)) & 1 == 1 {
+                    '1'
+                } else {
+                    '0'
+                });
             }
             s.push('*');
             s
@@ -155,10 +159,7 @@ mod tests {
             vec![Value::sym("vm2")],
         );
         t.row(
-            vec![
-                Value::prefix(0x0a00_0000, 8, 32),
-                Value::Int(0xc000_0202),
-            ],
+            vec![Value::prefix(0x0a00_0000, 8, 32), Value::Int(0xc000_0202)],
             vec![Value::sym("vm3")],
         );
         let p = Pipeline::single(c, t);

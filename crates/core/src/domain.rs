@@ -75,12 +75,12 @@ impl Domain {
                     let pts = points.entry(attr).or_default();
                     for e in &t.entries {
                         let v = &e.matches[col];
-                        let (lo, hi) = v.interval(width).ok_or_else(|| {
-                            DomainError::NonIntervalPredicate {
-                                table: t.name.clone(),
-                                attr: a.name.clone(),
-                            }
-                        })?;
+                        let (lo, hi) =
+                            v.interval(width)
+                                .ok_or_else(|| DomainError::NonIntervalPredicate {
+                                    table: t.name.clone(),
+                                    attr: a.name.clone(),
+                                })?;
                         // Elementary-interval boundaries: the interval start,
                         // and the first value after it.
                         pts.push(lo);
@@ -104,10 +104,7 @@ impl Domain {
 
     /// Number of packets in the full Cartesian product.
     pub fn product_size(&self) -> u128 {
-        self.fields
-            .iter()
-            .map(|(_, vs)| vs.len() as u128)
-            .product()
+        self.fields.iter().map(|(_, vs)| vs.len() as u128).product()
     }
 
     /// Iterate the full Cartesian product of representatives as packets.
@@ -259,7 +256,10 @@ mod tests {
 
     #[test]
     fn general_ternary_rejected() {
-        let p = pipeline_with(vec![Value::Ternary { bits: 0b101, mask: 0b101 }]);
+        let p = pipeline_with(vec![Value::Ternary {
+            bits: 0b101,
+            mask: 0b101,
+        }]);
         assert!(matches!(
             Domain::from_pipelines(&[&p]),
             Err(DomainError::NonIntervalPredicate { .. })

@@ -6,8 +6,8 @@
 //! engine's verification mode: evaluate both pipelines over the derived
 //! finite domain (see [`crate::domain`]) and compare observable verdicts.
 
-use crate::domain::{Domain, DomainError};
 use crate::attr::AttrId;
+use crate::domain::{Domain, DomainError};
 use crate::pipeline::{EvalError, Packet, Pipeline, Verdict};
 
 /// Outcome of an equivalence check.
@@ -290,7 +290,11 @@ mod tests {
         let mut c = Catalog::new();
         c.field("completely_different", 16);
         let out = c.action("out", ActionSem::Output);
-        let mut t = Table::new("t", vec![c.lookup("completely_different").unwrap()], vec![out]);
+        let mut t = Table::new(
+            "t",
+            vec![c.lookup("completely_different").unwrap()],
+            vec![out],
+        );
         t.row(vec![Value::Int(1)], vec![Value::sym("x")]);
         let b = Pipeline::single(c, t);
         assert!(matches!(

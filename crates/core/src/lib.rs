@@ -28,9 +28,9 @@
 
 pub mod attr;
 pub mod display;
-pub mod export;
 pub mod domain;
 pub mod equiv;
+pub mod export;
 pub mod pipeline;
 pub mod size;
 pub mod table;

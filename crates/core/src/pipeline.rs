@@ -93,7 +93,10 @@ impl fmt::Display for EvalError {
                 write!(f, "pipeline exceeded {limit} table visits (goto cycle?)")
             }
             EvalError::BadActionParam { table, attr } => {
-                write!(f, "table {table:?}: malformed parameter for action {attr:?}")
+                write!(
+                    f,
+                    "table {table:?}: malformed parameter for action {attr:?}"
+                )
             }
         }
     }
@@ -256,6 +259,8 @@ impl Pipeline {
         packet: &Packet,
         index: &HashMap<&str, usize>,
     ) -> Result<Verdict, EvalError> {
+        mapro_obs::counter!("core.pipeline.runs").inc();
+        let _eval_t = mapro_obs::time!("core.pipeline.eval_ns");
         let limit = self.tables.len().saturating_mul(2) + 8;
         let mut pkt = packet.clone();
         let mut touched: Vec<AttrId> = Vec::new();
@@ -368,6 +373,8 @@ impl Pipeline {
         mods.sort_unstable_by_key(|&(a, _)| a);
         v.header_mods = mods;
         v.opaque.sort();
+        mapro_obs::counter!("core.pipeline.table_lookups").add(v.lookups as u64);
+        mapro_obs::histogram!("core.pipeline.path_len").record(v.path.len() as u64);
         Ok(v)
     }
 
@@ -488,10 +495,7 @@ mod tests {
         t0.row(vec![Value::Any], vec![Value::sym("nope")]);
         let p = Pipeline::new(c, vec![t0], "t0");
         let pkt = Packet::zero(&p.catalog);
-        assert_eq!(
-            p.run(&pkt),
-            Err(EvalError::UnknownTable("nope".to_owned()))
-        );
+        assert_eq!(p.run(&pkt), Err(EvalError::UnknownTable("nope".to_owned())));
     }
 
     #[test]

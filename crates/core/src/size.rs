@@ -92,10 +92,7 @@ mod tests {
         let out = c.action("out", ActionSem::Output);
         let mut t = Table::new("t", vec![f, g], vec![out]);
         for i in 0..5 {
-            t.row(
-                vec![Value::Int(i), Value::Int(i)],
-                vec![Value::sym("p")],
-            );
+            t.row(vec![Value::Int(i), Value::Int(i)], vec![Value::sym("p")]);
         }
         let p = Pipeline::single(c, t);
         let r = SizeReport::of(&p);

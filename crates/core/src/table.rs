@@ -204,7 +204,10 @@ impl Table {
                     self.entries[i].matches[k].intersects(&self.entries[j].matches[k], widths[k])
                 });
                 if overlap {
-                    out.push(Overlap { first: i, second: j });
+                    out.push(Overlap {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -328,7 +331,13 @@ mod tests {
         assert!(t.order_independence(&c).is_empty());
         t.row(vec![Value::Int(1), Value::Any], vec![Value::sym("z")]);
         let ov = t.order_independence(&c);
-        assert_eq!(ov, vec![Overlap { first: 0, second: 3 }]);
+        assert_eq!(
+            ov,
+            vec![Overlap {
+                first: 0,
+                second: 3
+            }]
+        );
     }
 
     #[test]
@@ -383,9 +392,6 @@ mod tests {
         let out = c.lookup("out").unwrap();
         assert_eq!(t.cell(1, f), &Value::Int(2));
         assert_eq!(t.cell(1, out), &Value::sym("b"));
-        assert_eq!(
-            t.tuple(0, &[out, f]),
-            vec![Value::sym("a"), Value::Int(1)]
-        );
+        assert_eq!(t.tuple(0, &[out, f]), vec![Value::sym("a"), Value::Int(1)]);
     }
 }

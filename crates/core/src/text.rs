@@ -90,12 +90,10 @@ pub fn parse_program(src: &str) -> Result<Pipeline, ParseError> {
                 if toks.len() != 3 {
                     return err(ln, format!("{} NAME WIDTH", toks[0]));
                 }
-                let width: u32 = toks[2]
-                    .parse()
-                    .map_err(|_| ParseError {
-                        line: ln,
-                        msg: format!("bad width {:?}", toks[2]),
-                    })?;
+                let width: u32 = toks[2].parse().map_err(|_| ParseError {
+                    line: ln,
+                    msg: format!("bad width {:?}", toks[2]),
+                })?;
                 if width > 64 {
                     return err(ln, "width exceeds 64");
                 }
@@ -171,7 +169,11 @@ pub fn parse_program(src: &str) -> Result<Pipeline, ParseError> {
                                     ln,
                                     format!(
                                         "{n:?} is {} the | separator's wrong side",
-                                        if want_match { "an action on" } else { "a field on" }
+                                        if want_match {
+                                            "an action on"
+                                        } else {
+                                            "a field on"
+                                        }
                                     ),
                                 );
                             }
@@ -455,7 +457,11 @@ start t0
         assert_eq!(v.output.as_deref(), Some("vm1"));
         let pkt = Packet::from_fields(
             &p.catalog,
-            &[("ip_src", 1 << 31, ), ("ip_dst", 0xc000_0201), ("tcp_dst", 80)],
+            &[
+                ("ip_src", 1 << 31),
+                ("ip_dst", 0xc000_0201),
+                ("tcp_dst", 80),
+            ],
         );
         assert_eq!(p.run(&pkt).unwrap().output.as_deref(), Some("vm2"));
     }
@@ -487,10 +493,7 @@ table t2 [a | ]
         let p = parse_program(src).unwrap();
         let t = p.table("t").unwrap();
         assert_eq!(t.entries[0].matches[0], Value::Any);
-        assert_eq!(
-            t.entries[0].matches[1],
-            Value::prefix(0x0a00_0000, 8, 32)
-        );
+        assert_eq!(t.entries[0].matches[1], Value::prefix(0x0a00_0000, 8, 32));
         assert_eq!(t.entries[0].matches[2], Value::Int(0x2a));
         assert_eq!(t.entries[0].actions[0], Value::Int(7));
         assert_eq!(t.entries[0].actions[1], Value::sym("dec"));
@@ -510,7 +513,10 @@ table t2 [a | ]
             ("zork", "entry before any table"),
             ("field f 8\ntable t [f | ]\n  1 2 |", "entry arity"),
             ("field f 8\ntable t [f | ]\n  512 |", "exceeds the field"),
-            ("field f 8\ntable t [f | ]\n  111111111* |", "longer than field width"),
+            (
+                "field f 8\ntable t [f | ]\n  111111111* |",
+                "longer than field width",
+            ),
         ];
         for (src, want) in cases {
             let e = parse_program(src).unwrap_err();

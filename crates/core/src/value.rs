@@ -16,7 +16,9 @@ use std::sync::Arc;
 /// In a match column the value denotes a predicate over a `width`-bit packet
 /// field; in an action column it is the action's parameter (an output port
 /// name, a goto target, a value to write).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Value {
     /// Exact value: matches packets whose field equals `0`th variant payload.
     Int(u64),
@@ -116,16 +118,9 @@ impl Value {
                 let pm = prefix_mask(*len, width);
                 (bits ^ tb) & pm & mask == 0
             }
-            (
-                Ternary {
-                    bits: b1,
-                    mask: m1,
-                },
-                Ternary {
-                    bits: b2,
-                    mask: m2,
-                },
-            ) => (b1 ^ b2) & m1 & m2 == 0,
+            (Ternary { bits: b1, mask: m1 }, Ternary { bits: b2, mask: m2 }) => {
+                (b1 ^ b2) & m1 & m2 == 0
+            }
         }
     }
 
@@ -158,16 +153,7 @@ impl Value {
                     mask: pm | mask,
                 }
             }
-            (
-                Ternary {
-                    bits: b1,
-                    mask: m1,
-                },
-                Ternary {
-                    bits: b2,
-                    mask: m2,
-                },
-            ) => Ternary {
+            (Ternary { bits: b1, mask: m1 }, Ternary { bits: b2, mask: m2 }) => Ternary {
                 bits: (b1 & m1) | (b2 & m2 & !m1),
                 mask: m1 | m2,
             },
@@ -273,7 +259,13 @@ mod tests {
     fn prefix_match_and_normalization() {
         // 10* on a 4-bit field: matches 0b1000..0b1011.
         let p = Value::prefix(0b1010, 2, 4); // low bits normalized away
-        assert_eq!(p, Value::Prefix { bits: 0b1000, len: 2 });
+        assert_eq!(
+            p,
+            Value::Prefix {
+                bits: 0b1000,
+                len: 2
+            }
+        );
         assert!(p.matches(0b1000, 4));
         assert!(p.matches(0b1011, 4));
         assert!(!p.matches(0b0100, 4));
@@ -296,7 +288,10 @@ mod tests {
 
     #[test]
     fn ternary_match() {
-        let t = Value::Ternary { bits: 0b1010, mask: 0b1110 };
+        let t = Value::Ternary {
+            bits: 0b1010,
+            mask: 0b1110,
+        };
         assert!(t.matches(0b1010, 4));
         assert!(t.matches(0b1011, 4));
         assert!(!t.matches(0b0010, 4));
@@ -355,17 +350,29 @@ mod tests {
             Some((128, 255))
         );
         // Non-contiguous ternary has no interval.
-        let t = Value::Ternary { bits: 0b101, mask: 0b101 };
+        let t = Value::Ternary {
+            bits: 0b101,
+            mask: 0b101,
+        };
         assert_eq!(t.interval(8), None);
         // Prefix-shaped ternary does.
-        let t = Value::Ternary { bits: 0xf0, mask: 0xf0 };
+        let t = Value::Ternary {
+            bits: 0xf0,
+            mask: 0xf0,
+        };
         assert_eq!(t.interval(8), Some((0xf0, 0xff)));
     }
 
     #[test]
     fn ternary_ternary_intersection() {
-        let a = Value::Ternary { bits: 0b1100, mask: 0b1100 };
-        let b = Value::Ternary { bits: 0b0011, mask: 0b0011 };
+        let a = Value::Ternary {
+            bits: 0b1100,
+            mask: 0b1100,
+        };
+        let b = Value::Ternary {
+            bits: 0b0011,
+            mask: 0b0011,
+        };
         let i = a.intersect(&b, 4).unwrap();
         assert!(i.matches(0b1111, 4));
         assert!(!i.matches(0b1110, 4));

@@ -78,10 +78,7 @@ pub fn mine_approx_fds(table: &Table, max_lhs: usize, max_error: f64) -> Vec<App
                 continue;
             }
             // Minimality among *reported* dependencies.
-            if out
-                .iter()
-                .any(|f| f.rhs == a && f.lhs.subset_of(xs))
-            {
+            if out.iter().any(|f| f.rhs == a && f.lhs.subset_of(xs)) {
                 continue;
             }
             let x_ids = universe.decode(xs);
@@ -151,9 +148,7 @@ mod tests {
         let (_c, t) = table(&[(1, 10), (1, 10), (1, 11), (2, 20), (3, 30)]);
         // Exact: f → g does not hold. With 20% tolerance it does (1 of 5).
         let exact = mine_approx_fds(&t, 1, 0.0);
-        assert!(!exact
-            .iter()
-            .any(|f| f.lhs == AttrSet(0b001) && f.rhs == 1));
+        assert!(!exact.iter().any(|f| f.lhs == AttrSet(0b001) && f.rhs == 1));
         let loose = mine_approx_fds(&t, 1, 0.2);
         let found = loose
             .iter()

@@ -390,10 +390,7 @@ mod tests {
         s.add_ids(&[AttrId(0), AttrId(1)], &[AttrId(2)]);
         let mc = s.minimal_cover();
         assert!(mc.fds().contains(&Fd::new(AttrSet(0b001), AttrSet(0b100))));
-        assert!(!mc
-            .fds()
-            .iter()
-            .any(|f| f.lhs == AttrSet(0b011)));
+        assert!(!mc.fds().iter().any(|f| f.lhs == AttrSet(0b011)));
     }
 
     #[test]

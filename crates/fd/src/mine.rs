@@ -105,6 +105,11 @@ pub struct Mined {
 /// ```
 #[allow(clippy::needless_range_loop)] // index drives several parallel arrays
 pub fn mine_fds(table: &Table, _catalog: &Catalog) -> Mined {
+    mapro_obs::counter!("fd.mine.calls").inc();
+    let _t = mapro_obs::time!("fd.mine.mine_ns");
+    let mut lattice_levels = 0u64;
+    let mut partition_products = 0u64;
+    let mut pruned_candidates = 0u64;
     let attrs = table.attrs();
     let universe = Universe::new(attrs.clone());
     let n = universe.len();
@@ -158,6 +163,7 @@ pub fn mine_fds(table: &Table, _catalog: &Catalog) -> Mined {
 
     let mut superkeys: Vec<AttrSet> = Vec::new();
     while !level.is_empty() {
+        lattice_levels += 1;
         let mut entries: Vec<(AttrSet, Partition)> = level.drain().collect();
         entries.sort_by_key(|(s, _)| *s);
         let mut next: HashMap<AttrSet, Partition> = HashMap::new();
@@ -167,6 +173,7 @@ pub fn mine_fds(table: &Table, _catalog: &Catalog) -> Mined {
                 if dead(&found, *x, a) {
                     continue;
                 }
+                partition_products += 1;
                 let pxa = px.product(&base[a]);
                 if pxa.count == px.count {
                     fds.add(Fd::new(*x, AttrSet::single(a)));
@@ -189,13 +196,22 @@ pub fn mine_fds(table: &Table, _catalog: &Catalog) -> Mined {
             for p in (max + 1)..n {
                 let y = x.with(p);
                 if superkeys.iter().any(|&k| k.subset_of(y)) {
+                    pruned_candidates += 1;
                     continue;
+                }
+                if !next.contains_key(&y) {
+                    partition_products += 1;
                 }
                 next.entry(y).or_insert_with(|| px.product(&base[p]));
             }
         }
         level = next;
     }
+
+    mapro_obs::histogram!("fd.mine.lattice_levels").record(lattice_levels);
+    mapro_obs::counter!("fd.mine.partitions").add(partition_products);
+    mapro_obs::counter!("fd.mine.pruned_candidates").add(pruned_candidates);
+    mapro_obs::histogram!("fd.mine.fds_found").record(fds.fds().len() as u64);
 
     Mined {
         fds,
@@ -224,10 +240,7 @@ mod tests {
     fn has(m: &Mined, lhs: &[u32], rhs: u32) -> bool {
         let lhs: Vec<_> = lhs.iter().map(|&i| mapro_core::AttrId(i)).collect();
         let l = m.fds.universe.encode(&lhs);
-        let r = m
-            .fds
-            .universe
-            .encode(&[mapro_core::AttrId(rhs)]);
+        let r = m.fds.universe.encode(&[mapro_core::AttrId(rhs)]);
         m.fds.fds().contains(&Fd::new(l, r))
     }
 
@@ -282,12 +295,11 @@ mod tests {
         // f is unique per row here, so f→out holds and (f,g)→out must not
         // be reported.
         assert!(has(&m, &[0], 2));
-        let l = m.fds.universe.encode(&[mapro_core::AttrId(0), mapro_core::AttrId(1)]);
-        assert!(!m
+        let l = m
             .fds
-            .fds()
-            .iter()
-            .any(|fd| fd.lhs == l));
+            .universe
+            .encode(&[mapro_core::AttrId(0), mapro_core::AttrId(1)]);
+        assert!(!m.fds.fds().iter().any(|fd| fd.lhs == l));
     }
 
     #[test]

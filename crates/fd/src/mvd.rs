@@ -55,13 +55,15 @@ impl Rel {
         keep.sort_unstable();
         keep.dedup();
         for a in &keep {
-            assert!(self.attrs.contains(a), "projection attr {a} not in relation");
+            assert!(
+                self.attrs.contains(a),
+                "projection attr {a} not in relation"
+            );
         }
         let mut seen = HashSet::new();
         let mut rows = Vec::new();
         for r in &self.rows {
-            let row: BTreeMap<AttrId, Value> =
-                keep.iter().map(|&a| (a, r[&a].clone())).collect();
+            let row: BTreeMap<AttrId, Value> = keep.iter().map(|&a| (a, r[&a].clone())).collect();
             if seen.insert(row.clone()) {
                 rows.push(row);
             }
@@ -230,22 +232,13 @@ mod tests {
         let mut t = Table::new("t", vec![course, teacher, book], vec![]);
         // course 1: teachers {1,2} × books {10,20}
         let rows: Vec<(u64, u64, u64)> = if cross {
-            vec![
-                (1, 1, 10),
-                (1, 1, 20),
-                (1, 2, 10),
-                (1, 2, 20),
-                (2, 3, 30),
-            ]
+            vec![(1, 1, 10), (1, 1, 20), (1, 2, 10), (1, 2, 20), (2, 3, 30)]
         } else {
             // Missing (1,2,20): not a cross product.
             vec![(1, 1, 10), (1, 1, 20), (1, 2, 10), (2, 3, 30)]
         };
         for (cv, tv, bv) in rows {
-            t.row(
-                vec![Value::Int(cv), Value::Int(tv), Value::Int(bv)],
-                vec![],
-            );
+            t.row(vec![Value::Int(cv), Value::Int(tv), Value::Int(bv)], vec![]);
         }
         (c, t, vec![course, teacher, book])
     }

@@ -133,11 +133,7 @@ pub fn mod_test(p: &Pol) -> Option<Pol> {
 pub fn ka_seq_assoc(p: &Pol) -> Option<Pol> {
     match p {
         Pol::Seq(pq, r) => match &**pq {
-            Pol::Seq(p0, q) => Some(
-                (**p0)
-                    .clone()
-                    .seq((**q).clone().seq((**r).clone())),
-            ),
+            Pol::Seq(p0, q) => Some((**p0).clone().seq((**q).clone().seq((**r).clone()))),
             _ => None,
         },
         _ => None,
@@ -255,10 +251,7 @@ mod tests {
         let a = Pol::test(f(0), 1u64);
         let b = Pol::test(f(1), 2u64);
         let c = Pol::act("x");
-        let lhs = Pol::Seq(
-            Box::new(Pol::Seq(Box::new(a), Box::new(b))),
-            Box::new(c),
-        );
+        let lhs = Pol::Seq(Box::new(Pol::Seq(Box::new(a), Box::new(b))), Box::new(c));
         let out = ka_seq_assoc(&lhs).unwrap();
         check("ka-seq-assoc", &lhs, &out);
     }
@@ -280,8 +273,7 @@ mod tests {
             prop_oneof![
                 (inner.clone(), inner.clone())
                     .prop_map(|(p, q)| Pol::Seq(Box::new(p), Box::new(q))),
-                (inner.clone(), inner)
-                    .prop_map(|(p, q)| Pol::Plus(Box::new(p), Box::new(q))),
+                (inner.clone(), inner).prop_map(|(p, q)| Pol::Plus(Box::new(p), Box::new(q))),
             ]
         })
     }

@@ -150,8 +150,8 @@ mod tests {
     #[test]
     fn distributes_and_flattens() {
         // f=1; (a + b) → f=1;a + f=1;b
-        let p = Pol::test(f(0), 1u64)
-            .seq(Pol::Plus(Box::new(Pol::act("a")), Box::new(Pol::act("b"))));
+        let p =
+            Pol::test(f(0), 1u64).seq(Pol::Plus(Box::new(Pol::act("a")), Box::new(Pol::act("b"))));
         let c = canonicalize(&p);
         assert!(is_openflow_nf(&c));
         assert!(semantically_equal(&p, &c, &W).is_ok());
@@ -170,10 +170,7 @@ mod tests {
     #[test]
     fn tests_hoisted_before_actions() {
         // act; f=1 (commutable) → f=1; act
-        let p = Pol::Seq(
-            Box::new(Pol::act("x")),
-            Box::new(Pol::test(f(0), 1u64)),
-        );
+        let p = Pol::Seq(Box::new(Pol::act("x")), Box::new(Pol::test(f(0), 1u64)));
         let c = canonicalize(&p);
         assert!(is_openflow_nf(&c));
         assert!(semantically_equal(&p, &c, &W).is_ok());
@@ -182,10 +179,7 @@ mod tests {
     #[test]
     fn same_field_mod_test_not_commuted() {
         // f<-1; f=1 must NOT be reordered to f=1; f<-1 (different meaning).
-        let p = Pol::Seq(
-            Box::new(Pol::Mod(f(0), 1)),
-            Box::new(Pol::test(f(0), 1u64)),
-        );
+        let p = Pol::Seq(Box::new(Pol::Mod(f(0), 1)), Box::new(Pol::test(f(0), 1u64)));
         let c = canonicalize(&p);
         assert!(semantically_equal(&p, &c, &W).is_ok());
         // Not in OF-NF (test after mod on the same field is irreducible in
@@ -223,8 +217,7 @@ mod tests {
             prop_oneof![
                 (inner.clone(), inner.clone())
                     .prop_map(|(p, q)| Pol::Seq(Box::new(p), Box::new(q))),
-                (inner.clone(), inner)
-                    .prop_map(|(p, q)| Pol::Plus(Box::new(p), Box::new(q))),
+                (inner.clone(), inner).prop_map(|(p, q)| Pol::Plus(Box::new(p), Box::new(q))),
             ]
         })
     }

@@ -53,7 +53,10 @@ impl fmt::Display for CompileError {
                 write!(f, "table {table:?} is not order-independent (not 1NF)")
             }
             CompileError::UnsupportedMissPolicy { table } => {
-                write!(f, "table {table:?}: only drop-on-miss compiles to the fragment")
+                write!(
+                    f,
+                    "table {table:?}: only drop-on-miss compiles to the fragment"
+                )
             }
             CompileError::GotoCycle { table } => write!(f, "goto cycle through {table:?}"),
             CompileError::BadActionParam { table, attr } => {
@@ -99,12 +102,7 @@ pub fn compile_from(p: &Pipeline, table: &str, budget: usize) -> Result<Pol, Com
 }
 
 /// Compile one entry: predicates, then actions, then the continuation.
-fn compile_entry(
-    p: &Pipeline,
-    t: &Table,
-    row: usize,
-    budget: usize,
-) -> Result<Pol, CompileError> {
+fn compile_entry(p: &Pipeline, t: &Table, row: usize, budget: usize) -> Result<Pol, CompileError> {
     let e = &t.entries[row];
     let mut parts: Vec<Pol> = Vec::new();
     for (i, &attr) in t.match_attrs.iter().enumerate() {

@@ -49,11 +49,7 @@ impl std::error::Error for DecompileError {}
 /// Decompile `pol` into a single table named `name`, resolving attribute
 /// names against `catalog` (typically the catalog the policy was compiled
 /// from). The policy is canonicalized first.
-pub fn policy_to_table(
-    pol: &Pol,
-    catalog: &Catalog,
-    name: &str,
-) -> Result<Table, DecompileError> {
+pub fn policy_to_table(pol: &Pol, catalog: &Catalog, name: &str) -> Result<Table, DecompileError> {
     let canon = canonicalize(pol);
 
     // Collect summands.
@@ -280,11 +276,7 @@ mod tests {
             Err(DecompileError::NoSetFieldAction(_))
         ));
         assert!(matches!(
-            policy_to_table(
-                &Pol::act("out(a)").seq(Pol::act("out(b)")),
-                &c,
-                "t"
-            ),
+            policy_to_table(&Pol::act("out(a)").seq(Pol::act("out(b)")), &c, "t"),
             Err(DecompileError::DuplicateAction(_))
         ));
     }
@@ -295,9 +287,7 @@ mod tests {
         let f = c.field("f", 8);
         let g = c.field("g", 8);
         c.action("set_g", ActionSem::SetField(g));
-        let pol = Pol::test(f, 1u64)
-            .seq(Pol::Mod(g, 5))
-            .seq(Pol::Mod(g, 7));
+        let pol = Pol::test(f, 1u64).seq(Pol::Mod(g, 5)).seq(Pol::Mod(g, 7));
         let t = policy_to_table(&pol, &c, "t").unwrap();
         assert_eq!(t.entries[0].actions[0], Value::Int(7));
     }

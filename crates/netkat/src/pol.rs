@@ -195,9 +195,7 @@ pub fn semantically_equal(
     let mut pts: BTreeMap<AttrId, Vec<u64>> = BTreeMap::new();
     for (f, v) in a.tests().into_iter().chain(b.tests()) {
         let w = width(f);
-        let (lo, hi) = v
-            .interval(w)
-            .unwrap_or((0, 0)); // Sym predicates match nothing; 0 suffices
+        let (lo, hi) = v.interval(w).unwrap_or((0, 0)); // Sym predicates match nothing; 0 suffices
         let e = pts.entry(f).or_default();
         e.push(lo);
         if hi < mapro_core::value::low_mask(w) {
@@ -309,10 +307,18 @@ mod tests {
     #[test]
     fn seq_composes() {
         let pk = Pk::default();
-        let p = Pol::Mod(f(0), 1).seq(Pol::test(f(0), 1u64)).seq(Pol::act("hit"));
+        let p = Pol::Mod(f(0), 1)
+            .seq(Pol::test(f(0), 1u64))
+            .seq(Pol::act("hit"));
         let out = eval(&p, &pk, &W);
         assert_eq!(out.len(), 1);
-        assert!(out.iter().next().unwrap().acts.iter().any(|a| &**a == "hit"));
+        assert!(out
+            .iter()
+            .next()
+            .unwrap()
+            .acts
+            .iter()
+            .any(|a| &**a == "hit"));
     }
 
     #[test]
@@ -351,7 +357,9 @@ mod tests {
 
     #[test]
     fn policy_size_and_display() {
-        let p = Pol::test(f(0), 1u64).seq(Pol::act("out(a)")).plus(Pol::Drop);
+        let p = Pol::test(f(0), 1u64)
+            .seq(Pol::act("out(a)"))
+            .plus(Pol::Drop);
         assert!(p.size() >= 3);
         let s = format!("{p}");
         assert!(s.contains("out(a)"));

@@ -41,9 +41,7 @@ pub enum Theorem1Error {
 impl fmt::Display for Theorem1Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
-            Theorem1Error::SidesMustBeMatchFields => {
-                "X and Y must be disjoint match-field sets"
-            }
+            Theorem1Error::SidesMustBeMatchFields => "X and Y must be disjoint match-field sets",
             Theorem1Error::DependencyDoesNotHold => "X -> Y does not hold in the instance",
             Theorem1Error::NotFirstNormalForm => "table is not in 1NF",
         };
@@ -99,11 +97,9 @@ pub fn derivation(
 
     let n = table.len();
     let tests = |row: usize, attrs: &[AttrId]| -> Pol {
-        Pol::sequence(attrs.iter().filter_map(|&a| {
-            match table.cell(row, a) {
-                Value::Any => None,
-                v => Some(Pol::Test(a, v.clone())),
-            }
+        Pol::sequence(attrs.iter().filter_map(|&a| match table.cell(row, a) {
+            Value::Any => None,
+            v => Some(Pol::Test(a, v.clone())),
         }))
     };
     let policies = |row: usize| -> Pol {
@@ -115,9 +111,7 @@ pub fn derivation(
             }
             let attr = catalog.attr(a);
             Some(match &attr.kind {
-                mapro_core::AttrKind::Field | mapro_core::AttrKind::Meta => {
-                    Pol::Test(a, v.clone())
-                }
+                mapro_core::AttrKind::Field | mapro_core::AttrKind::Meta => Pol::Test(a, v.clone()),
                 mapro_core::AttrKind::Action(_) => Pol::act(format!("{}({v})", attr.name)),
             })
         }))
@@ -171,12 +165,10 @@ pub fn derivation(
     steps.push(Step {
         law: "BA-Contra, KA-Plus-Zero",
         pol: sum(&|i| {
-            let inner = Pol::sum((0..n).map(|j| {
-                Pol::Seq(
-                    Box::new(xi(i)),
-                    Box::new(xi_other(table, x, j).seq(dxi(j))),
-                )
-            }));
+            let inner =
+                Pol::sum((0..n).map(|j| {
+                    Pol::Seq(Box::new(xi(i)), Box::new(xi_other(table, x, j).seq(dxi(j))))
+                }));
             inner.seq(xi(i)).seq(zi(i))
         }),
     });
@@ -221,10 +213,7 @@ fn xi_other(table: &Table, x: &[AttrId], j: usize) -> Pol {
 ///
 /// Returns the total number of packets evaluated, or the index of the
 /// first step that breaks (with the distinguishing packet).
-pub fn verify(
-    steps: &[Step],
-    catalog: &Catalog,
-) -> Result<usize, (usize, Box<Pk>)> {
+pub fn verify(steps: &[Step], catalog: &Catalog) -> Result<usize, (usize, Box<Pk>)> {
     let width = |a: AttrId| catalog.attr(a).width;
     let mut total = 0usize;
     for (i, w) in steps.windows(2).enumerate() {

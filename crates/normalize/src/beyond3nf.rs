@@ -188,11 +188,9 @@ pub fn decompose_jd(
         )
         .map_err(|e| match e {
             crate::decompose::DecomposeError::OrderSensitiveActionSplit { .. }
-            | crate::decompose::DecomposeError::RewriteBeforeMatch { .. } => {
-                JdError::StageNot1NF {
-                    stage: names[i].clone(),
-                }
-            }
+            | crate::decompose::DecomposeError::RewriteBeforeMatch { .. } => JdError::StageNot1NF {
+                stage: names[i].clone(),
+            },
             _ => JdError::SourceNot1NF,
         })?;
     }
@@ -322,16 +320,12 @@ pub fn decompose_mvd(
         })
         .collect();
 
-    crate::decompose::validate_action_split(t, &catalog, &ay, &az, &fz).map_err(|e| {
-        match e {
-            crate::decompose::DecomposeError::OrderSensitiveActionSplit { .. }
-            | crate::decompose::DecomposeError::RewriteBeforeMatch { .. } => {
-                JdError::StageNot1NF {
-                    stage: t.name.clone(),
-                }
-            }
-            _ => JdError::SourceNot1NF,
-        }
+    crate::decompose::validate_action_split(t, &catalog, &ay, &az, &fz).map_err(|e| match e {
+        crate::decompose::DecomposeError::OrderSensitiveActionSplit { .. }
+        | crate::decompose::DecomposeError::RewriteBeforeMatch { .. } => JdError::StageNot1NF {
+            stage: t.name.clone(),
+        },
+        _ => JdError::SourceNot1NF,
     })?;
 
     // Stage 1: (X, fields(Y) | actions(Y), tag).
@@ -589,10 +583,7 @@ mod tests {
     fn tagged_jd_decomposition_is_equivalent() {
         let (p, ids) = sdx_like();
         // outbound: (dst, dport, member); inbound: (member, src, fwd).
-        let comps = vec![
-            vec![ids[0], ids[1], ids[3]],
-            vec![ids[3], ids[2], ids[4]],
-        ];
+        let comps = vec![vec![ids[0], ids[1], ids[3]], vec![ids[3], ids[2], ids[4]]];
         let q = decompose_jd(&p, "sdx", &comps).unwrap();
         assert_eq!(q.tables.len(), 2);
         assert_equivalent(&p, &q);
@@ -623,10 +614,7 @@ mod tests {
     #[test]
     fn naive_chain_is_order_dependent_and_wrong() {
         let (p, ids) = sdx_like();
-        let comps = vec![
-            vec![ids[0], ids[1], ids[3]],
-            vec![ids[3], ids[2], ids[4]],
-        ];
+        let comps = vec![vec![ids[0], ids[1], ids[3]], vec![ids[3], ids[2], ids[4]]];
         let naive = chain_components_naive(&p, "sdx", &comps).unwrap();
         // The inbound stage has overlapping rows (src 0*→c1 vs *→d shapes).
         let last = naive.tables.last().unwrap();

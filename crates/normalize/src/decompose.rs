@@ -20,9 +20,7 @@
 //! Fig. 3's incorrect decomposition. The constructor detects this and
 //! refuses (unless explicitly permitted for demonstration purposes).
 
-use crate::join::{
-    fresh_goto_action, fresh_meta, fresh_table_name, fresh_tag_action, JoinKind,
-};
+use crate::join::{fresh_goto_action, fresh_meta, fresh_table_name, fresh_tag_action, JoinKind};
 use mapro_core::{
     check_equivalent, ActionSem, AttrId, AttrKind, Counterexample, EquivConfig, EquivOutcome,
     Pipeline, Table, Value,
@@ -185,13 +183,12 @@ pub(crate) fn validate_action_split(
     let col_index = |a: AttrId| orig.action_attrs.iter().position(|&b| b == a);
     // Both cells non-Any in some row ⇒ the pair can actually conflict.
     let co_occupied = |a: AttrId, b: AttrId| -> bool {
-        let (Some((ca, false)), Some((cb, false))) = (orig.column_of(a), orig.column_of(b))
-        else {
+        let (Some((ca, false)), Some((cb, false))) = (orig.column_of(a), orig.column_of(b)) else {
             return false;
         };
-        orig.entries.iter().any(|e| {
-            !matches!(e.actions[ca], Value::Any) && !matches!(e.actions[cb], Value::Any)
-        })
+        orig.entries
+            .iter()
+            .any(|e| !matches!(e.actions[ca], Value::Any) && !matches!(e.actions[cb], Value::Any))
     };
     for &a2 in s2_actions {
         for &b1 in s1_actions {
@@ -207,8 +204,7 @@ pub(crate) fn validate_action_split(
         }
     }
     for &b1 in s1_actions {
-        if let mapro_core::AttrKind::Action(ActionSem::SetField(target)) = &catalog.attr(b1).kind
-        {
+        if let mapro_core::AttrKind::Action(ActionSem::SetField(target)) = &catalog.attr(b1).kind {
             if s2_match.contains(target) {
                 if let Some((c, false)) = orig.column_of(b1) {
                     if orig
@@ -259,6 +255,8 @@ pub fn decompose(
     y: &[AttrId],
     opts: &DecomposeOpts,
 ) -> Result<Pipeline, DecomposeError> {
+    mapro_obs::counter!("normalize.decompose.calls").inc();
+    let _t_dec = mapro_obs::time!("normalize.decompose.decompose_ns");
     let t = p
         .table(table)
         .ok_or_else(|| DecomposeError::TableNotFound(table.to_owned()))?;
@@ -399,6 +397,8 @@ pub fn decompose(
                 Err(e) => return Err(DecomposeError::VerifyFailed(e.to_string())),
             }
         }
+        mapro_obs::histogram!("normalize.decompose.stage_tables").record(2);
+        mapro_obs::histogram!("normalize.decompose.join_rows").record((s1.len() + s2.len()) as u64);
         return Ok(out);
     }
 
@@ -579,11 +579,8 @@ pub fn decompose(
             }
             new_tables.push(s1);
             for (k, rows) in groups.iter().enumerate() {
-                let mut sub = Table::new(
-                    sub_name(k),
-                    plan.s2_match.clone(),
-                    plan.s2_actions.clone(),
-                );
+                let mut sub =
+                    Table::new(sub_name(k), plan.s2_match.clone(), plan.s2_actions.clone());
                 sub.miss = t.miss.clone();
                 sub.next = t.next.clone();
                 let mut seen = std::collections::HashSet::new();
@@ -598,6 +595,10 @@ pub fn decompose(
             }
         }
     }
+
+    mapro_obs::histogram!("normalize.decompose.stage_tables").record(new_tables.len() as u64);
+    mapro_obs::histogram!("normalize.decompose.join_rows")
+        .record(new_tables.iter().map(|t| t.len() as u64).sum());
 
     // -- 1NF validation of produced stages ---------------------------------
     if !opts.allow_non_1nf {
@@ -641,9 +642,7 @@ pub fn decompose(
     if opts.verify {
         match check_equivalent(p, &out, &EquivConfig::default()) {
             Ok(EquivOutcome::Equivalent { .. }) => {}
-            Ok(EquivOutcome::Counterexample(cx)) => {
-                return Err(DecomposeError::NotEquivalent(cx))
-            }
+            Ok(EquivOutcome::Counterexample(cx)) => return Err(DecomposeError::NotEquivalent(cx)),
             Err(e) => return Err(DecomposeError::VerifyFailed(e.to_string())),
         }
     }
@@ -673,10 +672,7 @@ mod tests {
             (Value::Any, 3, 22, "vm6"),
         ];
         for (s, d, pt, o) in rows {
-            t.row(
-                vec![s, Value::Int(d), Value::Int(pt)],
-                vec![Value::sym(o)],
-            );
+            t.row(vec![s, Value::Int(d), Value::Int(pt)], vec![Value::sym(o)]);
         }
         (Pipeline::single(c, t), vec![src, dst, port, out])
     }

@@ -124,7 +124,11 @@ pub fn factor_constants(
         &p.tables.iter().map(|t| t.name.clone()).collect::<Vec<_>>(),
         &format!("{}_const", t.name),
     );
-    let mut t_const = Table::new(const_name.clone(), const_match.clone(), const_actions.clone());
+    let mut t_const = Table::new(
+        const_name.clone(),
+        const_match.clone(),
+        const_actions.clone(),
+    );
     t_const.miss = t.miss.clone();
     t_const.push(Entry::new(
         const_match

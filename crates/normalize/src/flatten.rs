@@ -14,9 +14,7 @@
 //! resulting entry order reproduces the pipeline's first-match semantics
 //! even when flattened entries overlap.
 
-use mapro_core::{
-    ActionSem, AttrId, AttrKind, Entry, MissPolicy, Pipeline, Table, Value,
-};
+use mapro_core::{ActionSem, AttrId, AttrKind, Entry, MissPolicy, Pipeline, Table, Value};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -254,12 +252,7 @@ fn record(
     Ok(())
 }
 
-fn emit(
-    p: &Pipeline,
-    st: PathState,
-    match_attrs: &[AttrId],
-    action_attrs: &[AttrId],
-) -> Entry {
+fn emit(p: &Pipeline, st: PathState, match_attrs: &[AttrId], action_attrs: &[AttrId]) -> Entry {
     let matches = match_attrs
         .iter()
         .map(|a| {

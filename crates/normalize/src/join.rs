@@ -112,9 +112,6 @@ mod tests {
     fn goto_action_kind() {
         let mut c = Catalog::new();
         let g = fresh_goto_action(&mut c, "t0");
-        assert!(matches!(
-            c.attr(g).kind,
-            AttrKind::Action(ActionSem::Goto)
-        ));
+        assert!(matches!(c.attr(g).kind, AttrKind::Action(ActionSem::Goto)));
     }
 }

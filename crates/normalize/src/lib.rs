@@ -35,12 +35,14 @@ pub mod join;
 pub mod normalize;
 pub mod prune;
 
-pub use beyond3nf::{chain_components_naive, decompose_jd, decompose_mvd, normalize_to_4nf, JdError, MvdStep};
+pub use beyond3nf::{
+    chain_components_naive, decompose_jd, decompose_mvd, normalize_to_4nf, JdError, MvdStep,
+};
 pub use decompose::{decompose, DecomposeError, DecomposeOpts};
 pub use factor::{factor_constants, FactorError, FactorPlacement};
 pub use flatten::{flatten, FlattenError};
 pub use join::JoinKind;
-pub use prune::{prune_dead_entries, PruneError, Pruned};
 pub use normalize::{
-    normalize, pipeline_level, report, Normalized, NormalizeOpts, SkipRecord, StepRecord, Target,
+    normalize, pipeline_level, report, NormalizeOpts, Normalized, SkipRecord, StepRecord, Target,
 };
+pub use prune::{prune_dead_entries, PruneError, Pruned};

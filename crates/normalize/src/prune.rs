@@ -56,8 +56,7 @@ impl std::error::Error for PruneError {}
 /// enumerate; falls back to sampling plus a full equivalence re-check
 /// otherwise.
 pub fn prune_dead_entries(p: &Pipeline, cfg: &EquivConfig) -> Result<Pruned, PruneError> {
-    let domain =
-        Domain::from_pipelines(&[p]).map_err(|e| PruneError::Analysis(e.to_string()))?;
+    let domain = Domain::from_pipelines(&[p]).map_err(|e| PruneError::Analysis(e.to_string()))?;
     let proto = Packet::zero(&p.catalog);
     let index = p.name_index();
 
@@ -103,9 +102,7 @@ pub fn prune_dead_entries(p: &Pipeline, cfg: &EquivConfig) -> Result<Pruned, Pru
     if !exhaustive {
         match check_equivalent(p, &out, cfg) {
             Ok(EquivOutcome::Equivalent { .. }) => {}
-            Ok(EquivOutcome::Counterexample(_)) => {
-                return Err(PruneError::WouldChangeSemantics)
-            }
+            Ok(EquivOutcome::Counterexample(_)) => return Err(PruneError::WouldChangeSemantics),
             Err(e) => return Err(PruneError::Analysis(e.to_string())),
         }
     }
@@ -137,10 +134,7 @@ mod tests {
         let p = shadowed_table();
         let r = prune_dead_entries(&p, &EquivConfig::default()).unwrap();
         assert!(r.exhaustive);
-        assert_eq!(
-            r.removed,
-            vec![("t".to_owned(), 1), ("t".to_owned(), 2)]
-        );
+        assert_eq!(r.removed, vec![("t".to_owned(), 1), ("t".to_owned(), 2)]);
         assert_eq!(r.pipeline.table("t").unwrap().len(), 1);
         assert_equivalent(&p, &r.pipeline);
     }

@@ -1,0 +1,106 @@
+//! Integration tests of the observability substrate: histogram bucket
+//! math, counter atomicity under contention, and snapshot determinism.
+
+#![cfg(feature = "enabled")]
+
+use mapro_obs::{Histogram, MetricValue, Registry};
+use std::sync::Arc;
+
+#[test]
+fn histogram_bucket_boundaries_and_quantiles() {
+    let h = Histogram::new();
+    // Power-of-two bucket edges: values 1..=8 land in buckets whose upper
+    // bounds are 1, 3, 3, 7, 7, 7, 7, 15.
+    for v in 1..=8u64 {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 8);
+    assert_eq!(h.sum(), 36);
+    assert_eq!(h.max(), 8);
+    assert!((h.mean() - 4.5).abs() < 1e-9);
+    // Rank math: p50 of 8 samples is the 4th, in the [4,7] bucket.
+    assert_eq!(h.quantile(0.5), 7);
+    // p99 rounds up to the last sample; its bucket upper bound is 15 but
+    // the reported quantile is capped by the exact max.
+    assert_eq!(h.quantile(0.99), 8);
+    assert_eq!(h.quantile(1.0), 8);
+}
+
+#[test]
+fn histogram_exact_at_bucket_edges() {
+    let h = Histogram::new();
+    h.record(0);
+    assert_eq!(h.quantile(0.5), 0);
+    h.record(1);
+    h.record(1);
+    // Samples 0,1,1: median is 1, exactly the bucket-1 upper bound.
+    assert_eq!(h.quantile(0.5), 1);
+    let s = h.summary();
+    assert_eq!((s.count, s.sum, s.max), (3, 2, 1));
+}
+
+#[test]
+fn histogram_wide_range() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(0);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.max(), u64::MAX);
+    assert_eq!(h.quantile(1.0), u64::MAX);
+    assert_eq!(h.quantile(0.0), 0);
+}
+
+#[test]
+fn counter_concurrency_exact_total() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 100_000;
+    let r = Registry::new();
+    let c = r.counter("test.concurrency.total");
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let c: Arc<_> = Arc::clone(&c);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn snapshot_is_deterministic_and_sorted() {
+    let r = Registry::new();
+    // Register in deliberately unsorted order.
+    r.counter("z.last").add(1);
+    r.gauge("a.first").set(-2);
+    r.histogram("m.middle").record(5);
+    let s1 = r.snapshot();
+    let s2 = r.snapshot();
+    assert_eq!(s1, s2, "same state snapshots identically");
+    let names: Vec<&str> = s1.entries.iter().map(|e| e.name.as_str()).collect();
+    assert_eq!(names, ["a.first", "m.middle", "z.last"]);
+    assert_eq!(s1.get("z.last"), Some(&MetricValue::Counter(1)));
+    assert_eq!(s1.get("a.first"), Some(&MetricValue::Gauge(-2)));
+    assert_eq!(s1.to_json(), s2.to_json());
+    // Text and JSON renderings list every metric.
+    for n in names {
+        assert!(s1.to_text().contains(n));
+        assert!(s1.to_json().contains(n));
+    }
+}
+
+#[test]
+fn reset_zeroes_but_keeps_handles() {
+    let r = Registry::new();
+    let c = r.counter("x.c");
+    let h = r.histogram("x.h");
+    c.add(7);
+    h.record(9);
+    r.reset();
+    assert_eq!(c.get(), 0);
+    assert_eq!(h.count(), 0);
+    c.inc();
+    assert_eq!(r.counter("x.c").get(), 1, "handle still live after reset");
+}

@@ -109,6 +109,9 @@ pub fn simulate_churn_timeline(
     events: &[(f64, usize, bool)],
     stall: ControlStall,
 ) -> ChurnPoint {
+    mapro_obs::counter!("switch.churn.simulations").inc();
+    let _t = mapro_obs::time!("switch.churn.simulate_ns");
+    mapro_obs::counter!("switch.churn.events").add(events.len() as u64);
     let slot_ns = 1e3 / line_mpps; // ns per packet at line rate
     let mut stall_until_ns = 0.0f64;
     let mut stalled_ns = 0.0f64;
@@ -353,8 +356,7 @@ mod tests {
         // timeline result must be within a few percent of the duty-cycle
         // formula (no queueing below saturation).
         let stall = ControlStall::default();
-        let events: Vec<(f64, usize, bool)> =
-            (0..50).map(|i| (i as f64 / 50.0, 8, true)).collect();
+        let events: Vec<(f64, usize, bool)> = (0..50).map(|i| (i as f64 / 50.0, 8, true)).collect();
         let sim = simulate_churn_timeline(LINE, 1.0, &events, stall);
         let analytic = churn_point(
             LINE,
@@ -368,7 +370,12 @@ mod tests {
             HwLatency::default(),
         );
         let rel = (sim.mpps - analytic.mpps).abs() / analytic.mpps;
-        assert!(rel < 0.05, "timeline {} vs analytic {}", sim.mpps, analytic.mpps);
+        assert!(
+            rel < 0.05,
+            "timeline {} vs analytic {}",
+            sim.mpps,
+            analytic.mpps
+        );
     }
 
     #[test]
@@ -436,8 +443,7 @@ mod tests {
 
     #[test]
     fn queue_timeline_agrees_with_duty_cycle_model() {
-        let events: Vec<(f64, usize, bool)> =
-            (0..10).map(|i| (i as f64 / 50.0, 8, true)).collect();
+        let events: Vec<(f64, usize, bool)> = (0..10).map(|i| (i as f64 / 50.0, 8, true)).collect();
         let r = queue_timeline(qcfg(), &events, ControlStall::default());
         let analytic = churn_point(
             10.73,

@@ -168,8 +168,8 @@ pub struct ControlStall {
 impl Default for ControlStall {
     fn default() -> Self {
         ControlStall {
-            per_flowmod_ns: 50_000.0,      // 50 µs
-            bundle_ns: 9_100_000.0,        // 9.1 ms
+            per_flowmod_ns: 50_000.0, // 50 µs
+            bundle_ns: 9_100_000.0,   // 9.1 ms
         }
     }
 }

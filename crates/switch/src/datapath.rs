@@ -122,6 +122,8 @@ impl Datapath {
         policy: TemplatePolicy,
         params: CostParams,
     ) -> Result<Datapath, CompileError> {
+        mapro_obs::counter!("switch.datapath.compiles").inc();
+        let _t = mapro_obs::time!("switch.datapath.compile_ns");
         let index = |name: &str| -> Result<usize, CompileError> {
             p.tables
                 .iter()
@@ -259,6 +261,7 @@ impl Datapath {
 
     /// Process one packet (mutating a private copy for set-field actions).
     pub fn process(&mut self, pkt: &Packet) -> ProcessOut {
+        mapro_obs::counter!("switch.datapath.packets").inc();
         let mut pkt = pkt.clone();
         let mut cur = Some(self.start);
         let mut out = ProcessOut {
@@ -413,12 +416,7 @@ mod tests {
     #[test]
     fn max_stages_counts_chain() {
         let p = two_stage();
-        let dp = Datapath::compile(
-            &p,
-            TemplatePolicy::Tcam,
-            CostParams::noviflow(),
-        )
-        .unwrap();
+        let dp = Datapath::compile(&p, TemplatePolicy::Tcam, CostParams::noviflow()).unwrap();
         assert_eq!(dp.max_stages(), 2);
     }
 

@@ -99,11 +99,11 @@ pub fn run_modeled_parallel(
     for (flow, pkt) in &trace.packets {
         shards[flow % workers].push(pkt);
     }
-    let results = parking_lot::Mutex::new(Vec::new());
-    crossbeam::thread::scope(|scope| {
+    let results = std::sync::Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
         for shard in shards.iter().filter(|s| !s.is_empty()) {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut sw = factory();
                 let qf = sw.queue_factor();
                 let mut service = 0.0f64;
@@ -125,13 +125,13 @@ pub fn run_modeled_parallel(
                 }
                 results
                     .lock()
+                    .unwrap()
                     .push((shard.len(), service, lat, dropped, lookups, slow));
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    let results = results.into_inner();
+    let results = results.into_inner().unwrap();
     let mut all_lat: Vec<f64> = Vec::with_capacity(trace.len());
     let mut mpps = 0.0f64;
     let mut dropped = 0usize;
@@ -282,9 +282,8 @@ mod tests {
     #[test]
     fn parallel_replay_scales_and_agrees() {
         let (p, trace) = setup();
-        let factory = || -> Box<dyn crate::Switch + Send> {
-            Box::new(EswitchSim::compile(&p).unwrap())
-        };
+        let factory =
+            || -> Box<dyn crate::Switch + Send> { Box::new(EswitchSim::compile(&p).unwrap()) };
         let serial = {
             let mut sim = EswitchSim::compile(&p).unwrap();
             run_modeled(&mut sim, &trace)

@@ -35,8 +35,7 @@ pub use churn::{
 pub use cost::{ControlStall, CostParams, HwLatency};
 pub use datapath::{CompileError, Datapath, ProcessOut, TemplatePolicy};
 pub use harness::{
-    run_modeled, run_modeled_parallel, run_wallclock, run_with_updates, ClosedLoopReport,
-    RunReport,
+    run_modeled, run_modeled_parallel, run_wallclock, run_with_updates, ClosedLoopReport, RunReport,
 };
 pub use live::{LiveError, LiveSwitch, UpdateReceipt};
 pub use ovs::OvsSim;

@@ -123,10 +123,7 @@ impl LiveSwitch {
 
     /// Apply a whole plan; an atomic multi-entry plan additionally pays the
     /// bundle-commit stall (§5 / Fig. 4).
-    pub fn apply_plan(
-        &mut self,
-        plan: &mapro_control::UpdatePlan,
-    ) -> Result<f64, LiveError> {
+    pub fn apply_plan(&mut self, plan: &mapro_control::UpdatePlan) -> Result<f64, LiveError> {
         let mut stall = 0.0;
         for u in &plan.updates {
             stall += self.apply_update(u)?.stall_ns;
@@ -180,8 +177,8 @@ impl Switch for LiveSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mapro_core::{ActionSem, AttrId, Catalog, Table, Value};
     use mapro_control::{RuleUpdate, UpdatePlan};
+    use mapro_core::{ActionSem, AttrId, Catalog, Table, Value};
 
     fn pipeline() -> (Pipeline, AttrId, AttrId) {
         let mut c = Catalog::new();
@@ -267,11 +264,7 @@ mod tests {
         let svc = &g.services[0];
         let pkt = mapro_core::Packet::from_fields(
             &sw.pipeline().catalog,
-            &[
-                ("ip_src", 3),
-                ("ip_dst", svc.ip as u64),
-                ("tcp_dst", 4443),
-            ],
+            &[("ip_src", 3), ("ip_dst", svc.ip as u64), ("tcp_dst", 4443)],
         );
         assert!(sw.process(&pkt).output.is_some());
         let old = mapro_core::Packet::from_fields(

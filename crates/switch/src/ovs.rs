@@ -376,7 +376,7 @@ mod tests {
         let pkt = Packet::from_fields(&p.catalog, &[("ip_src", 7), ("ip_dst", 1)]);
         assert_eq!(sim.process(&pkt).output.as_deref(), Some("vm2"));
         assert!(!sim.process(&pkt).slow_path); // warm
-        // Rewire the flow's backend; the warm cache must not serve vm2.
+                                               // Rewire the flow's backend; the warm cache must not serve vm2.
         sim.apply_update(&RuleUpdate::Modify {
             table: "t0".into(),
             matches: vec![Value::prefix(0, 1, 32), Value::Int(1)],

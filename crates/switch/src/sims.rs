@@ -208,7 +208,12 @@ mod tests {
         let a = uni.process(&pkt);
         let b = dec.process(&pkt);
         assert_eq!(a.output, b.output);
-        assert!(b.service_ns < a.service_ns, "{} !< {}", b.service_ns, a.service_ns);
+        assert!(
+            b.service_ns < a.service_ns,
+            "{} !< {}",
+            b.service_ns,
+            a.service_ns
+        );
     }
 
     #[test]
@@ -249,9 +254,16 @@ mod tests {
             Box::new(NoviflowSim::compile(&pu).unwrap()),
             Box::new(EswitchSim::compile(&pg).unwrap()),
         ];
-        for (s, d, pt) in [(5u64, 1u64, 80u64), (1 << 31, 2, 80), (7, 9, 80), (7, 1, 22)] {
-            let pkt =
-                Packet::from_fields(&pu.catalog, &[("ip_src", s), ("ip_dst", d), ("tcp_dst", pt)]);
+        for (s, d, pt) in [
+            (5u64, 1u64, 80u64),
+            (1 << 31, 2, 80),
+            (7, 9, 80),
+            (7, 1, 22),
+        ] {
+            let pkt = Packet::from_fields(
+                &pu.catalog,
+                &[("ip_src", s), ("ip_dst", d), ("tcp_dst", pt)],
+            );
             let want = pu.run(&pkt).unwrap();
             for sim in sims.iter_mut() {
                 let got = sim.process(&pkt);

@@ -75,7 +75,7 @@ impl Enterprise {
                     break cand;
                 }
             };
-            let pub_port = *[80u16, 443, 22].get(rng.gen_range(0..3)).unwrap();
+            let pub_port = *[80u16, 443, 22].get(rng.gen_range(0..3usize)).unwrap();
             let rack = (i % racks) as u32;
             let host = (i / racks) as u32 + 1;
             let priv_ip = (10 << 24) | (rack << 16) | host;
@@ -91,10 +91,7 @@ impl Enterprise {
                 vec![],
             );
             acl.row(
-                vec![
-                    Value::prefix(0x8000_0000, 1, 32),
-                    Value::Int(pub_ip as u64),
-                ],
+                vec![Value::prefix(0x8000_0000, 1, 32), Value::Int(pub_ip as u64)],
                 vec![],
             );
         }
@@ -186,8 +183,7 @@ mod tests {
         assert_equivalent(&e.pipeline, &q);
         // The port-rewrite table has one row per *service kind*, not per
         // service.
-        let kinds: std::collections::HashSet<u16> =
-            e.services.iter().map(|s| s.1).collect();
+        let kinds: std::collections::HashSet<u16> = e.services.iter().map(|s| s.1).collect();
         assert_eq!(q.table("nat_r").unwrap().len(), kinds.len());
     }
 
@@ -206,10 +202,7 @@ mod tests {
         // over two rows per service — the ACL is GWLB-shaped and the
         // analyzer sees it.
         let e = Enterprise::random(8, 2, 5);
-        let rep = mapro_fd::analyze(
-            e.pipeline.table("acl").unwrap(),
-            &e.pipeline.catalog,
-        );
+        let rep = mapro_fd::analyze(e.pipeline.table("acl").unwrap(), &e.pipeline.catalog);
         assert!(rep.first_issues.is_empty());
     }
 

@@ -53,7 +53,11 @@ pub fn even_split(m: usize) -> Vec<Value> {
     let len = m.trailing_zeros() as u8;
     (0..m as u64)
         .map(|i| {
-            let bits = if len == 0 { 0 } else { i << (32 - u32::from(len)) };
+            let bits = if len == 0 {
+                0
+            } else {
+                i << (32 - u32::from(len))
+            };
             Value::prefix(bits, len, 32)
         })
         .collect()
@@ -72,11 +76,14 @@ pub fn weighted_split(weights: &[u64]) -> Vec<Value> {
     let total: u64 = weights.iter().sum();
     assert!(total.is_power_of_two(), "weight sum must be a power of two");
     for &w in weights {
-        assert!(w > 0 && w.is_power_of_two(), "weights must be powers of two");
+        assert!(
+            w > 0 && w.is_power_of_two(),
+            "weights must be powers of two"
+        );
     }
     let k = total.trailing_zeros(); // the split operates on the top k bits
-    // Allocate large blocks first so every block lands aligned; remember
-    // the original positions.
+                                    // Allocate large blocks first so every block lands aligned; remember
+                                    // the original positions.
     let mut order: Vec<usize> = (0..weights.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(weights[i]));
     let mut out = vec![Value::Any; weights.len()];
@@ -85,7 +92,11 @@ pub fn weighted_split(weights: &[u64]) -> Vec<Value> {
         let w = weights[i];
         debug_assert_eq!(addr % w, 0, "alignment invariant");
         let len = (k - w.trailing_zeros()) as u8;
-        let bits = if k == 0 { 0 } else { (addr / w) << (32 - u64::from(len)) };
+        let bits = if k == 0 {
+            0
+        } else {
+            (addr / w) << (32 - u64::from(len))
+        };
         out[i] = Value::prefix(if len == 0 { 0 } else { bits }, len, 32);
         addr += w;
     }
@@ -172,7 +183,9 @@ impl Gwlb {
             // Random well-known-ish port; collisions across services are
             // realistic (many tenants run HTTPS) and keep tcp_dst from
             // spuriously determining ip_dst.
-            let port = *[80u16, 443, 22, 8080, 53].get(rng.gen_range(0..5)).unwrap();
+            let port = *[80u16, 443, 22, 8080, 53]
+                .get(rng.gen_range(0..5usize))
+                .unwrap();
             let backends = even_split(m)
                 .into_iter()
                 .map(|pfx| {
@@ -201,7 +214,9 @@ impl Gwlb {
                     break cand;
                 }
             };
-            let port = *[80u16, 443, 22, 8080, 53].get(rng.gen_range(0..5)).unwrap();
+            let port = *[80u16, 443, 22, 8080, 53]
+                .get(rng.gen_range(0..5usize))
+                .unwrap();
             let backends = prefixes
                 .iter()
                 .map(|pfx| {
@@ -252,19 +267,13 @@ impl Gwlb {
     /// against an arbitrary representation of this workload. Touches every
     /// entry that encodes the service's `(ip_dst, tcp_dst)` association —
     /// `M` entries of the universal table, one entry of a normalized form.
-    pub fn move_service_port(
-        &self,
-        repr: &Pipeline,
-        idx: usize,
-        new_port: u16,
-    ) -> UpdatePlan {
+    pub fn move_service_port(&self, repr: &Pipeline, idx: usize, new_port: u16) -> UpdatePlan {
         let svc = &self.services[idx];
         let mut updates = Vec::new();
         for t in &repr.tables {
-            let (Some((ip_col, true)), Some((port_col, true))) = (
-                t.column_of(self.ip_dst),
-                t.column_of(self.tcp_dst),
-            ) else {
+            let (Some((ip_col, true)), Some((port_col, true))) =
+                (t.column_of(self.ip_dst), t.column_of(self.tcp_dst))
+            else {
                 continue; // table doesn't re-encode the association
             };
             let _ = port_col;
@@ -430,9 +439,7 @@ impl Gwlb {
                     let port = e.matches[pc].clone();
                     match seen.get(&ip) {
                         Some(prev) if *prev != port => {
-                            return Err(format!(
-                                "IP {ip} exposed on ports {prev} and {port}"
-                            ));
+                            return Err(format!("IP {ip} exposed on ports {prev} and {port}"));
                         }
                         _ => {
                             seen.insert(ip, port);
@@ -503,7 +510,7 @@ mod tests {
     }
 
     #[test]
-    fn move_port_touches_m_vs_1(){
+    fn move_port_touches_m_vs_1() {
         let g = Gwlb::fig1();
         // Tenant 1 (M=2): universal plan touches 2, goto plan touches 1.
         let uni = g.move_service_port(&g.universal, 0, 443);
@@ -559,8 +566,7 @@ mod tests {
         let spec = g.trace_spec();
         let trace = mapro_packet::generate(&g.universal.catalog, &spec, 600, 3);
         for (repr, expected_counters) in [(&g.universal, 3), (&goto, 1)] {
-            let mut cs =
-                mapro_control::CounterSet::new(g.tenant_counters(repr, 1));
+            let mut cs = mapro_control::CounterSet::new(g.tenant_counters(repr, 1));
             assert_eq!(cs.counters_needed(), expected_counters);
             let mut tenant_pkts = 0u64;
             for (_, pkt) in &trace.packets {
@@ -584,20 +590,15 @@ mod tests {
         let r = mapro_fd::analyze_with(t, &g.universal.catalog, g.declared_fds());
         assert_eq!(r.level, mapro_fd::NfLevel::First);
         let u = &r.fds.universe;
-        assert_eq!(
-            r.keys,
-            {
-                let mut k = vec![
-                    u.encode(&[g.ip_src, g.ip_dst]),
-                    u.encode(&[g.out]),
-                ];
-                k.sort();
-                k
-            }
-        );
-        assert!(r
-            .partial_deps
-            .contains(&mapro_fd::Fd::new(u.encode(&[g.ip_dst]), u.encode(&[g.tcp_dst]))));
+        assert_eq!(r.keys, {
+            let mut k = vec![u.encode(&[g.ip_src, g.ip_dst]), u.encode(&[g.out])];
+            k.sort();
+            k
+        });
+        assert!(r.partial_deps.contains(&mapro_fd::Fd::new(
+            u.encode(&[g.ip_dst]),
+            u.encode(&[g.tcp_dst])
+        )));
     }
 
     #[test]
@@ -611,9 +612,10 @@ mod tests {
         let u = &r.fds.universe;
         assert!(r.keys.contains(&u.encode(&[g.ip_src, g.ip_dst])));
         assert!(r.keys.contains(&u.encode(&[g.out])));
-        assert!(r
-            .partial_deps
-            .contains(&mapro_fd::Fd::new(u.encode(&[g.ip_dst]), u.encode(&[g.tcp_dst]))));
+        assert!(r.partial_deps.contains(&mapro_fd::Fd::new(
+            u.encode(&[g.ip_dst]),
+            u.encode(&[g.tcp_dst])
+        )));
     }
 
     #[test]
@@ -758,7 +760,10 @@ mod tests {
                 ("tcp_dst", 80),
             ],
         );
-        assert!(mid.run(&pkt).unwrap().dropped, "halfway state loses traffic");
+        assert!(
+            mid.run(&pkt).unwrap().dropped,
+            "halfway state loses traffic"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub struct RandomTable {
 pub fn random_table(spec: &RandomSpec, seed: u64) -> RandomTable {
     assert!(spec.fields >= 1 && spec.domain >= 1);
     for &(a, b) in &spec.planted {
-        assert!(a < spec.fields && b < spec.fields && a != b, "bad planted FD");
+        assert!(
+            a < spec.fields && b < spec.fields && a != b,
+            "bad planted FD"
+        );
     }
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut c = Catalog::new();
@@ -96,10 +99,7 @@ mod tests {
         let t = rt.pipeline.table("rt").unwrap();
         let mined = mine_fds(t, &rt.pipeline.catalog);
         let u = &mined.fds.universe;
-        let fd = mapro_fd::Fd::new(
-            u.encode(&[rt.field_ids[0]]),
-            u.encode(&[rt.field_ids[1]]),
-        );
+        let fd = mapro_fd::Fd::new(u.encode(&[rt.field_ids[0]]), u.encode(&[rt.field_ids[1]]));
         assert!(mined.fds.implies(fd));
     }
 

@@ -45,11 +45,7 @@ impl Sdx {
         let fwd = c.action("fwd", ActionSem::Output);
         let p1 = mapro_packet::ipv4("203.0.113.0") as u64;
         let p2 = mapro_packet::ipv4("198.51.100.0") as u64;
-        let mut t = Table::new(
-            "sdx",
-            vec![ip_dst, tcp_dst, ip_src],
-            vec![member, fwd],
-        );
+        let mut t = Table::new("sdx", vec![ip_dst, tcp_dst, ip_src], vec![member, fwd]);
         let lo = Value::prefix(0, 1, 32);
         let hi = Value::prefix(0x8000_0000, 1, 32);
         let rows: Vec<(u64, u64, Value, &str, &str)> = vec![
@@ -111,14 +107,12 @@ mod tests {
         // fwd (C → c1 or c2).
         let mined = mapro_fd::mine_fds(t, &s.universal.catalog);
         let u = &mined.fds.universe;
-        assert!(!mined.fds.implies(mapro_fd::Fd::new(
-            u.encode(&[s.member]),
-            u.encode(&[s.fwd])
-        )));
-        assert!(!mined.fds.implies(mapro_fd::Fd::new(
-            u.encode(&[s.ip_src]),
-            u.encode(&[s.fwd])
-        )));
+        assert!(!mined
+            .fds
+            .implies(mapro_fd::Fd::new(u.encode(&[s.member]), u.encode(&[s.fwd]))));
+        assert!(!mined
+            .fds
+            .implies(mapro_fd::Fd::new(u.encode(&[s.ip_src]), u.encode(&[s.fwd]))));
     }
 
     #[test]

@@ -17,7 +17,11 @@ fn main() {
         "intent: {} ({} flow-mods{})",
         plan.intent,
         plan.touched_entries(),
-        if plan.needs_bundle() { ", atomic bundle" } else { "" },
+        if plan.needs_bundle() {
+            ", atomic bundle"
+        } else {
+            ""
+        },
     );
     let rep = run_with_updates(&mut sw, &trace, 1e6, &[(0.001, plan)]).unwrap();
 

@@ -24,7 +24,12 @@ fn main() {
     )
     .expect("hypotheses hold");
     for (i, s) in steps.iter().enumerate() {
-        println!("  line {:>2} [{}]  ({} AST nodes)", i + 1, s.law, s.pol.size());
+        println!(
+            "  line {:>2} [{}]  ({} AST nodes)",
+            i + 1,
+            s.law,
+            s.pol.size()
+        );
     }
     match verify(&steps, &gwlb.universal.catalog) {
         Ok(n) => println!("all consecutive lines semantically equal ({n} packets evaluated)"),

@@ -20,7 +20,10 @@ fn main() {
 
     // --- Static performance (Table 1 shape) -----------------------------
     let trace = generate(&gwlb.universal.catalog, &gwlb.trace_spec(), 30_000, 2019);
-    println!("\n{:<10} {:<10} {:>12} {:>15}", "switch", "repr", "rate [Mpps]", "Q3 delay [µs]");
+    println!(
+        "\n{:<10} {:<10} {:>12} {:>15}",
+        "switch", "repr", "rate [Mpps]", "Q3 delay [µs]"
+    );
     for (name, repr) in [("universal", &gwlb.universal), ("goto", &goto)] {
         let mut eswitch = EswitchSim::compile(repr).unwrap();
         let mut lagopus = LagopusSim::compile(repr).unwrap();

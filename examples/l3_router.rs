@@ -13,7 +13,10 @@ use mapro::prelude::*;
 
 fn main() {
     let l3 = L3::fig2();
-    println!("Universal L3 table (level: {}):", pipeline_level(&l3.universal));
+    println!(
+        "Universal L3 table (level: {}):",
+        pipeline_level(&l3.universal)
+    );
     print!("{}", display::render_pipeline(&l3.universal));
 
     // Step 1: Fig. 2c's Cartesian product — factor the constant columns.

@@ -23,7 +23,10 @@ fn main() {
     //    `analyze_with` takes declared dependencies.)
     let table = gwlb.universal.table("t0").unwrap();
     let report = mapro::fd::analyze_with(table, &gwlb.universal.catalog, gwlb.declared_fds());
-    println!("Normal form under the declared dependencies: {}", report.level);
+    println!(
+        "Normal form under the declared dependencies: {}",
+        report.level
+    );
     println!("Candidate keys:");
     for key in &report.keys {
         let names: Vec<_> = report

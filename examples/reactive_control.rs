@@ -45,14 +45,27 @@ fn main() {
     let line = sim.line_rate_mpps();
     let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
     let uni = churn_sweep(
-        line, 1, uni_plan.touched_entries(), true, &rates,
-        ControlStall::default(), HwLatency::default(),
+        line,
+        1,
+        uni_plan.touched_entries(),
+        true,
+        &rates,
+        ControlStall::default(),
+        HwLatency::default(),
     );
     let norm = churn_sweep(
-        line, 2, norm_plan.touched_entries(), true, &rates,
-        ControlStall::default(), HwLatency::default(),
+        line,
+        2,
+        norm_plan.touched_entries(),
+        true,
+        &rates,
+        ControlStall::default(),
+        HwLatency::default(),
     );
-    println!("\n{:>10} {:>16} {:>16}", "updates/s", "universal Mpps", "normalized Mpps");
+    println!(
+        "\n{:>10} {:>16} {:>16}",
+        "updates/s", "universal Mpps", "normalized Mpps"
+    );
     for ((r, u), (_, n)) in uni.iter().zip(&norm) {
         println!("{:>10.0} {:>16.2} {:>16.2}", r, u.mpps, n.mpps);
     }
@@ -72,6 +85,9 @@ fn main() {
         norm_exposure.violations.len()
     );
     if let Some((k, why)) = uni_exposure.violations.first() {
-        println!("  e.g. after {k} of {} updates: {why}", uni_plan.touched_entries());
+        println!(
+            "  e.g. after {k} of {} updates: {why}",
+            uni_plan.touched_entries()
+        );
     }
 }

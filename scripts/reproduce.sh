@@ -15,7 +15,8 @@ echo "== tests =="
 cargo test --workspace 2>&1 | tee "$OUT/test_output.txt" | grep -E "test result" | tail -5
 
 echo "== experiments (text) =="
-cargo run --release -p mapro-bench --bin repro | tee "$OUT/experiments.txt" | grep '############'
+cargo run --release -p mapro-bench --bin repro -- --metrics "$OUT/metrics.json" \
+    | tee "$OUT/experiments.txt" | grep '############'
 
 echo "== experiments (json) =="
 for e in table1 fig4 fig4queue size control monitor theorem1 templates cache scaling joins; do

@@ -41,16 +41,14 @@ pub use mapro_workloads as workloads;
 /// The most commonly used items, for `use mapro::prelude::*`.
 pub mod prelude {
     pub use mapro_core::{
-        assert_equivalent, check_equivalent, ActionSem, AttrId, Catalog, EquivConfig,
-        EquivOutcome, Packet, Pipeline, SizeReport, Table, Value, Verdict,
+        assert_equivalent, check_equivalent, ActionSem, AttrId, Catalog, EquivConfig, EquivOutcome,
+        Packet, Pipeline, SizeReport, Table, Value, Verdict,
     };
     pub use mapro_fd::{analyze, mine_fds, NfLevel};
     pub use mapro_normalize::{
         decompose, factor_constants, flatten, normalize, pipeline_level, DecomposeOpts,
         FactorPlacement, JoinKind, NormalizeOpts,
     };
-    pub use mapro_switch::{
-        run_modeled, EswitchSim, LagopusSim, NoviflowSim, OvsSim, Switch,
-    };
+    pub use mapro_switch::{run_modeled, EswitchSim, LagopusSim, NoviflowSim, OvsSim, Switch};
     pub use mapro_workloads::{Gwlb, Sdx, Vlan, L3};
 }

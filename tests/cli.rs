@@ -43,7 +43,16 @@ fn cli_pipeline_end_to_end() {
 
     // demo
     let (json, _, ok) = run(
-        &["demo", "gwlb", "--services", "5", "--backends", "4", "--seed", "7"],
+        &[
+            "demo",
+            "gwlb",
+            "--services",
+            "5",
+            "--backends",
+            "4",
+            "--seed",
+            "7",
+        ],
         None,
     );
     assert!(ok);
@@ -53,11 +62,20 @@ fn cli_pipeline_end_to_end() {
     let (report, _, ok) = run(&["analyze", prog.to_str().unwrap()], None);
     assert!(ok);
     assert!(report.contains("table t0: 1NF"), "{report}");
-    assert!(report.contains("3NF violation: (ip_dst) -> (tcp_dst)"), "{report}");
+    assert!(
+        report.contains("3NF violation: (ip_dst) -> (tcp_dst)"),
+        "{report}"
+    );
 
     // normalize
     let (json, log, ok) = run(
-        &["normalize", prog.to_str().unwrap(), "--join", "goto", "--verify"],
+        &[
+            "normalize",
+            prog.to_str().unwrap(),
+            "--join",
+            "goto",
+            "--verify",
+        ],
         None,
     );
     assert!(ok, "{log}");
@@ -109,11 +127,7 @@ fn cli_detects_inequivalence() {
     let (vlan, _, _) = run(&["demo", "vlan"], None);
     std::fs::write(&a, fig1).unwrap();
     std::fs::write(&b, vlan).unwrap();
-    let (out, _, ok) = run(&[
-        "check",
-        a.to_str().unwrap(),
-        b.to_str().unwrap(),
-    ], None);
+    let (out, _, ok) = run(&["check", a.to_str().unwrap(), b.to_str().unwrap()], None);
     assert!(!ok);
     assert!(
         out.contains("NOT EQUIVALENT") || out.contains("NOT COMPARABLE"),

@@ -15,16 +15,15 @@ fn universal_and_normalized_stay_in_lockstep_under_churn() {
     // The same intent stream, compiled against each representation at the
     // moment of application. Ports cycle through fresh values so every
     // intent is a real change.
-    let schedule: Vec<(f64, usize, u16)> = poisson_stream(2000.0, 0.004, 9, |k| {
-        mapro::control::UpdatePlan {
+    let schedule: Vec<(f64, usize, u16)> =
+        poisson_stream(2000.0, 0.004, 9, |k| mapro::control::UpdatePlan {
             intent: format!("{k}"),
             updates: vec![],
-        }
-    })
-    .into_iter()
-    .enumerate()
-    .map(|(k, e)| (e.at_sec, k % 8, 10_000 + k as u16))
-    .collect();
+        })
+        .into_iter()
+        .enumerate()
+        .map(|(k, e)| (e.at_sec, k % 8, 10_000 + k as u16))
+        .collect();
     assert!(!schedule.is_empty());
 
     let mut uni = LiveSwitch::noviflow(g.universal.clone()).unwrap();

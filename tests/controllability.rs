@@ -11,15 +11,22 @@ fn paper_narrative_on_fig1() {
     // "the controller needs to update both of the two entries that relate
     // to tenant 1 in the universal table … whereas in the normal form
     // modifying only one entry is enough".
-    assert_eq!(g.move_service_port(&g.universal, 0, 443).touched_entries(), 2);
+    assert_eq!(
+        g.move_service_port(&g.universal, 0, 443).touched_entries(),
+        2
+    );
     assert_eq!(g.move_service_port(&goto, 0, 443).touched_entries(), 1);
     // "changing the public IP address would require two updates in the
     // universal table".
     assert_eq!(
-        g.change_public_ip(&g.universal, 0, 0x0101_0101).touched_entries(),
+        g.change_public_ip(&g.universal, 0, 0x0101_0101)
+            .touched_entries(),
         2
     );
-    assert_eq!(g.change_public_ip(&goto, 0, 0x0101_0101).touched_entries(), 1);
+    assert_eq!(
+        g.change_public_ip(&goto, 0, 0x0101_0101).touched_entries(),
+        1
+    );
 }
 
 #[test]
@@ -69,7 +76,7 @@ fn halfway_exposed_service_reproduced() {
     let rep = exposure(&g.universal, &plan, &&inv).unwrap();
     assert_eq!(rep.intermediate_states, 2);
     assert_eq!(rep.violations.len(), 2); // every intermediate state is bad
-    // The normalized form is constitutionally safe.
+                                         // The normalized form is constitutionally safe.
     let goto = g.normalized(JoinKind::Goto).unwrap();
     let plan = g.move_service_port(&goto, 1, 8443);
     let rep = exposure(&goto, &plan, &&inv).unwrap();

@@ -10,9 +10,7 @@ use mapro_workloads::{random_table, RandomSpec};
 use proptest::prelude::*;
 
 fn arb_gwlb() -> impl Strategy<Value = Gwlb> {
-    (2usize..6, 0u32..3, 0u64..500).prop_map(|(n, mexp, seed)| {
-        Gwlb::random(n, 1 << mexp, seed)
-    })
+    (2usize..6, 0u32..3, 0u64..500).prop_map(|(n, mexp, seed)| Gwlb::random(n, 1 << mexp, seed))
 }
 
 proptest! {

@@ -42,10 +42,8 @@ fn arb_spec() -> impl Strategy<Value = Spec> {
     (kinds, 2usize..12, any::<u64>(), 0usize..3)
         .prop_flat_map(|(kinds, nrows, seed, joinsel)| {
             let n = kinds.len();
-            let rows = proptest::collection::vec(
-                proptest::collection::vec(0u64..4, n),
-                nrows..nrows + 1,
-            );
+            let rows =
+                proptest::collection::vec(proptest::collection::vec(0u64..4, n), nrows..nrows + 1);
             let det = 0usize..n;
             let dep = 0usize..n;
             (Just(kinds), rows, det, dep, Just(seed), Just(joinsel))

@@ -15,7 +15,11 @@ fn fig1_counts_24_vs_21() {
 #[test]
 fn parametric_formulas_hold_exactly() {
     for row in encoding_sizes(&[5, 10, 20], &[2, 4, 8, 16], 2019) {
-        assert_eq!(row.universal, row.formula_universal, "N={} M={}", row.n, row.m);
+        assert_eq!(
+            row.universal, row.formula_universal,
+            "N={} M={}",
+            row.n, row.m
+        );
         assert_eq!(row.goto, row.formula_goto, "N={} M={}", row.n, row.m);
     }
 }
@@ -56,10 +60,7 @@ fn tcam_bits_shrink_too() {
     let goto = g.normalized(JoinKind::Goto).unwrap();
     let uni_bits = SizeReport::of(&g.universal).tcam_bits();
     let goto_bits = SizeReport::of(&goto).tcam_bits();
-    assert!(
-        goto_bits < uni_bits,
-        "TCAM bits {goto_bits} !< {uni_bits}"
-    );
+    assert!(goto_bits < uni_bits, "TCAM bits {goto_bits} !< {uni_bits}");
 }
 
 #[test]

@@ -41,9 +41,9 @@ fn template_report_covers_all_representations() {
     assert!(uni.templates.iter().all(|t| t.ends_with(":linear")));
     let goto = rows.iter().find(|r| r.repr == "goto").unwrap();
     assert_eq!(goto.templates.len(), 21); // T0 + 20 per-tenant tables
-    // Metadata join: the second stage matches (tag, ip_src) — two active
-    // columns with prefixes — so it stays on the generic template. The
-    // join abstraction matters to the datapath, not just normalization.
+                                          // Metadata join: the second stage matches (tag, ip_src) — two active
+                                          // columns with prefixes — so it stays on the generic template. The
+                                          // join abstraction matters to the datapath, not just normalization.
     let meta = rows.iter().find(|r| r.repr == "metadata").unwrap();
     assert!(meta.templates.iter().any(|t| t.ends_with(":exact")));
     assert!(meta.templates.iter().any(|t| t.ends_with(":linear")));

@@ -143,7 +143,10 @@ fn deleting_all_entries_yields_drop_everything() {
     assert_eq!(p.table("t0").unwrap().len(), 0);
     let pkt = Packet::from_fields(
         &p.catalog,
-        &[("ip_dst", mapro::packet::ipv4("192.0.2.1") as u64), ("tcp_dst", 80)],
+        &[
+            ("ip_dst", mapro::packet::ipv4("192.0.2.1") as u64),
+            ("tcp_dst", 80),
+        ],
     );
     assert!(p.run(&pkt).unwrap().dropped);
 }

@@ -10,7 +10,7 @@ fn fig1a_universal_matches_paper_layout() {
     assert_eq!(t.match_attrs.len(), 3);
     assert_eq!(t.action_attrs.len(), 1);
     assert_eq!(g.universal.field_count(), 24); // §2: "contains 24 match-action fields"
-    // 1NF: uniquely identified, order independent.
+                                               // 1NF: uniquely identified, order independent.
     assert!(t.rows_unique());
     assert!(t.order_independence(&g.universal.catalog).is_empty());
 }

@@ -20,8 +20,12 @@ fn split_is_not_fd_derivable() {
     let mined = mine_fds(t, &s.universal.catalog);
     let u = &mined.fds.universe;
     // Nothing smaller than the full match key determines fwd.
-    assert!(!mined.fds.implies(Fd::new(u.encode(&[s.member]), u.encode(&[s.fwd]))));
-    assert!(!mined.fds.implies(Fd::new(u.encode(&[s.ip_src]), u.encode(&[s.fwd]))));
+    assert!(!mined
+        .fds
+        .implies(Fd::new(u.encode(&[s.member]), u.encode(&[s.fwd]))));
+    assert!(!mined
+        .fds
+        .implies(Fd::new(u.encode(&[s.ip_src]), u.encode(&[s.fwd]))));
     // (member, ip_src) → fwd *does* hold — that's the inbound table — but
     // member itself is an action, so the decomposition needs the Fig. 5c
     // metadata machinery rather than a Theorem-1-style split.
@@ -56,8 +60,7 @@ fn all_metadata_pipeline_correct_and_deferred_actions_fire_late() {
     // admits both C and D), so it must fire at a later stage.
     let stage1 = &tagged.tables[0];
     assert!(
-        !stage1
-            .action_attrs.contains(&s.member),
+        !stage1.action_attrs.contains(&s.member),
         "member must be deferred past the announcement stage"
     );
 }
@@ -82,7 +85,11 @@ fn tagged_pipeline_balances_both_members() {
             &[("ip_dst", dst), ("tcp_dst", port), ("ip_src", src)],
         );
         let v = tagged.run(&pkt).unwrap();
-        assert_eq!(v.output.as_deref(), Some(want), "{dst}:{port} from {src:#x}");
+        assert_eq!(
+            v.output.as_deref(),
+            Some(want),
+            "{dst}:{port} from {src:#x}"
+        );
     }
 }
 
@@ -90,10 +97,7 @@ fn tagged_pipeline_balances_both_members() {
 fn lossy_splits_are_refused() {
     use mapro::normalize::JdError;
     let s = Sdx::fig5();
-    let bad = vec![
-        vec![s.ip_dst, s.member],
-        vec![s.tcp_dst, s.ip_src, s.fwd],
-    ];
+    let bad = vec![vec![s.ip_dst, s.member], vec![s.tcp_dst, s.ip_src, s.fwd]];
     assert_eq!(
         decompose_jd(&s.universal, "sdx", &bad),
         Err(JdError::JoinDependencyDoesNotHold)

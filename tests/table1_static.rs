@@ -83,7 +83,10 @@ fn switch_ordering_matches_paper() {
     let esw = get(&rows, "ESwitch", "universal").rate_mpps;
     let ovs = get(&rows, "OVS", "universal").rate_mpps;
     let lag = get(&rows, "Lagopus", "universal").rate_mpps;
-    assert!(novi > esw && esw > ovs && ovs > lag, "{novi} {esw} {ovs} {lag}");
+    assert!(
+        novi > esw && esw > ovs && ovs > lag,
+        "{novi} {esw} {ovs} {lag}"
+    );
 }
 
 #[test]
@@ -99,12 +102,7 @@ fn all_switches_forward_correctly() {
         let mut s2 = LagopusSim::compile(repr).unwrap();
         let mut s3 = NoviflowSim::compile(repr).unwrap();
         let mut s4 = OvsSim::compile(repr);
-        for sim in [
-            &mut s1 as &mut dyn Switch,
-            &mut s2,
-            &mut s3,
-            &mut s4,
-        ] {
+        for sim in [&mut s1 as &mut dyn Switch, &mut s2, &mut s3, &mut s4] {
             let r = run_modeled(sim, &trace);
             assert_eq!(r.dropped, 0, "{}", sim.name());
         }

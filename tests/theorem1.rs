@@ -13,10 +13,7 @@ fn derivation_on_fig1_verifies_line_by_line() {
     assert!(s.laws.last().unwrap().contains("T_XY >> T_XZ"));
     // Every axiom the proof cites appears.
     for law in ["BA-Seq-Idem", "BA-Seq-Comm", "KA-Plus-Idem", "BA-Contra"] {
-        assert!(
-            s.laws.iter().any(|l| l.contains(law)),
-            "missing law {law}"
-        );
+        assert!(s.laws.iter().any(|l| l.contains(law)), "missing law {law}");
     }
 }
 

@@ -11,7 +11,10 @@ fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         (0u64..1 << W).prop_map(Value::Int),
         (0u64..1 << W, 0u8..=W as u8).prop_map(|(b, l)| Value::prefix(b, l, W)),
-        (0u64..1 << W, 0u64..1 << W).prop_map(|(b, m)| Value::Ternary { bits: b & m, mask: m }),
+        (0u64..1 << W, 0u64..1 << W).prop_map(|(b, m)| Value::Ternary {
+            bits: b & m,
+            mask: m
+        }),
         Just(Value::Any),
     ]
 }

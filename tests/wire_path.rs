@@ -48,8 +48,12 @@ fn frames_route_identically_to_abstract_packets() {
 fn vlan_tagged_frames_bind_correctly() {
     let v = Vlan::fig3();
     let binding = Binding::standard(&v.universal.catalog);
-    for (in_port, vlan, want) in [(1u64, 1u16, Some("1")), (1, 2, Some("2")), (3, 1, Some("3")), (9, 1, None)]
-    {
+    for (in_port, vlan, want) in [
+        (1u64, 1u16, Some("1")),
+        (1, 2, Some("2")),
+        (3, 1, Some("3")),
+        (9, 1, None),
+    ] {
         let frame = Frame {
             vlan: Some(vlan),
             ..Default::default()
@@ -61,7 +65,11 @@ fn vlan_tagged_frames_bind_correctly() {
         sideband.insert(v.in_port, in_port);
         let pkt = binding.to_packet(&v.universal.catalog, &parsed, &sideband);
         let verdict = v.universal.run(&pkt).unwrap();
-        assert_eq!(verdict.output.as_deref(), want, "port {in_port} vlan {vlan}");
+        assert_eq!(
+            verdict.output.as_deref(),
+            want,
+            "port {in_port} vlan {vlan}"
+        );
     }
 }
 

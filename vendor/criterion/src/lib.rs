@@ -1,0 +1,260 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API surface this
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::bench_function`, `Bencher::iter` / `iter_batched`,
+//! `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Statistics are intentionally simple — a
+//! calibrated warmup, then fixed-count samples reporting mean ± stddev in
+//! `group/name  time: …` lines (the format `scripts/reproduce.sh` greps
+//! for). Under `cargo test` (`--test` flag) each bench runs a single
+//! iteration as a smoke test, mirroring real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// call individually, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench` under `cargo bench`;
+        // in any other mode (notably `cargo test`, which runs bench
+        // targets with no such flag) only smoke-run each bench once.
+        let quick = !std::env::args().any(|a| a == "--bench");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            quick: self.quick,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a standalone benchmark (no group prefix).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.quick, f);
+        self
+    }
+}
+
+/// A named group of benchmarks; names are reported as `group/bench`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    quick: bool,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{id}", self.name), self.quick, f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, quick: bool, mut f: F) {
+    let mut b = Bencher {
+        quick,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if quick {
+        println!("{label}  (smoke run, 1 iteration)");
+        return;
+    }
+    let s = &b.samples;
+    if s.is_empty() {
+        println!("{label}  time: (no samples)");
+        return;
+    }
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let var = s.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / s.len() as f64;
+    println!(
+        "{label}  time: {} ± {} (n={})",
+        fmt_ns(mean),
+        fmt_ns(var.sqrt()),
+        s.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs the measured routine and collects per-iteration nanoseconds.
+pub struct Bencher {
+    quick: bool,
+    samples: Vec<f64>,
+}
+
+/// Target wall-clock spent measuring each benchmark (after warmup).
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Number of recorded samples per benchmark.
+const SAMPLE_COUNT: usize = 20;
+
+impl Bencher {
+    /// Time `routine` over many iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            return;
+        }
+        // Warmup + calibration: how many iterations fit in ~1/10 of the
+        // measurement budget?
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < MEASURE_TARGET / 10 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = MEASURE_TARGET.as_secs_f64() / SAMPLE_COUNT as f64;
+        let iters_per_sample = ((budget / per_iter) as u64).max(1);
+        for _ in 0..SAMPLE_COUNT {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.quick {
+            black_box(routine(setup()));
+            return;
+        }
+        // Calibrate with a few timed runs.
+        let mut elapsed = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while elapsed < MEASURE_TARGET / 10 || warm_iters < 3 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            elapsed += t.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = elapsed.as_secs_f64() / warm_iters as f64;
+        let budget = MEASURE_TARGET.as_secs_f64() / SAMPLE_COUNT as f64;
+        let iters_per_sample = ((budget / per_iter) as u64).max(1);
+        for _ in 0..SAMPLE_COUNT {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total += t.elapsed();
+            }
+            self.samples
+                .push(total.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut b = Bencher {
+            quick: true,
+            samples: Vec::new(),
+        };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        let mut setups = 0u32;
+        b.iter_batched(|| setups += 1, |_| (), BatchSize::SmallInput);
+        assert_eq!(setups, 1);
+        assert!(b.samples.is_empty());
+    }
+
+    #[test]
+    fn measured_mode_collects_samples() {
+        let mut b = Bencher {
+            quick: false,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples.len(), SAMPLE_COUNT);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+}

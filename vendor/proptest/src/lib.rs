@@ -1,0 +1,763 @@
+//! Offline shim for `proptest`.
+//!
+//! Sampling-only property testing: strategies generate random values from
+//! a per-test deterministic RNG and the `proptest!` runner executes the
+//! body for `ProptestConfig::cases` samples. There is **no shrinking** —
+//! on failure the runner reports the case index, and because the RNG seed
+//! is derived from the test's module path the failure replays exactly on
+//! the next run. `.proptest-regressions` files are ignored.
+//!
+//! Supported surface (what this workspace uses): `Strategy` with
+//! `prop_map` / `prop_filter` / `prop_flat_map` / `prop_recursive` /
+//! `boxed`, integer-range and tuple strategies, `Just`, `any::<T>()`,
+//! `prop::bool::ANY`, `proptest::collection::vec`,
+//! `proptest::option::of`, `prop_oneof!` (weighted and unweighted),
+//! `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Runner configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG driving strategy sampling. Deterministic per test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Seed deterministically from a test's fully qualified name.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.gen()
+    }
+
+    /// Uniform index in `0..n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+
+    /// Uniform usize in a range.
+    pub fn usize_in(&mut self, lo: usize, hi_exclusive: usize) -> usize {
+        self.rng.gen_range(lo..hi_exclusive)
+    }
+}
+
+/// A generator of values (shim of `proptest::strategy::Strategy`;
+/// sampling only, no value tree / shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Reject values failing a predicate (resampling; panics if the
+    /// predicate rejects 1000 consecutive samples).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Generate an intermediate value, then sample a strategy built
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Build a recursive strategy: up to `depth` levels deep, each level
+    /// choosing between the base (`self`) and `recurse` applied to the
+    /// previous level. `_desired_size` / `_expected_branch_size` are
+    /// accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(level).boxed();
+            level = Union {
+                arms: Arc::new(vec![(1, base.clone()), (2, deeper)]),
+            }
+            .boxed();
+        }
+        level
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn Strategy<Value = T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Weighted choice among same-typed strategies (what `prop_oneof!`
+/// expands to).
+pub struct Union<T> {
+    arms: Arc<Vec<(u32, BoxedStrategy<T>)>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: Arc::clone(&self.arms),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty() && arms.iter().any(|(w, _)| *w > 0));
+        Union {
+            arms: Arc::new(arms),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.next_u64() % total;
+        for (w, s) in self.arms.iter() {
+            if pick < *w as u64 {
+                return s.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!()
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- ranges ----------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + ((rng.next_u64() as u128 * span) >> 64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((rng.next_u64() as u128 * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + ((rng.next_u64() as u128 * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+// ---- tuples ----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 S0)
+    (0 S0, 1 S1)
+    (0 S0, 1 S1, 2 S2)
+    (0 S0, 1 S1, 2 S2, 3 S3)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4)
+    (0 S0, 1 S1, 2 S2, 3 S3, 4 S4, 5 S5)
+}
+
+// ---- string regex strategies ----------------------------------------
+
+/// String literals act as regex-shaped `String` strategies, supporting
+/// the subset this workspace uses: a sequence of atoms, each `\PC`
+/// (any printable character), a `[a-z]`-style class of ranges/literals,
+/// or a literal character, optionally followed by `{n}` / `{m,n}`
+/// repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom into a closure generating one char.
+            let atom: Box<dyn Fn(&mut TestRng) -> char> = match chars[i] {
+                '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                    i += 3;
+                    Box::new(|rng| char::from_u32(0x20 + (rng.next_u64() % 0x5f) as u32).unwrap())
+                }
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .expect("unclosed [ in string strategy")
+                        + i;
+                    let mut alts: Vec<(char, char)> = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            alts.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            alts.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    assert!(!alts.is_empty(), "empty [] in string strategy");
+                    i = close + 1;
+                    Box::new(move |rng| {
+                        let (lo, hi) = alts[(rng.next_u64() % alts.len() as u64) as usize];
+                        let span = hi as u32 - lo as u32 + 1;
+                        char::from_u32(lo as u32 + (rng.next_u64() % span as u64) as u32).unwrap()
+                    })
+                }
+                c => {
+                    i += 1;
+                    Box::new(move |_| c)
+                }
+            };
+            // Optional {n} / {m,n} repetition.
+            let (lo, hi) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed { in string strategy")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad repetition"),
+                        n.trim().parse::<usize>().expect("bad repetition"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad repetition");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let n = if lo == hi {
+                lo
+            } else {
+                rng.usize_in(lo, hi + 1)
+            };
+            for _ in 0..n {
+                out.push(atom(rng));
+            }
+        }
+        out
+    }
+}
+
+// ---- any -------------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw a uniform value of the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T` (shim of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// ---- modules mirroring proptest's layout -----------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact `usize` or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.lo, self.size.hi_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vector strategy with element strategy and length spec.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `None` 1 time in 5.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64().is_multiple_of(5) {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// `Option<T>` strategy from a `T` strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// `bool` strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform `true` / `false`.
+    pub const ANY: BoolStrategy = BoolStrategy;
+}
+
+/// Everything a property test needs (shim of `proptest::prelude`).
+pub mod prelude {
+    /// The crate root under its conventional short alias, for
+    /// `prop::bool::ANY`-style paths.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Prints the failing case index when a property test panics, so the
+/// deterministic runner can be correlated with its RNG stream.
+pub struct CaseGuard {
+    /// Fully qualified test name.
+    pub test: &'static str,
+    /// Zero-based case index.
+    pub case: u32,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: {} failed at case #{} (deterministic; rerun reproduces it)",
+                self.test, self.case
+            );
+        }
+    }
+}
+
+// ---- macros ----------------------------------------------------------
+
+/// Weighted (`w => strat`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![$(($w as u32, $crate::Strategy::boxed($s))),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![$((1u32, $crate::Strategy::boxed($s))),+])
+    };
+}
+
+/// Assert inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Why a property-test case ended without completing (shim of
+/// `proptest::test_runner::TestCaseError`). Bodies may `return Ok(())`
+/// early or reject via [`prop_assume!`]; assertion failures panic.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was skipped by `prop_assume!`.
+    Reject,
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests (shim of `proptest::proptest!`).
+///
+/// Each function runs `cases` samples of its bound strategies; bodies are
+/// wrapped in a closure so `prop_assume!` can skip a case with `return`.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let strategies = ($($strat,)+);
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut rng = $crate::TestRng::for_test(test_name);
+                for case in 0..cfg.cases {
+                    let guard = $crate::CaseGuard { test: test_name, case };
+                    let ($($pat,)+) = $crate::Strategy::sample(&strategies, &mut rng);
+                    // The body may `return Ok(())` early or reject via
+                    // `prop_assume!`, mirroring real proptest's signature.
+                    // (`mut` because bodies may mutate captured bindings.)
+                    #[allow(unused_mut)]
+                    let mut body = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    };
+                    let _ = body();
+                    drop(guard);
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_sampling() {
+        let s = (0u64..100, 0u8..10).prop_map(|(a, b)| a + b as u64);
+        let mut r1 = crate::TestRng::for_test("t");
+        let mut r2 = crate::TestRng::for_test("t");
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn union_respects_arms() {
+        let s = prop_oneof![1 => Just(1u8), 1 => Just(2u8), 3 => Just(3u8)];
+        let mut rng = crate::TestRng::for_test("u");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(a in 5u64..10, v in prop::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!(v.len() < 4);
+        }
+
+        #[test]
+        fn assume_skips(a in 0u32..10) {
+            prop_assume!(a != 3);
+            prop_assert_ne!(a, 3);
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(u8),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let s = (0u8..255)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 20, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = crate::TestRng::for_test("r");
+        for _ in 0..100 {
+            assert!(depth(&s.sample(&mut rng)) <= 4);
+        }
+    }
+}

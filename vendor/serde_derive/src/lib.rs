@@ -1,0 +1,406 @@
+//! Offline shim for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable offline, so this crate walks the raw
+//! `proc_macro::TokenStream` of the deriving item directly. It supports
+//! exactly the type shapes the workspace uses — non-generic structs
+//! (named, newtype, tuple, unit) and enums whose variants are unit,
+//! newtype/tuple, or struct-like — and emits impls of the vendored
+//! `serde::Serialize` / `serde::Deserialize` traits (the `Content` tree
+//! model). Generic types are rejected with a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (vendored shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derive `serde::Deserialize` (vendored shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&str, &Body) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, body)) => gen(&name, &body)
+            .parse()
+            .expect("serde_derive shim generated invalid Rust"),
+        Err(e) => format!("compile_error!({e:?});").parse().unwrap(),
+    }
+}
+
+// ---- token-stream parsing -------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Body), String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Body::Named(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Body::Tuple(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Body::Unit)),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Body::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                it.next();
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Named fields: `attr* vis? name: Type,` — commas inside `<...>` belong
+/// to the type, not the field list (groups are atomic token trees, so
+/// only angle brackets need explicit depth tracking).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:`, got {other:?}")),
+        }
+        skip_type(&mut it);
+    }
+}
+
+/// Advance past one type, stopping after the field-separating `,` (or at
+/// end of stream).
+fn skip_type(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Tuple fields: count top-level commas (ignoring a trailing one).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut last_was_comma = false;
+    for tt in body {
+        saw_any = true;
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    count += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !saw_any {
+        0
+    } else if last_was_comma {
+        count
+    } else {
+        count + 1
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let body = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                it.next();
+                VariantBody::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                it.next();
+                VariantBody::Named(parse_named_fields(g)?)
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        let mut angle = 0i32;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    it.next();
+                    match c {
+                        '<' => angle += 1,
+                        '>' => angle -= 1,
+                        ',' if angle == 0 => break,
+                        _ => {}
+                    }
+                }
+                _ => {
+                    it.next();
+                }
+            }
+        }
+        variants.push(Variant { name, body });
+    }
+}
+
+// ---- code generation -------------------------------------------------
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let to_content = match body {
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_content(&self.{f}))"))
+                .collect();
+            format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Unit => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str({vn:?}.to_string()),"
+                        ),
+                        VariantBody::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_content(x0))]),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({b}) => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                                 ::serde::Content::Seq(vec![{i}]))]),",
+                                b = binds.join(", "),
+                                i = items.join(", ")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![({vn:?}.to_string(), \
+                                 ::serde::Content::Map(vec![{e}]))]),",
+                                e = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{ {to_content} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let from_content = match body {
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(c.get({f:?}).ok_or_else(|| \
+                         ::serde::DeError::msg(concat!(\"missing field `{f}` in \", {name:?})))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Map(_) => Ok({name} {{ {} }}),\n\
+                 other => Err(::serde::DeError::expected(concat!(\"map for struct \", {name:?}), other)),\n\
+                 }}",
+                inits.join("\n")
+            )
+        }
+        Body::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_content(c)?))"),
+        Body::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Seq(items) if items.len() == {n} => \
+                 Ok({name}({})),\n\
+                 other => Err(::serde::DeError::expected(concat!(\"{n}-tuple for \", {name:?}), other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Body::Unit => format!("{{ let _ = c; Ok({name}) }}"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_content(v)?)),"
+                        )),
+                        VariantBody::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => match v {{\n\
+                                 ::serde::Content::Seq(items) if items.len() == {n} => \
+                                 Ok({name}::{vn}({})),\n\
+                                 other => Err(::serde::DeError::expected(\"variant tuple\", other)),\n\
+                                 }},",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantBody::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(v.get({f:?}).ok_or_else(|| \
+                                         ::serde::DeError::msg(concat!(\"missing field `{f}` in variant \", {vn:?})))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                                inits.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n\
+                 {units}\n\
+                 other => Err(::serde::DeError::msg(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                 let (k, v) = &m[0];\n\
+                 match k.as_str() {{\n\
+                 {payloads}\n\
+                 other => Err(::serde::DeError::msg(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::DeError::expected(concat!(\"variant of \", {name:?}), other)),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                payloads = payload_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ {from_content} }}\n\
+         }}"
+    )
+}
