@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--json]
 //!       [--metrics [out.json]]
 //! ```
@@ -13,7 +13,7 @@
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue] [--packets N] [--services N] [--backends M] [--seed S] [--json] [--metrics [out.json]]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults] [--packets N] [--services N] [--backends M] [--seed S] [--json] [--metrics [out.json]]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -94,6 +94,7 @@ const EXPERIMENTS: &[&str] = &[
     "cache",
     "scaling",
     "joins",
+    "faults",
 ];
 
 fn main() {
@@ -340,6 +341,44 @@ fn main() {
                 println!(
                     "{:>9} {:>16.2} {:>12.2} {:>6.2}x",
                     r.services, r.universal_mpps, r.goto_mpps, r.gain
+                );
+            }
+        }
+    }
+    if want("faults") {
+        println!("\n############ E14 — churn under an unreliable control channel (extension) ############");
+        let rates = [0.0, 0.1, 0.2, 0.3];
+        let rows = faults(&args.cfg, &rates);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:>6} {:<10} {:>5} {:>8} {:>8} {:>9} {:>8} {:>11} {:>10} {:>11}",
+                "p",
+                "repr",
+                "err",
+                "msgs",
+                "retries",
+                "restarts",
+                "repairs",
+                "conv [us]",
+                "stall [ms]",
+                "goodput"
+            );
+            for r in &rows {
+                println!(
+                    "{:>6.2} {:<10} {:>5} {:>8} {:>8} {:>9} {:>8} {:>11.0} {:>10.2} {:>8.3}{}",
+                    r.fault_rate,
+                    r.repr,
+                    r.intent_errors,
+                    r.delivered,
+                    r.retries,
+                    r.restarts,
+                    r.repairs,
+                    r.max_convergence_us,
+                    r.stall_ms,
+                    r.goodput_mpps,
+                    if r.reconciled { "" } else { "  NOT-CONVERGED" }
                 );
             }
         }

@@ -3,7 +3,9 @@
 //! Experiment index (mirrors DESIGN.md §3): E1 = Fig. 1, E2 = Fig. 2,
 //! E3 = Fig. 3, E4 = Fig. 4, E5 = Table 1, E6 = §2 encoding sizes,
 //! E7 = §2 controllability, E8 = §2 monitorability, E9 = Theorem 1,
-//! E10 = Fig. 5 / appendix, E11 = §5 ESwitch template mechanism.
+//! E10 = Fig. 5 / appendix, E11 = §5 ESwitch template mechanism,
+//! E12 = OVS cache sensitivity, E13 = flow state explosion,
+//! E14 = faults: churn under an unreliable control channel.
 
 use mapro_core::{display, Pipeline};
 use mapro_normalize::JoinKind;
@@ -694,6 +696,130 @@ pub fn scaling(backends: usize, ns: &[usize], packets: usize, seed: u64) -> Vec<
             goto_mpps: d,
             gain: d / u,
         });
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E14 ---
+
+/// One cell of the fault-rate × representation sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultRow {
+    /// Channel fault probability (`p_drop`; dup/reorder run at half).
+    pub fault_rate: f64,
+    /// `"universal"` or `"goto"`.
+    pub repr: String,
+    /// Intents driven through the controller.
+    pub intents: usize,
+    /// Intents whose delivery errored (repaired by reconciliation).
+    pub intent_errors: usize,
+    /// Flow-mods delivered to the switch (includes redeliveries).
+    pub delivered: u64,
+    /// Controller retransmissions.
+    pub retries: u64,
+    /// Switch restarts injected.
+    pub restarts: u64,
+    /// Repair flow-mods emitted by reconciliation.
+    pub repairs: u64,
+    /// True iff the switch converged to the intended pipeline.
+    pub reconciled: bool,
+    /// Worst reconcile pass, virtual-clock µs.
+    pub max_convergence_us: f64,
+    /// Cumulative switch control-CPU stall (ms).
+    pub stall_ms: f64,
+    /// Stall as a fraction of the churn window.
+    pub stall_fraction: f64,
+    /// Line rate minus the stall fraction \[Mpps\].
+    pub goodput_mpps: f64,
+}
+
+/// Extension experiment E14: update amplification under an unreliable
+/// control channel. GWLB under churn (each intent moves one service to a
+/// fresh port) driven through a [`FaultyChannel`] at increasing fault
+/// rates, universal vs goto-normalized, on the NoviFlow stall model.
+///
+/// The universal table pays M flow-mods per intent inside a two-phase
+/// bundle; the goto form pays one. Every fault that forces a redelivery
+/// re-parses the carried flow-mods on the switch's control CPU, so the
+/// universal form's stall grows ~M× faster with the fault rate — the
+/// Fig. 4 gap widens as the channel degrades. Restarts revert the switch
+/// to its last committed bundle and reconciliation repairs the drift.
+///
+/// [`FaultyChannel`]: mapro_control::FaultyChannel
+pub fn faults(cfg: &BenchConfig, rates: &[f64]) -> Vec<FaultRow> {
+    use mapro_control::{Controller, DriverConfig, FaultPlan, FaultyChannel};
+    use mapro_switch::LiveSwitch;
+
+    const INTENTS: usize = 40;
+    // Modeled churn window: 10 intents/s, as in the Fig. 4 sweep.
+    const WINDOW_NS: f64 = INTENTS as f64 / 10.0 * 1e9;
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+    let line_mpps = 1e3 / mapro_switch::CostParams::noviflow().per_packet_ns;
+
+    let mut out = Vec::new();
+    for &rate in rates {
+        for (name, repr) in [("universal", &g.universal), ("goto", &goto)] {
+            let seed = cfg.seed ^ rate.to_bits().rotate_left(17) ^ name.len() as u64;
+            let plan = FaultPlan {
+                p_drop: rate,
+                p_dup: rate / 2.0,
+                p_reorder: rate / 2.0,
+                restart_every: 60,
+                latency_ns: 10_000,
+                seed,
+            };
+            let sw = LiveSwitch::noviflow(repr.clone()).expect("compiles");
+            let mut ch = FaultyChannel::new(sw, plan);
+            let mut ctl = Controller::new(repr.clone(), DriverConfig::default());
+            let mut row = FaultRow {
+                fault_rate: rate,
+                repr: name.to_owned(),
+                intents: INTENTS,
+                intent_errors: 0,
+                delivered: 0,
+                retries: 0,
+                restarts: 0,
+                repairs: 0,
+                reconciled: true,
+                max_convergence_us: 0.0,
+                stall_ms: 0.0,
+                stall_fraction: 0.0,
+                goodput_mpps: 0.0,
+            };
+            for k in 0..INTENTS {
+                let intended = ctl.intended().clone();
+                let update = g.move_service_port(&intended, k % cfg.services, 10_000 + k as u16);
+                if ctl.apply_plan(&mut ch, &update).is_err() {
+                    row.intent_errors += 1;
+                }
+                match ctl.reconcile(&mut ch) {
+                    Ok(rep) => {
+                        row.max_convergence_us =
+                            row.max_convergence_us.max(rep.convergence_ns as f64 / 1e3)
+                    }
+                    Err(_) => row.reconciled = false,
+                }
+            }
+            // A restart can land right after the final verifying read;
+            // give reconciliation a last word before judging convergence.
+            for _ in 0..3 {
+                if ch.endpoint().pipeline() == ctl.intended() {
+                    break;
+                }
+                let _ = ctl.reconcile(&mut ch);
+            }
+            row.reconciled &= ch.endpoint().pipeline() == ctl.intended();
+            row.delivered = ch.stats().delivered;
+            row.restarts = ch.stats().restarts;
+            row.retries = ctl.stats().retries;
+            row.repairs = ctl.stats().repairs;
+            let stall_ns = ch.endpoint().total_stall_ns;
+            row.stall_ms = stall_ns / 1e6;
+            row.stall_fraction = (stall_ns / WINDOW_NS).min(1.0);
+            row.goodput_mpps = line_mpps * (1.0 - row.stall_fraction);
+            out.push(row);
+        }
     }
     out
 }

@@ -1,0 +1,754 @@
+//! The resilient controller: idempotent flow-mod RPCs with retry and
+//! backoff, two-phase update bundles, and controller–switch
+//! reconciliation.
+//!
+//! The driver turns the §2 consistency argument into machinery. Every
+//! flow-mod carries a [`TxnId`]; retransmissions reuse the id, and the
+//! switch's dedup log makes redelivery harmless. Multi-update plans go
+//! through prepare → commit (the "atomic bundle" of §5's hardware model);
+//! a mid-plan failure rolls back instead of leaving the halfway-exposed
+//! state. Because a lossy channel can still desynchronize controller and
+//! switch (e.g. a restart reverting uncommitted updates), the controller
+//! periodically [`reconcile`](Controller::reconcile)s: read back the
+//! switch's authoritative pipeline, diff it against the intended state,
+//! and emit repair flow-mods until the two agree.
+
+use crate::channel::{
+    Ack, AckError, AckOk, BundleId, Endpoint, FaultyChannel, FlowMod, FlowModOp, TxnId,
+};
+use crate::updates::{self, ApplyError, RuleUpdate, UpdatePlan};
+use mapro_core::Pipeline;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Retry/backoff/reconciliation knobs, on the virtual clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverConfig {
+    /// How long to wait for an ack before retransmitting (ns).
+    pub ack_timeout_ns: u64,
+    /// Retransmissions per flow-mod before giving up.
+    pub max_retries: u32,
+    /// First backoff delay (ns); doubles per retry.
+    pub backoff_base_ns: u64,
+    /// Backoff ceiling (ns).
+    pub backoff_cap_ns: u64,
+    /// Read–diff–repair rounds before a reconcile pass gives up.
+    pub max_reconcile_rounds: u32,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            ack_timeout_ns: 200_000,
+            max_retries: 16,
+            backoff_base_ns: 100_000,
+            backoff_cap_ns: 10_000_000,
+            max_reconcile_rounds: 32,
+        }
+    }
+}
+
+/// Why a driver operation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriverError {
+    /// The intent does not apply to the controller's own intended state —
+    /// nothing was sent.
+    PlanInvalid(ApplyError),
+    /// No ack after `max_retries` retransmissions.
+    Unreachable {
+        /// The transaction that went unanswered.
+        txn: TxnId,
+        /// Send attempts made (initial + retries).
+        attempts: u32,
+    },
+    /// The switch refused the operation.
+    Nack {
+        /// The refused transaction.
+        txn: TxnId,
+        /// The switch's reason.
+        err: AckError,
+    },
+    /// The switch answered a read with a non-state payload.
+    Protocol(String),
+    /// The switch's schema (table names/columns) no longer matches the
+    /// intended pipeline; entry-level repair cannot help.
+    SchemaDrift,
+    /// Reconciliation did not converge within the round budget.
+    NotConverged {
+        /// Rounds attempted.
+        rounds: u32,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::PlanInvalid(e) => write!(f, "plan invalid against intended state: {e}"),
+            DriverError::Unreachable { txn, attempts } => {
+                write!(f, "txn {txn}: no ack after {attempts} attempts")
+            }
+            DriverError::Nack { txn, err } => match err {
+                AckError::BundleUnknown => write!(f, "txn {txn}: switch does not hold the bundle"),
+                AckError::Rejected(r) => write!(f, "txn {txn}: rejected: {r}"),
+            },
+            DriverError::Protocol(s) => write!(f, "protocol violation: {s}"),
+            DriverError::SchemaDrift => write!(f, "switch schema drifted from intended pipeline"),
+            DriverError::NotConverged { rounds } => {
+                write!(f, "reconciliation did not converge in {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Per-controller accounting (per-run, unlike the global obs counters).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriverStats {
+    /// Flow-mods sent (including retransmissions).
+    pub sent: u64,
+    /// Retransmissions.
+    pub retries: u64,
+    /// Positive acks received.
+    pub acks: u64,
+    /// Negative acks received.
+    pub nacks: u64,
+    /// Repair flow-mods emitted by reconciliation.
+    pub repairs: u64,
+    /// Reconcile passes that converged.
+    pub reconciles: u64,
+}
+
+/// Outcome of one converged reconcile pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Read–diff–repair rounds used (1 = already in sync).
+    pub rounds: u32,
+    /// Repair flow-mods emitted.
+    pub repairs: usize,
+    /// Virtual time from pass start to verified convergence (ns).
+    pub convergence_ns: u64,
+}
+
+/// The controller: owns the intended pipeline and drives a switch toward
+/// it across a [`FaultyChannel`].
+pub struct Controller {
+    intended: Pipeline,
+    cfg: DriverConfig,
+    next_txn: TxnId,
+    next_bundle: BundleId,
+    stats: DriverStats,
+}
+
+impl Controller {
+    /// A controller whose intended state starts at `intended` (normally
+    /// the pipeline the switch booted with).
+    pub fn new(intended: Pipeline, cfg: DriverConfig) -> Controller {
+        Controller {
+            intended,
+            cfg,
+            next_txn: 1,
+            next_bundle: 1,
+            stats: DriverStats::default(),
+        }
+    }
+
+    /// The state the controller is driving the switch toward.
+    pub fn intended(&self) -> &Pipeline {
+        &self.intended
+    }
+
+    /// Per-run accounting.
+    pub fn stats(&self) -> &DriverStats {
+        &self.stats
+    }
+
+    fn fresh_txn(&mut self) -> TxnId {
+        let t = self.next_txn;
+        self.next_txn += 1;
+        t
+    }
+
+    /// One reliable-ish RPC: send, await ack, retransmit with exponential
+    /// backoff under the *same* txn id (the switch's dedup log absorbs
+    /// redeliveries).
+    fn rpc<E: Endpoint>(
+        &mut self,
+        ch: &mut FaultyChannel<E>,
+        op: FlowModOp,
+    ) -> Result<AckOk, DriverError> {
+        let txn = self.fresh_txn();
+        self.rpc_txn(ch, txn, op)
+    }
+
+    fn rpc_txn<E: Endpoint>(
+        &mut self,
+        ch: &mut FaultyChannel<E>,
+        txn: TxnId,
+        op: FlowModOp,
+    ) -> Result<AckOk, DriverError> {
+        let mut backoff = self.cfg.backoff_base_ns;
+        for attempt in 0..=self.cfg.max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                mapro_obs::counter!("control.driver.retries").inc();
+                ch.advance(backoff);
+                backoff = (backoff * 2).min(self.cfg.backoff_cap_ns);
+            }
+            self.stats.sent += 1;
+            ch.send(FlowMod {
+                txn,
+                op: op.clone(),
+            });
+            ch.pump();
+            // All in-flight acks surface at pump time; scan for ours and
+            // drain stale ones (duplicates, previous batches).
+            let mut got = None;
+            while let Some(ack) = ch.recv() {
+                if ack.txn == txn && got.is_none() {
+                    got = Some(ack);
+                }
+            }
+            match got {
+                None => ch.advance(self.cfg.ack_timeout_ns),
+                Some(Ack { result: Ok(ok), .. }) => {
+                    self.stats.acks += 1;
+                    return Ok(ok);
+                }
+                Some(Ack {
+                    result: Err(err), ..
+                }) => {
+                    self.stats.nacks += 1;
+                    return Err(DriverError::Nack { txn, err });
+                }
+            }
+        }
+        Err(DriverError::Unreachable {
+            txn,
+            attempts: self.cfg.max_retries + 1,
+        })
+    }
+
+    /// Drive one intent to the switch. Single-update plans go as one
+    /// idempotent flow-mod; multi-update plans as a two-phase bundle
+    /// (prepare → commit, rollback on failure). The intended state adopts
+    /// the plan *regardless of delivery outcome* — an undelivered intent
+    /// is a divergence for [`reconcile`](Controller::reconcile) to repair,
+    /// not a lost wish.
+    pub fn apply_plan<E: Endpoint>(
+        &mut self,
+        ch: &mut FaultyChannel<E>,
+        plan: &UpdatePlan,
+    ) -> Result<(), DriverError> {
+        let mut next = self.intended.clone();
+        updates::apply_plan(&mut next, plan).map_err(DriverError::PlanInvalid)?;
+        let result = if plan.updates.is_empty() {
+            Ok(())
+        } else if !plan.needs_bundle() {
+            self.rpc(ch, FlowModOp::Apply(plan.updates[0].clone()))
+                .map(drop)
+        } else {
+            self.commit_bundle(ch, &plan.updates)
+        };
+        self.intended = next;
+        result
+    }
+
+    fn commit_bundle<E: Endpoint>(
+        &mut self,
+        ch: &mut FaultyChannel<E>,
+        updates: &[RuleUpdate],
+    ) -> Result<(), DriverError> {
+        let bundle = self.next_bundle;
+        self.next_bundle += 1;
+        let mut restages = 0;
+        loop {
+            self.rpc(
+                ch,
+                FlowModOp::Prepare {
+                    bundle,
+                    updates: updates.to_vec(),
+                },
+            )?;
+            match self.rpc(ch, FlowModOp::Commit { bundle }) {
+                Ok(_) => return Ok(()),
+                // A restart between prepare and commit wiped the staging
+                // area; stage again (bounded — repeated wipes mean the
+                // switch is flapping and reconciliation should take over).
+                Err(DriverError::Nack {
+                    err: AckError::BundleUnknown,
+                    ..
+                }) if restages < 3 => restages += 1,
+                Err(e) => {
+                    // Best-effort unstage; the switch may not hold the
+                    // bundle at all, so ignore the outcome.
+                    let _ = self.rpc(ch, FlowModOp::Rollback { bundle });
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Read back the switch's authoritative pipeline.
+    pub fn read_state<E: Endpoint>(
+        &mut self,
+        ch: &mut FaultyChannel<E>,
+    ) -> Result<Pipeline, DriverError> {
+        match self.rpc(ch, FlowModOp::ReadState)? {
+            AckOk::State(p) => Ok(*p),
+            AckOk::Done => Err(DriverError::Protocol("read answered without state".into())),
+        }
+    }
+
+    /// One reconcile pass: read the switch state, diff against intended,
+    /// emit repairs, repeat until a read round shows no difference (or the
+    /// round budget runs out). Returns how long convergence took on the
+    /// virtual clock.
+    pub fn reconcile<E: Endpoint>(
+        &mut self,
+        ch: &mut FaultyChannel<E>,
+    ) -> Result<ReconcileReport, DriverError> {
+        let start = ch.now_ns();
+        let mut repairs_sent = 0usize;
+        for round in 1..=self.cfg.max_reconcile_rounds {
+            let actual = self.read_state(ch)?;
+            let repairs = diff_pipelines(&actual, &self.intended)?;
+            if repairs.is_empty() {
+                let dt = ch.now_ns().saturating_sub(start);
+                self.stats.reconciles += 1;
+                mapro_obs::histogram!("control.driver.convergence_ns").record(dt);
+                return Ok(ReconcileReport {
+                    rounds: round,
+                    repairs: repairs_sent,
+                    convergence_ns: dt,
+                });
+            }
+            repairs_sent += repairs.len();
+            self.stats.repairs += repairs.len() as u64;
+            mapro_obs::counter!("control.driver.reconcile_repairs").add(repairs.len() as u64);
+            // Fire the whole repair batch at once (this is where duplicate
+            // and reordered deliveries actually interleave), then settle
+            // stragglers with individual retries.
+            let batch: Vec<(TxnId, FlowModOp)> = repairs
+                .into_iter()
+                .map(|u| (self.fresh_txn(), FlowModOp::Apply(u)))
+                .collect();
+            for (txn, op) in &batch {
+                self.stats.sent += 1;
+                ch.send(FlowMod {
+                    txn: *txn,
+                    op: op.clone(),
+                });
+            }
+            ch.pump();
+            let mut acked: HashSet<TxnId> = HashSet::new();
+            while let Some(a) = ch.recv() {
+                if a.result.is_ok() {
+                    self.stats.acks += 1;
+                    acked.insert(a.txn);
+                }
+            }
+            for (txn, op) in batch {
+                if acked.contains(&txn) {
+                    continue;
+                }
+                match self.rpc_txn(ch, txn, op) {
+                    Ok(_) => {}
+                    // A refused repair means reordered repairs raced each
+                    // other (e.g. a Modify keyed on a match tuple another
+                    // repair already rewrote); the next round's fresh diff
+                    // self-corrects.
+                    Err(DriverError::Nack { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Err(DriverError::NotConverged {
+            rounds: self.cfg.max_reconcile_rounds,
+        })
+    }
+}
+
+/// Position-based pipeline diff: the repair flow-mods that transform
+/// `actual` into `intended`, table by table. Shared row positions whose
+/// entries differ become `Modify`s (keyed on the *actual* match tuple,
+/// rewriting both match and action cells in place — this preserves entry
+/// order, which matters because priorities are positional). Surplus actual
+/// rows become `Delete`s; missing tail rows become `Insert`s (inserts
+/// append, so only the tail can be grown — mid-table divergence is
+/// expressed as in-place rewrites instead).
+pub fn diff_pipelines(
+    actual: &Pipeline,
+    intended: &Pipeline,
+) -> Result<Vec<RuleUpdate>, DriverError> {
+    if actual.tables.len() != intended.tables.len() || actual.start != intended.start {
+        return Err(DriverError::SchemaDrift);
+    }
+    let mut out = Vec::new();
+    for (at, it) in actual.tables.iter().zip(&intended.tables) {
+        if at.name != it.name
+            || at.match_attrs != it.match_attrs
+            || at.action_attrs != it.action_attrs
+        {
+            return Err(DriverError::SchemaDrift);
+        }
+        let shared = at.entries.len().min(it.entries.len());
+        for row in 0..shared {
+            let (have, want) = (&at.entries[row], &it.entries[row]);
+            if have == want {
+                continue;
+            }
+            let mut set = Vec::new();
+            for (col, &attr) in it.match_attrs.iter().enumerate() {
+                if have.matches[col] != want.matches[col] {
+                    set.push((attr, want.matches[col].clone()));
+                }
+            }
+            for (col, &attr) in it.action_attrs.iter().enumerate() {
+                if have.actions[col] != want.actions[col] {
+                    set.push((attr, want.actions[col].clone()));
+                }
+            }
+            out.push(RuleUpdate::Modify {
+                table: it.name.clone(),
+                matches: have.matches.clone(),
+                set,
+            });
+        }
+        for e in at.entries.iter().skip(shared) {
+            out.push(RuleUpdate::Delete {
+                table: at.name.clone(),
+                matches: e.matches.clone(),
+            });
+        }
+        for e in it.entries.iter().skip(shared) {
+            out.push(RuleUpdate::Insert {
+                table: it.name.clone(),
+                entry: e.clone(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::FaultPlan;
+    use mapro_core::{ActionSem, AttrId, Catalog, Entry, Table, Value};
+
+    fn pipeline() -> (Pipeline, AttrId, AttrId) {
+        let mut c = Catalog::new();
+        let f = c.field("f", 16);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::Int(1)], vec![Value::sym("a")]);
+        t.row(vec![Value::Int(2)], vec![Value::sym("b")]);
+        (Pipeline::single(c, t), f, out)
+    }
+
+    /// A faithful in-memory switch: applies updates to a pipeline, keeps a
+    /// txn dedup log, stages bundles, and loses volatile state on restart.
+    struct MiniSwitch {
+        pipeline: Pipeline,
+        committed: Pipeline,
+        staged: std::collections::HashMap<BundleId, Vec<RuleUpdate>>,
+        log: std::collections::HashMap<TxnId, Ack>,
+        applies: u64,
+    }
+
+    impl MiniSwitch {
+        fn new(p: Pipeline) -> MiniSwitch {
+            MiniSwitch {
+                committed: p.clone(),
+                pipeline: p,
+                staged: Default::default(),
+                log: Default::default(),
+                applies: 0,
+            }
+        }
+    }
+
+    impl Endpoint for MiniSwitch {
+        fn deliver(&mut self, msg: &FlowMod) -> Ack {
+            if let Some(prev) = self.log.get(&msg.txn) {
+                return prev.clone();
+            }
+            let result = match &msg.op {
+                FlowModOp::Apply(u) => {
+                    self.applies += 1;
+                    updates::apply_update(&mut self.pipeline, u)
+                        .map(|_| AckOk::Done)
+                        .map_err(|e| AckError::Rejected(e.to_string()))
+                }
+                FlowModOp::Prepare {
+                    bundle,
+                    updates: us,
+                } => {
+                    self.staged.insert(*bundle, us.clone());
+                    Ok(AckOk::Done)
+                }
+                FlowModOp::Commit { bundle } => match self.staged.remove(bundle) {
+                    None => Err(AckError::BundleUnknown),
+                    Some(us) => {
+                        let mut next = self.pipeline.clone();
+                        match us
+                            .iter()
+                            .try_for_each(|u| updates::apply_update(&mut next, u))
+                        {
+                            Ok(()) => {
+                                self.pipeline = next.clone();
+                                self.committed = next;
+                                Ok(AckOk::Done)
+                            }
+                            Err(e) => Err(AckError::Rejected(e.to_string())),
+                        }
+                    }
+                },
+                FlowModOp::Rollback { bundle } => {
+                    self.staged.remove(bundle);
+                    Ok(AckOk::Done)
+                }
+                FlowModOp::ReadState => Ok(AckOk::State(Box::new(self.pipeline.clone()))),
+            };
+            let ack = Ack {
+                txn: msg.txn,
+                result,
+            };
+            self.log.insert(msg.txn, ack.clone());
+            ack
+        }
+
+        fn restart(&mut self) {
+            self.pipeline = self.committed.clone();
+            self.staged.clear();
+            self.log.clear();
+        }
+    }
+
+    fn move_plan(f: AttrId, from: u64, to: u64) -> UpdatePlan {
+        UpdatePlan {
+            intent: format!("move {from} -> {to}"),
+            updates: vec![RuleUpdate::Modify {
+                table: "t".into(),
+                matches: vec![Value::Int(from)],
+                set: vec![(f, Value::Int(to))],
+            }],
+        }
+    }
+
+    #[test]
+    fn lossless_apply_and_reconcile_noop() {
+        let (p, f, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
+        let mut ctl = Controller::new(p, DriverConfig::default());
+        ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)).unwrap();
+        let rep = ctl.reconcile(&mut ch).unwrap();
+        assert_eq!(rep.rounds, 1);
+        assert_eq!(rep.repairs, 0);
+        assert_eq!(ch.endpoint().pipeline, *ctl.intended());
+        assert_eq!(ctl.stats().retries, 0);
+    }
+
+    #[test]
+    fn retries_survive_a_lossy_channel() {
+        let (p, f, _) = pipeline();
+        let plan = FaultPlan {
+            p_drop: 0.4,
+            ..FaultPlan::lossless(3)
+        };
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), plan);
+        let mut ctl = Controller::new(p, DriverConfig::default());
+        for (from, to) in [(1u64, 7u64), (2, 8), (7, 9)] {
+            ctl.apply_plan(&mut ch, &move_plan(f, from, to)).unwrap();
+        }
+        assert!(ctl.stats().retries > 0, "a 40% loss rate must cost retries");
+        assert_eq!(ch.endpoint().pipeline, *ctl.intended());
+    }
+
+    #[test]
+    fn dedup_makes_duplicated_flowmods_single_effect() {
+        let (p, f, _) = pipeline();
+        let plan = FaultPlan {
+            p_dup: 1.0, // every message delivered twice
+            ..FaultPlan::lossless(5)
+        };
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), plan);
+        let mut ctl = Controller::new(p, DriverConfig::default());
+        ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)).unwrap();
+        // The switch processed the apply exactly once despite redelivery.
+        assert_eq!(ch.endpoint().applies, 1);
+        assert_eq!(ch.stats().delivered, 2);
+    }
+
+    #[test]
+    fn two_phase_bundle_commits_atomically() {
+        let (p, f, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
+        let mut ctl = Controller::new(p, DriverConfig::default());
+        let plan = UpdatePlan {
+            intent: "renumber both".into(),
+            updates: vec![
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(1)],
+                    set: vec![(f, Value::Int(11))],
+                },
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(2)],
+                    set: vec![(f, Value::Int(12))],
+                },
+            ],
+        };
+        ctl.apply_plan(&mut ch, &plan).unwrap();
+        assert_eq!(ch.endpoint().pipeline, *ctl.intended());
+        // Committed state advanced with the bundle.
+        assert_eq!(ch.endpoint().committed, *ctl.intended());
+    }
+
+    #[test]
+    fn invalid_plan_rejected_before_sending() {
+        let (p, f, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
+        let mut ctl = Controller::new(p.clone(), DriverConfig::default());
+        let bad = move_plan(f, 99, 1);
+        assert!(matches!(
+            ctl.apply_plan(&mut ch, &bad),
+            Err(DriverError::PlanInvalid(_))
+        ));
+        assert_eq!(ch.stats().sent, 0, "nothing must reach the wire");
+        assert_eq!(*ctl.intended(), p, "intended state unchanged");
+    }
+
+    #[test]
+    fn restarts_revert_uncommitted_applies() {
+        let (p, _, _) = pipeline();
+        // Restart after every 7 deliveries: single applies are volatile,
+        // so the 7 inserts delivered before the restart are wiped and only
+        // the 8th (applied after the revert) survives.
+        let plan = FaultPlan {
+            restart_every: 7,
+            ..FaultPlan::lossless(2)
+        };
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), plan);
+        let mut ctl = Controller::new(p, DriverConfig::default());
+        for k in 0..8u64 {
+            let ins = UpdatePlan {
+                intent: format!("insert {k}"),
+                updates: vec![RuleUpdate::Insert {
+                    table: "t".into(),
+                    entry: Entry::new(vec![Value::Int(100 + k)], vec![Value::sym("a")]),
+                }],
+            };
+            ctl.apply_plan(&mut ch, &ins).unwrap();
+        }
+        assert_eq!(ch.stats().restarts, 1);
+        assert_ne!(
+            ch.endpoint().pipeline,
+            *ctl.intended(),
+            "the restart must have desynchronized switch and controller"
+        );
+        // 2 seed rows + only the post-restart insert.
+        assert_eq!(ch.endpoint().pipeline.table("t").unwrap().entries.len(), 3);
+    }
+
+    #[test]
+    fn reconcile_repairs_divergence() {
+        let (p, _, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(2));
+        let mut ctl = Controller::new(p, DriverConfig::default());
+        // Simulate post-restart drift out of band: the switch lost a row
+        // and corrupted another.
+        {
+            let t = ch.endpoint_mut().pipeline.table_mut("t").unwrap();
+            t.entries[0] = Entry::new(vec![Value::Int(9)], vec![Value::sym("x")]);
+            t.entries.pop();
+        }
+        assert_ne!(ch.endpoint().pipeline, *ctl.intended());
+        let rep = ctl.reconcile(&mut ch).unwrap();
+        assert!(rep.repairs >= 2, "drift must have required repairs");
+        assert!(rep.rounds >= 2, "a repair round precedes the verify round");
+        assert_eq!(ch.endpoint().pipeline, *ctl.intended());
+        // A second pass finds nothing to do.
+        let rep2 = ctl.reconcile(&mut ch).unwrap();
+        assert_eq!(rep2.repairs, 0);
+        assert_eq!(rep2.rounds, 1);
+    }
+
+    #[test]
+    fn unreachable_switch_reported_after_bounded_retries() {
+        let (p, f, _) = pipeline();
+        let plan = FaultPlan {
+            p_drop: 1.0,
+            ..FaultPlan::lossless(4)
+        };
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), plan);
+        let cfg = DriverConfig {
+            max_retries: 3,
+            ..Default::default()
+        };
+        let mut ctl = Controller::new(p, cfg);
+        match ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)) {
+            Err(DriverError::Unreachable { attempts, .. }) => assert_eq!(attempts, 4),
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+        // The intent still moved the intended state; a later reconcile
+        // (over a healed channel) would repair the switch.
+        assert_ne!(ch.endpoint().pipeline, *ctl.intended());
+    }
+
+    #[test]
+    fn diff_produces_minimal_repairs() {
+        let (p, f, out) = pipeline();
+        let mut actual = p.clone();
+        // Diverge: row 0 rewritten, one surplus row appended.
+        actual.table_mut("t").unwrap().entries[0] =
+            Entry::new(vec![Value::Int(9)], vec![Value::sym("x")]);
+        actual
+            .table_mut("t")
+            .unwrap()
+            .push(Entry::new(vec![Value::Int(3)], vec![Value::sym("c")]));
+        let repairs = diff_pipelines(&actual, &p).unwrap();
+        assert_eq!(repairs.len(), 2);
+        assert!(matches!(
+            &repairs[0],
+            RuleUpdate::Modify { matches, set, .. }
+                if matches == &vec![Value::Int(9)]
+                    && set.contains(&(f, Value::Int(1)))
+                    && set.contains(&(out, Value::sym("a")))
+        ));
+        assert!(matches!(
+            &repairs[1],
+            RuleUpdate::Delete { matches, .. } if matches == &vec![Value::Int(3)]
+        ));
+        // Applying the repairs restores the intended pipeline exactly.
+        for u in &repairs {
+            updates::apply_update(&mut actual, u).unwrap();
+        }
+        assert_eq!(actual, p);
+    }
+
+    #[test]
+    fn diff_grows_missing_tail_with_inserts() {
+        let (p, _, _) = pipeline();
+        let mut actual = p.clone();
+        actual.table_mut("t").unwrap().entries.pop();
+        let repairs = diff_pipelines(&actual, &p).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert!(matches!(&repairs[0], RuleUpdate::Insert { .. }));
+        for u in &repairs {
+            updates::apply_update(&mut actual, u).unwrap();
+        }
+        assert_eq!(actual, p);
+    }
+
+    #[test]
+    fn diff_refuses_schema_drift() {
+        let (p, _, _) = pipeline();
+        let mut other = p.clone();
+        other.table_mut("t").unwrap().name = "q".into();
+        other.start = "q".into();
+        assert_eq!(diff_pipelines(&other, &p), Err(DriverError::SchemaDrift));
+    }
+}

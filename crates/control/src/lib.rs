@@ -11,6 +11,12 @@
 //!   the **monitorability** metric.
 //! * [`churn`] — Poisson intent streams feeding the Fig. 4 reactiveness
 //!   experiment (`mapro-switch::churn` consumes the summaries).
+//! * [`channel`] — a seeded-deterministic fault-injectable control
+//!   channel (drop/duplicate/reorder/delay flow-mods and acks, inject
+//!   switch restarts) between controller and switch.
+//! * [`driver`] — the resilient controller: idempotent txn-tagged
+//!   flow-mods with retry/backoff, two-phase bundles, and read-diff-repair
+//!   reconciliation toward the intended pipeline.
 //!
 //! Workload-specific intent compilers (e.g. "move tenant 1's service to
 //! HTTPS" against a given GWLB representation) live next to the workload
@@ -19,12 +25,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod churn;
 pub mod consistency;
+pub mod driver;
 pub mod monitor;
 pub mod updates;
 
+pub use channel::{
+    Ack, AckError, AckOk, BundleId, ChannelStats, Endpoint, FaultPlan, FaultyChannel, FlowMod,
+    FlowModOp, TxnId,
+};
 pub use churn::{poisson_stream, summarize, ChurnEvent, ChurnSummary};
 pub use consistency::{exposure, ExposureReport, Invariant};
+pub use driver::{
+    diff_pipelines, Controller, DriverConfig, DriverError, DriverStats, ReconcileReport,
+};
 pub use monitor::{rules_where, CounterSet};
 pub use updates::{apply_plan, apply_prefix, apply_update, ApplyError, RuleUpdate, UpdatePlan};

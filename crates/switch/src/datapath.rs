@@ -107,10 +107,93 @@ pub struct ProcessOut {
     pub slow_path: bool,
 }
 
+/// Position of `name` in the pipeline's table list.
+fn table_index(p: &Pipeline, name: &str) -> Result<usize, CompileError> {
+    p.tables
+        .iter()
+        .position(|t| t.name == name)
+        .ok_or_else(|| CompileError::UnknownTable(name.to_owned()))
+}
+
+/// Compile one pipeline table into its classifier + action program. Goto
+/// and fall targets resolve to positions in `p.tables`, so the result is
+/// only valid while the pipeline keeps its table order.
+fn compile_table(
+    p: &Pipeline,
+    t: &mapro_core::Table,
+    policy: TemplatePolicy,
+) -> Result<CompiledTable, CompileError> {
+    let view = TableView::of(t, &p.catalog);
+    // Reject symbolic match cells up front (classifiers would panic).
+    for row in &view.rows {
+        if row.iter().any(|v| matches!(v, mapro_core::Value::Sym(_))) {
+            return Err(CompileError::BadMatchCell {
+                table: t.name.clone(),
+            });
+        }
+    }
+    let classifier: Box<dyn Classifier + Send + Sync> = match policy {
+        TemplatePolicy::Specialize { generic } => build_specialized(&view, generic),
+        TemplatePolicy::Uniform(kind) => build_generic(&view, kind),
+        TemplatePolicy::Tcam => Box::new(
+            mapro_classifier::TcamModel::build(&view, usize::MAX).expect("unbounded capacity"),
+        ),
+    };
+    let stats = classifier.stats();
+    let mut actions = Vec::with_capacity(t.len());
+    for e in &t.entries {
+        let mut acts = Vec::new();
+        for (col, &attr) in t.action_attrs.iter().enumerate() {
+            let param = &e.actions[col];
+            if matches!(param, mapro_core::Value::Any) {
+                continue;
+            }
+            let sem = match &p.catalog.attr(attr).kind {
+                AttrKind::Action(s) => s,
+                _ => unreachable!("action column"),
+            };
+            let act = match (sem, param) {
+                (ActionSem::Output, mapro_core::Value::Sym(s)) => Act::Output(s.clone()),
+                (ActionSem::Goto, mapro_core::Value::Sym(s)) => Act::Goto(table_index(p, s)?),
+                (ActionSem::SetField(target), mapro_core::Value::Int(v)) => {
+                    Act::SetField(*target, *v)
+                }
+                (ActionSem::Opaque, _) => Act::Opaque,
+                _ => {
+                    return Err(CompileError::BadActionParam {
+                        table: t.name.clone(),
+                    })
+                }
+            };
+            acts.push(act);
+        }
+        actions.push(acts);
+    }
+    let next = match &t.next {
+        Some(n) => Some(table_index(p, n)?),
+        None => None,
+    };
+    let miss = match &t.miss {
+        MissPolicy::Drop => CompiledMiss::Drop,
+        MissPolicy::Controller => CompiledMiss::Controller,
+        MissPolicy::Fall(n) => CompiledMiss::Fall(table_index(p, n)?),
+    };
+    Ok(CompiledTable {
+        name: t.name.clone(),
+        match_attrs: t.match_attrs.clone(),
+        classifier,
+        stats,
+        actions,
+        next,
+        miss,
+    })
+}
+
 /// A compiled pipeline plus its cost parameters.
 pub struct Datapath {
     tables: Vec<CompiledTable>,
     start: usize,
+    policy: TemplatePolicy,
     params: CostParams,
     scratch_key: Vec<u64>,
 }
@@ -124,87 +207,47 @@ impl Datapath {
     ) -> Result<Datapath, CompileError> {
         mapro_obs::counter!("switch.datapath.compiles").inc();
         let _t = mapro_obs::time!("switch.datapath.compile_ns");
-        let index = |name: &str| -> Result<usize, CompileError> {
-            p.tables
-                .iter()
-                .position(|t| t.name == name)
-                .ok_or_else(|| CompileError::UnknownTable(name.to_owned()))
-        };
         let mut tables = Vec::with_capacity(p.tables.len());
         for t in &p.tables {
-            let view = TableView::of(t, &p.catalog);
-            // Reject symbolic match cells up front (classifiers would panic).
-            for row in &view.rows {
-                if row.iter().any(|v| matches!(v, mapro_core::Value::Sym(_))) {
-                    return Err(CompileError::BadMatchCell {
-                        table: t.name.clone(),
-                    });
-                }
-            }
-            let classifier: Box<dyn Classifier + Send + Sync> = match policy {
-                TemplatePolicy::Specialize { generic } => build_specialized(&view, generic),
-                TemplatePolicy::Uniform(kind) => build_generic(&view, kind),
-                TemplatePolicy::Tcam => Box::new(
-                    mapro_classifier::TcamModel::build(&view, usize::MAX)
-                        .expect("unbounded capacity"),
-                ),
-            };
-            let stats = classifier.stats();
-            let mut actions = Vec::with_capacity(t.len());
-            for e in &t.entries {
-                let mut acts = Vec::new();
-                for (col, &attr) in t.action_attrs.iter().enumerate() {
-                    let param = &e.actions[col];
-                    if matches!(param, mapro_core::Value::Any) {
-                        continue;
-                    }
-                    let sem = match &p.catalog.attr(attr).kind {
-                        AttrKind::Action(s) => s,
-                        _ => unreachable!("action column"),
-                    };
-                    let act = match (sem, param) {
-                        (ActionSem::Output, mapro_core::Value::Sym(s)) => Act::Output(s.clone()),
-                        (ActionSem::Goto, mapro_core::Value::Sym(s)) => Act::Goto(index(s)?),
-                        (ActionSem::SetField(target), mapro_core::Value::Int(v)) => {
-                            Act::SetField(*target, *v)
-                        }
-                        (ActionSem::Opaque, _) => Act::Opaque,
-                        _ => {
-                            return Err(CompileError::BadActionParam {
-                                table: t.name.clone(),
-                            })
-                        }
-                    };
-                    acts.push(act);
-                }
-                actions.push(acts);
-            }
-            let next = match &t.next {
-                Some(n) => Some(index(n)?),
-                None => None,
-            };
-            let miss = match &t.miss {
-                MissPolicy::Drop => CompiledMiss::Drop,
-                MissPolicy::Controller => CompiledMiss::Controller,
-                MissPolicy::Fall(n) => CompiledMiss::Fall(index(n)?),
-            };
-            tables.push(CompiledTable {
-                name: t.name.clone(),
-                match_attrs: t.match_attrs.clone(),
-                classifier,
-                stats,
-                actions,
-                next,
-                miss,
-            });
+            tables.push(compile_table(p, t, policy)?);
         }
-        let start = index(&p.start)?;
+        let start = table_index(p, &p.start)?;
         Ok(Datapath {
             tables,
             start,
+            policy,
             params,
             scratch_key: Vec::new(),
         })
+    }
+
+    /// Recompile a single table in place after its entries changed,
+    /// reusing every other table's classifier. `p` must be the same
+    /// pipeline this datapath was compiled from, modulo entry edits —
+    /// table order and cross-table wiring may not change (positions are
+    /// baked into compiled gotos).
+    pub fn recompile_table(&mut self, p: &Pipeline, name: &str) -> Result<(), CompileError> {
+        mapro_obs::counter!("switch.datapath.table_recompiles").inc();
+        let dp_pos = self
+            .tables
+            .iter()
+            .position(|t| t.name == name)
+            .ok_or_else(|| CompileError::UnknownTable(name.to_owned()))?;
+        let src_pos = table_index(p, name)?;
+        self.tables[dp_pos] = compile_table(p, &p.tables[src_pos], self.policy)?;
+        Ok(())
+    }
+
+    /// Address of each table's boxed classifier, in table order. Only for
+    /// tests that assert incremental recompiles reuse untouched tables.
+    #[cfg(test)]
+    pub(crate) fn classifier_addrs(&self) -> Vec<usize> {
+        self.tables
+            .iter()
+            .map(|t| {
+                t.classifier.as_ref() as *const (dyn Classifier + Send + Sync) as *const () as usize
+            })
+            .collect()
     }
 
     /// The template each table compiled to, for reports.

@@ -12,7 +12,9 @@
 use crate::cost::{ControlStall, CostParams};
 use crate::datapath::{CompileError, Datapath, ProcessOut, TemplatePolicy};
 use crate::Switch;
+use mapro_control::{Ack, AckError, AckOk, BundleId, Endpoint, FlowMod, FlowModOp, TxnId};
 use mapro_core::{Packet, Pipeline};
+use std::collections::HashMap;
 
 /// One update's accounting.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +36,18 @@ pub struct LiveSwitch {
     stall: ControlStall,
     dp: Datapath,
     name: &'static str,
+    /// Last durably committed state: what the datapath reverts to on a
+    /// restart. Advances at install time and on every bundle commit;
+    /// single flow-mods are volatile (the asymmetry the fault experiment
+    /// measures).
+    committed: Pipeline,
+    /// Bundles staged by `Prepare`, awaiting `Commit`/`Rollback`.
+    staged: HashMap<BundleId, Vec<mapro_control::RuleUpdate>>,
+    /// Transaction dedup log: acks already emitted, replayed verbatim on
+    /// redelivery so duplicated flow-mods have a single effect.
+    acked: HashMap<TxnId, Ack>,
+    /// Restarts simulated so far.
+    pub restarts: u64,
     /// Cumulative modeled stall (ns) since construction.
     pub total_stall_ns: f64,
 }
@@ -49,12 +63,16 @@ impl LiveSwitch {
     ) -> Result<LiveSwitch, CompileError> {
         let dp = Datapath::compile(&pipeline, policy, params.clone())?;
         Ok(LiveSwitch {
+            committed: pipeline.clone(),
             pipeline,
             policy,
             params,
             stall,
             dp,
             name,
+            staged: HashMap::new(),
+            acked: HashMap::new(),
+            restarts: 0,
             total_stall_ns: 0.0,
         })
     }
@@ -94,19 +112,30 @@ impl LiveSwitch {
         &self.pipeline
     }
 
-    /// Apply one flow-mod: update control state, recompile the touched
-    /// table, account the stall.
+    /// Apply one flow-mod: update control state, recompile *only the
+    /// touched table's* classifier (every other table's classifier is
+    /// reused), account the stall.
     pub fn apply_update(
         &mut self,
         update: &mapro_control::RuleUpdate,
     ) -> Result<UpdateReceipt, LiveError> {
+        let before = self
+            .pipeline
+            .table(update.table())
+            .map(|t| t.entries.clone());
         mapro_control::apply_update(&mut self.pipeline, update).map_err(LiveError::Apply)?;
-        // Recompile: our Datapath is immutable per table, so rebuild it and
-        // account the touched table's entries. (Hardware rewrites one TCAM
-        // line; the recompile here is the simulator's equivalent — the
-        // *stall model* stays per-flow-mod, not per-table.)
-        self.dp = Datapath::compile(&self.pipeline, self.policy, self.params.clone())
-            .map_err(LiveError::Compile)?;
+        let recompiled = {
+            let _t = mapro_obs::time!("switch.live.recompile_ns");
+            self.dp.recompile_table(&self.pipeline, update.table())
+        };
+        if let Err(e) = recompiled {
+            // Datapath untouched (the table swap only happens on success);
+            // put the control state back too.
+            if let (Some(entries), Some(t)) = (before, self.pipeline.table_mut(update.table())) {
+                t.entries = entries;
+            }
+            return Err(LiveError::Compile(e));
+        }
         let entries = self
             .pipeline
             .table(update.table())
@@ -121,18 +150,120 @@ impl LiveSwitch {
         })
     }
 
-    /// Apply a whole plan; an atomic multi-entry plan additionally pays the
-    /// bundle-commit stall (§5 / Fig. 4).
+    /// Apply a whole plan atomically: either every update lands, or the
+    /// pipeline (and datapath) are rolled back to their pre-plan state and
+    /// the first error is returned. An atomic multi-entry plan
+    /// additionally pays the bundle-commit stall (§5 / Fig. 4) and
+    /// advances the committed (restart-durable) state.
     pub fn apply_plan(&mut self, plan: &mapro_control::UpdatePlan) -> Result<f64, LiveError> {
+        let snapshot = self.pipeline.clone();
         let mut stall = 0.0;
         for u in &plan.updates {
-            stall += self.apply_update(u)?.stall_ns;
+            match self.apply_update(u) {
+                Ok(receipt) => stall += receipt.stall_ns,
+                Err(e) => {
+                    self.rollback_to(snapshot, plan);
+                    return Err(e);
+                }
+            }
         }
         if plan.needs_bundle() {
             stall += self.stall.bundle_ns;
             self.total_stall_ns += self.stall.bundle_ns;
+            self.committed = self.pipeline.clone();
         }
         Ok(stall)
+    }
+
+    /// Restore `snapshot` and re-derive the datapath tables the aborted
+    /// plan may have touched. The modeled stall already accrued stays: the
+    /// switch really did the work before aborting.
+    fn rollback_to(&mut self, snapshot: Pipeline, plan: &mapro_control::UpdatePlan) {
+        self.pipeline = snapshot;
+        let mut done: Vec<&str> = Vec::new();
+        for u in &plan.updates {
+            let name = u.table();
+            if done.contains(&name) || self.pipeline.table(name).is_none() {
+                continue;
+            }
+            done.push(name);
+            self.dp
+                .recompile_table(&self.pipeline, name)
+                .expect("rollback recompiles previously-compiled state");
+        }
+    }
+}
+
+/// The switch side of the control channel: parse flow-mods, dedup by
+/// transaction id, stage/commit/roll back bundles, answer state reads —
+/// and lose all volatile state on a restart.
+impl Endpoint for LiveSwitch {
+    fn deliver(&mut self, msg: &FlowMod) -> Ack {
+        mapro_obs::counter!("switch.live.flowmods").inc();
+        if let Some(prev) = self.acked.get(&msg.txn) {
+            // Redelivery: the switch still parses and re-stages the
+            // message before the dedup log short-circuits it, so the
+            // control CPU pays per carried flow-mod. This is the term
+            // that scales retry cost with update-plan size.
+            mapro_obs::counter!("switch.live.dedup_hits").inc();
+            self.total_stall_ns += msg.op.mods_carried() as f64 * self.stall.per_flowmod_ns;
+            return prev.clone();
+        }
+        let result = match &msg.op {
+            FlowModOp::Apply(u) => self
+                .apply_update(u)
+                .map(|_| AckOk::Done)
+                .map_err(|e| AckError::Rejected(e.to_string())),
+            FlowModOp::Prepare { bundle, updates } => {
+                // Validate against a scratch copy; staging itself is free
+                // (no datapath work until commit).
+                let mut probe = self.pipeline.clone();
+                match updates
+                    .iter()
+                    .try_for_each(|u| mapro_control::apply_update(&mut probe, u))
+                {
+                    Ok(()) => {
+                        self.staged.insert(*bundle, updates.clone());
+                        Ok(AckOk::Done)
+                    }
+                    Err(e) => Err(AckError::Rejected(e.to_string())),
+                }
+            }
+            FlowModOp::Commit { bundle } => match self.staged.remove(bundle) {
+                None => Err(AckError::BundleUnknown),
+                Some(updates) => {
+                    let plan = mapro_control::UpdatePlan {
+                        intent: format!("bundle {bundle}"),
+                        updates,
+                    };
+                    // apply_plan is atomic and advances `committed`.
+                    self.apply_plan(&plan)
+                        .map(|_| AckOk::Done)
+                        .map_err(|e| AckError::Rejected(e.to_string()))
+                }
+            },
+            FlowModOp::Rollback { bundle } => {
+                self.staged.remove(bundle);
+                Ok(AckOk::Done)
+            }
+            FlowModOp::ReadState => Ok(AckOk::State(Box::new(self.pipeline.clone()))),
+        };
+        let ack = Ack {
+            txn: msg.txn,
+            result,
+        };
+        self.acked.insert(msg.txn, ack.clone());
+        ack
+    }
+
+    fn restart(&mut self) {
+        mapro_obs::counter!("switch.live.restarts").inc();
+        self.restarts += 1;
+        self.pipeline = self.committed.clone();
+        self.staged.clear();
+        self.acked.clear();
+        self.dp = Datapath::compile(&self.pipeline, self.policy, self.params.clone())
+            .expect("committed state compiled when it was committed");
     }
 }
 
@@ -250,6 +381,188 @@ mod tests {
         assert!(matches!(err, Err(LiveError::Apply(_))));
         assert_eq!(*sw.pipeline(), p);
         assert_eq!(sw.total_stall_ns, 0.0);
+    }
+
+    fn two_tables() -> (Pipeline, AttrId, AttrId) {
+        let mut c = Catalog::new();
+        let f = c.field("f", 16);
+        let g = c.field("g", 16);
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![out]);
+        t0.row(vec![Value::Int(1)], vec![Value::Any]);
+        t0.next = Some("t1".into());
+        let mut t1 = Table::new("t1", vec![g], vec![out]);
+        t1.row(vec![Value::Int(5)], vec![Value::sym("a")]);
+        t1.row(vec![Value::Int(6)], vec![Value::sym("b")]);
+        (Pipeline::new(c, vec![t0, t1], "t0"), g, out)
+    }
+
+    #[test]
+    fn incremental_recompile_reuses_untouched_classifiers() {
+        let (p, _, out) = two_tables();
+        let mut sw = LiveSwitch::noviflow(p).unwrap();
+        let before = sw.dp.classifier_addrs();
+        sw.apply_update(&RuleUpdate::Modify {
+            table: "t1".into(),
+            matches: vec![Value::Int(5)],
+            set: vec![(out, Value::sym("z"))],
+        })
+        .unwrap();
+        let after = sw.dp.classifier_addrs();
+        assert_eq!(
+            before[0], after[0],
+            "t0 was untouched; its classifier must be reused"
+        );
+        assert_ne!(before[1], after[1], "t1 changed; it must be recompiled");
+        // The rebuilt table routes the new action.
+        let pkt = Packet::from_fields(&sw.pipeline().catalog, &[("f", 1), ("g", 5)]);
+        assert_eq!(sw.process(&pkt).output.as_deref(), Some("z"));
+    }
+
+    #[test]
+    fn mid_plan_failure_rolls_back_pipeline_and_datapath() {
+        let (p, f, _) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p.clone()).unwrap();
+        let plan = UpdatePlan {
+            intent: "partially bogus".into(),
+            updates: vec![
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(1)],
+                    set: vec![(f, Value::Int(11))],
+                },
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(99)], // no such entry
+                    set: vec![(f, Value::Int(12))],
+                },
+            ],
+        };
+        assert!(matches!(sw.apply_plan(&plan), Err(LiveError::Apply(_))));
+        // Control state is byte-identical to the pre-plan state...
+        assert_eq!(*sw.pipeline(), p);
+        // ...and the datapath agrees (the first update's recompile was
+        // reverted, so f=1 still routes and f=11 does not).
+        let pkt = Packet::from_fields(&sw.pipeline().catalog, &[("f", 1)]);
+        assert_eq!(sw.process(&pkt).output.as_deref(), Some("a"));
+        let pkt = Packet::from_fields(&sw.pipeline().catalog, &[("f", 11)]);
+        assert!(sw.process(&pkt).dropped);
+    }
+
+    #[test]
+    fn endpoint_dedups_by_txn_and_charges_reprocessing() {
+        use mapro_control::{Endpoint, FlowMod, FlowModOp};
+        let (p, _, out) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p).unwrap();
+        let msg = FlowMod {
+            txn: 7,
+            op: FlowModOp::Apply(RuleUpdate::Modify {
+                table: "t".into(),
+                matches: vec![Value::Int(1)],
+                set: vec![(out, Value::sym("z"))],
+            }),
+        };
+        let first = sw.deliver(&msg);
+        assert!(first.result.is_ok());
+        let stall_after_first = sw.total_stall_ns;
+        let replay = sw.deliver(&msg);
+        assert_eq!(first, replay, "redelivery must replay the cached ack");
+        // Redelivery cost: parsing one carried flow-mod, no datapath work.
+        let cs = ControlStall::default();
+        assert_eq!(sw.total_stall_ns, stall_after_first + cs.per_flowmod_ns);
+        // The update was applied exactly once (entry still routes "z").
+        let pkt = Packet::from_fields(&sw.pipeline().catalog, &[("f", 1)]);
+        assert_eq!(sw.process(&pkt).output.as_deref(), Some("z"));
+    }
+
+    #[test]
+    fn restart_reverts_to_committed_bundle() {
+        use mapro_control::{Endpoint, FlowMod, FlowModOp};
+        let (p, f, _) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p.clone()).unwrap();
+        // A committed bundle moves f=1 → f=11 durably.
+        let bundle_updates = vec![
+            RuleUpdate::Modify {
+                table: "t".into(),
+                matches: vec![Value::Int(1)],
+                set: vec![(f, Value::Int(11))],
+            },
+            RuleUpdate::Modify {
+                table: "t".into(),
+                matches: vec![Value::Int(2)],
+                set: vec![(f, Value::Int(12))],
+            },
+        ];
+        assert!(sw
+            .deliver(&FlowMod {
+                txn: 1,
+                op: FlowModOp::Prepare {
+                    bundle: 9,
+                    updates: bundle_updates
+                }
+            })
+            .result
+            .is_ok());
+        assert!(sw
+            .deliver(&FlowMod {
+                txn: 2,
+                op: FlowModOp::Commit { bundle: 9 }
+            })
+            .result
+            .is_ok());
+        let committed_state = sw.pipeline().clone();
+        // A volatile single apply on top.
+        assert!(sw
+            .deliver(&FlowMod {
+                txn: 3,
+                op: FlowModOp::Apply(RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(11)],
+                    set: vec![(f, Value::Int(31))],
+                })
+            })
+            .result
+            .is_ok());
+        assert_ne!(*sw.pipeline(), committed_state);
+        sw.restart();
+        assert_eq!(sw.restarts, 1);
+        assert_eq!(
+            *sw.pipeline(),
+            committed_state,
+            "restart must revert to the last committed bundle, not install"
+        );
+        // The dedup log was wiped: txn 3 re-applies for real this time.
+        assert!(sw
+            .deliver(&FlowMod {
+                txn: 3,
+                op: FlowModOp::Apply(RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(11)],
+                    set: vec![(f, Value::Int(31))],
+                })
+            })
+            .result
+            .is_ok());
+        let pkt = Packet::from_fields(&sw.pipeline().catalog, &[("f", 31)]);
+        assert_eq!(sw.process(&pkt).output.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn commit_of_unknown_bundle_refused() {
+        use mapro_control::{AckError, Endpoint, FlowMod, FlowModOp};
+        let (p, _, _) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p).unwrap();
+        let ack = sw.deliver(&FlowMod {
+            txn: 1,
+            op: FlowModOp::Commit { bundle: 404 },
+        });
+        assert_eq!(ack.result, Err(AckError::BundleUnknown));
+        // Rollback of an unknown bundle is a harmless no-op.
+        let ack = sw.deliver(&FlowMod {
+            txn: 2,
+            op: FlowModOp::Rollback { bundle: 404 },
+        });
+        assert!(ack.result.is_ok());
     }
 
     #[test]

@@ -19,10 +19,14 @@ cargo run --release -p mapro-bench --bin repro -- --metrics "$OUT/metrics.json" 
     | tee "$OUT/experiments.txt" | grep '############'
 
 echo "== experiments (json) =="
-for e in table1 fig4 fig4queue size control monitor theorem1 templates cache scaling joins; do
+for e in table1 fig4 fig4queue size control monitor theorem1 templates cache scaling joins faults; do
     cargo run --release -p mapro-bench --bin repro -- --experiment "$e" --json \
         | sed '1,/############/d' > "$OUT/$e.json"
 done
+
+# The fault sweep runs on the channel's virtual clock under a fixed seed,
+# so its JSON is bit-reproducible — keep the committed reference in sync.
+cp "$OUT/faults.json" BENCH_faults.json
 
 echo "== benches =="
 cargo bench --workspace 2>&1 | tee "$OUT/bench_output.txt" | grep -E "^(table1|fig4|encoding|classifier|normalize)/" || true

@@ -150,3 +150,165 @@ fn deleting_all_entries_yields_drop_everything() {
     );
     assert!(p.run(&pkt).unwrap().dropped);
 }
+
+// ------------------------------------------------------------------------
+// Fault-injected control channel: the controller must converge the switch
+// to the intended pipeline under any survivable fault plan, and the
+// switch's txn dedup must make duplicated/reordered flow-mods harmless.
+
+use mapro::control::{
+    Controller, DriverConfig, Endpoint, FaultPlan, FaultyChannel, FlowMod, FlowModOp,
+};
+use mapro::switch::LiveSwitch;
+
+/// Drive `intents` service moves through a faulty channel, then reconcile
+/// until switch and controller agree. Individual intents may fail (that is
+/// the point); convergence must not.
+fn drive_and_converge(universal: bool, plan: FaultPlan) {
+    let g = Gwlb::random(3, 2, plan.seed ^ 0xA5A5);
+    let repr = if universal {
+        g.universal.clone()
+    } else {
+        g.normalized(JoinKind::Goto).unwrap()
+    };
+    let sw = LiveSwitch::eswitch(repr.clone()).unwrap();
+    let mut ch = FaultyChannel::new(sw, plan);
+    // Generous retries: at p_drop = 0.7 a round trip survives with p ≈
+    // 0.09, so a bounded-retry RPC still occasionally reports Unreachable;
+    // the outer reconcile loop below absorbs that.
+    let cfg = DriverConfig {
+        max_retries: 60,
+        ..Default::default()
+    };
+    let mut ctl = Controller::new(repr, cfg);
+    for k in 0..6usize {
+        let intended = ctl.intended().clone();
+        let plan = g.move_service_port(&intended, k % 3, 11_000 + k as u16);
+        let _ = ctl.apply_plan(&mut ch, &plan); // errors repaired below
+    }
+    let mut converged = false;
+    for _ in 0..6 {
+        let _ = ctl.reconcile(&mut ch);
+        if ch.endpoint().pipeline() == ctl.intended() {
+            converged = true;
+            break;
+        }
+    }
+    assert!(
+        converged,
+        "reconciliation must converge (plan {:?})",
+        ch.plan()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Reconciliation converges for any fault plan with p_drop < 1,
+    /// within bounded rounds, for both representations.
+    #[test]
+    fn reconciliation_converges_under_faults(
+        drop_pct in 0u32..=70, dup_pct in 0u32..=50, reorder_pct in 0u32..=50,
+        restart in 0u64..=1, seed in 0u64..10_000, universal in 0u8..=1,
+    ) {
+        let plan = FaultPlan {
+            p_drop: drop_pct as f64 / 100.0,
+            p_dup: dup_pct as f64 / 100.0,
+            p_reorder: reorder_pct as f64 / 100.0,
+            // Either no restarts or sparse ones: a switch that restarts
+            // faster than a repair round can finish never converges (nor
+            // would its hardware counterpart).
+            restart_every: restart * 25,
+            latency_ns: 10_000,
+            seed,
+        };
+        drive_and_converge(universal == 1, plan);
+    }
+
+    /// Delivering the same flow-mod multiset twice (second time in reverse
+    /// order) leaves the pipeline exactly where one delivery put it: txn
+    /// dedup makes redelivery and reordering harmless.
+    #[test]
+    fn redelivered_flowmods_are_idempotent(
+        seed in 0u64..10_000, moves in 1usize..8,
+    ) {
+        let g = Gwlb::random(4, 2, seed);
+        let goto = g.normalized(JoinKind::Goto).unwrap();
+        let mut sw = LiveSwitch::eswitch(goto.clone()).unwrap();
+        // Build the delivered multiset: each intent as one Apply flow-mod.
+        let mut msgs = Vec::new();
+        let mut intended = goto.clone();
+        for k in 0..moves {
+            let plan = g.move_service_port(&intended, k % 4, 12_000 + k as u16);
+            for u in &plan.updates {
+                mapro::control::apply_update(&mut intended, u).unwrap();
+                msgs.push(FlowMod { txn: msgs.len() as u64 + 1, op: FlowModOp::Apply(u.clone()) });
+            }
+        }
+        for m in &msgs {
+            prop_assert!(sw.deliver(m).result.is_ok());
+        }
+        prop_assert_eq!(sw.pipeline(), &intended);
+        let once = sw.pipeline().clone();
+        // Redeliver everything, reversed: acks replay, state is untouched.
+        for m in msgs.iter().rev() {
+            let ack = sw.deliver(m);
+            prop_assert!(ack.result.is_ok());
+        }
+        prop_assert_eq!(sw.pipeline(), &once);
+    }
+}
+
+/// CI fault-matrix entry point: a fixed fault storm whose seed comes from
+/// `MAPRO_FAULT_SEED` (default 2019). Two runs under one seed must produce
+/// byte-identical channel statistics and final state — the determinism
+/// that makes every fault bug in this suite replayable.
+#[test]
+fn fault_storm_is_deterministic_and_converges() {
+    let seed: u64 = std::env::var("MAPRO_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2019);
+    let run = |seed: u64| {
+        let g = Gwlb::random(4, 2, 7);
+        let goto = g.normalized(JoinKind::Goto).unwrap();
+        let sw = LiveSwitch::eswitch(goto.clone()).unwrap();
+        let plan = FaultPlan {
+            p_drop: 0.3,
+            p_dup: 0.15,
+            p_reorder: 0.15,
+            restart_every: 40,
+            latency_ns: 10_000,
+            seed,
+        };
+        let mut ch = FaultyChannel::new(sw, plan);
+        let mut ctl = Controller::new(goto, DriverConfig::default());
+        for k in 0..10usize {
+            let intended = ctl.intended().clone();
+            let plan = g.move_service_port(&intended, k % 4, 13_000 + k as u16);
+            let _ = ctl.apply_plan(&mut ch, &plan);
+            let _ = ctl.reconcile(&mut ch);
+        }
+        for _ in 0..4 {
+            if ch.endpoint().pipeline() == ctl.intended() {
+                break;
+            }
+            let _ = ctl.reconcile(&mut ch);
+        }
+        assert_eq!(
+            ch.endpoint().pipeline(),
+            ctl.intended(),
+            "storm under seed {seed} must reconcile"
+        );
+        (
+            ch.stats().clone(),
+            ch.now_ns(),
+            ch.endpoint().pipeline().clone(),
+        )
+    };
+    let a = run(seed);
+    let b = run(seed);
+    assert_eq!(a.0, b.0, "channel stats must replay exactly");
+    assert_eq!(a.1, b.1, "virtual clock must replay exactly");
+    assert_eq!(a.2, b.2, "final state must replay exactly");
+}

@@ -1,0 +1,68 @@
+//! E14 acceptance: the fault sweep is deterministic under a fixed seed,
+//! reconciliation converges in every cell, and the goto-normalized form's
+//! goodput advantage over the universal table *grows* with the fault rate
+//! (update amplification × fault probability → retries → stalls).
+
+use mapro_bench::{faults, BenchConfig};
+
+const RATES: [f64; 4] = [0.0, 0.1, 0.2, 0.3];
+
+#[test]
+fn fault_sweep_deterministic_under_fixed_seed() {
+    let cfg = BenchConfig::default();
+    let a = faults(&cfg, &RATES);
+    let b = faults(&cfg, &RATES);
+    assert_eq!(a, b, "same seed must reproduce the sweep bit-for-bit");
+}
+
+#[test]
+fn normalized_goodput_gap_grows_with_fault_rate() {
+    let cfg = BenchConfig::default();
+    let rows = faults(&cfg, &RATES);
+    assert_eq!(rows.len(), 2 * RATES.len());
+    let mut prev_gap = f64::NEG_INFINITY;
+    for pair in rows.chunks(2) {
+        let (uni, goto) = (&pair[0], &pair[1]);
+        assert_eq!(uni.repr, "universal");
+        assert_eq!(goto.repr, "goto");
+        assert_eq!(uni.fault_rate, goto.fault_rate);
+        assert!(
+            goto.goodput_mpps >= uni.goodput_mpps,
+            "at p={} goto {} must beat universal {}",
+            uni.fault_rate,
+            goto.goodput_mpps,
+            uni.goodput_mpps
+        );
+        let gap = goto.goodput_mpps - uni.goodput_mpps;
+        assert!(
+            gap > prev_gap,
+            "gap must grow with the fault rate: {gap} after {prev_gap} at p={}",
+            uni.fault_rate
+        );
+        prev_gap = gap;
+    }
+}
+
+#[test]
+fn every_cell_reconciles_and_restarts_fire() {
+    let cfg = BenchConfig::default();
+    let rows = faults(&cfg, &RATES);
+    for r in &rows {
+        assert!(
+            r.reconciled,
+            "switch must converge to intended state at p={} ({})",
+            r.fault_rate, r.repr
+        );
+        assert!(
+            r.restarts > 0,
+            "the sweep must actually inject restarts at p={} ({})",
+            r.fault_rate,
+            r.repr
+        );
+    }
+    // Faults must be visibly at work: the lossy cells cost retries.
+    assert!(rows
+        .iter()
+        .filter(|r| r.fault_rate > 0.0)
+        .all(|r| r.retries > 0));
+}
