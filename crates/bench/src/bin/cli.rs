@@ -20,6 +20,11 @@
 //! Every subcommand also accepts `--metrics [out.json]`: after the command
 //! completes, the observability registry is dumped as JSON to the given
 //! file, or as a text table to stderr when no path follows.
+//!
+//! Every subcommand also accepts `--threads N`, sizing the work-stealing
+//! pool used by equivalence checking and FD mining (precedence:
+//! `--threads` > `MAPRO_THREADS` > available cores). Output is
+//! byte-identical at any thread count.
 
 use mapro_core::{display, export, Pipeline};
 use mapro_normalize::{flatten, normalize, JoinKind, NormalizeOpts, Target};
@@ -74,6 +79,25 @@ fn main() {
         .iter()
         .position(|a| a == "--metrics")
         .map(|i| args.get(i + 1).filter(|v| !v.starts_with('-')).cloned());
+
+    // Pool sizing: --threads beats MAPRO_THREADS beats auto-detection. A
+    // malformed value in either place is a usage error, not a silent default.
+    if has("--threads") {
+        let Some(v) = flag("--threads") else {
+            eprintln!("mapro: missing value for --threads");
+            exit(2)
+        };
+        match mapro_par::parse_threads(&v) {
+            Ok(n) => mapro_par::set_threads(n),
+            Err(e) => {
+                eprintln!("mapro: {e}");
+                exit(2)
+            }
+        }
+    } else if let Err(e) = mapro_par::env_threads() {
+        eprintln!("mapro: {e}");
+        exit(2)
+    }
 
     match cmd.as_str() {
         "demo" => {

@@ -1,19 +1,21 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults]
-//!       [--packets N] [--services N] [--backends M] [--seed S] [--json]
-//!       [--metrics [out.json]]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale]
+//!       [--packets N] [--services N] [--backends M] [--seed S] [--threads N]
+//!       [--json] [--metrics [out.json]]
 //! ```
 //!
 //! Output is paper-shaped text (or JSON with `--json`) suitable for
 //! pasting into EXPERIMENTS.md. `--metrics` dumps the observability
 //! registry after the run: as JSON to the given file, or as a text table
-//! to stderr when no path follows.
+//! to stderr when no path follows. `--threads` sizes the work-stealing
+//! pool (precedence: `--threads` > `MAPRO_THREADS` > available cores);
+//! results are byte-identical at any thread count.
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults] [--packets N] [--services N] [--backends M] [--seed S] [--json] [--metrics [out.json]]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -58,6 +60,10 @@ fn parse_args() -> Result<Args, String> {
             "--services" => args.cfg.services = num(&mut it, "--services")?,
             "--backends" => args.cfg.backends = num(&mut it, "--backends")?,
             "--seed" => args.cfg.seed = num(&mut it, "--seed")?,
+            "--threads" => {
+                let v = take(&mut it, "--threads")?;
+                mapro_par::set_threads(mapro_par::parse_threads(&v)?);
+            }
             "--json" => args.json = true,
             "--metrics" => {
                 args.metrics = Some(match it.peek() {
@@ -95,6 +101,7 @@ const EXPERIMENTS: &[&str] = &[
     "scaling",
     "joins",
     "faults",
+    "parscale",
 ];
 
 fn main() {
@@ -104,6 +111,15 @@ fn main() {
         eprintln!("usage: {USAGE}");
         std::process::exit(2);
     });
+    // Surface a malformed MAPRO_THREADS as a usage error rather than
+    // silently ignoring it (an explicit --threads takes precedence).
+    if mapro_par::thread_override() == 0 {
+        if let Err(e) = mapro_par::env_threads() {
+            eprintln!("repro: {e}");
+            eprintln!("usage: {USAGE}");
+            std::process::exit(2);
+        }
+    }
     let all = args.experiment == "all";
     if !all && !EXPERIMENTS.contains(&args.experiment.as_str()) {
         eprintln!(
@@ -118,7 +134,9 @@ fn main() {
             EXPERIMENTS.contains(&name),
             "want({name:?}) not in EXPERIMENTS — add it to the list"
         );
-        all || args.experiment == name
+        // parscale repeats every hot path at 4 pool sizes; it is a
+        // machine benchmark, not a paper artifact, so `all` skips it.
+        (all && name != "parscale") || args.experiment == name
     };
 
     if want("fig1") {
@@ -379,6 +397,30 @@ fn main() {
                     r.stall_ms,
                     r.goodput_mpps,
                     if r.reconciled { "" } else { "  NOT-CONVERGED" }
+                );
+            }
+        }
+    }
+    if want("parscale") {
+        println!(
+            "\n############ E15 — thread scaling of the parallel executor (extension) ############"
+        );
+        let rep = parscale(&args.cfg, &[1, 2, 4, 8]);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+        } else {
+            println!(
+                "host cores: {} (speedup saturates there; higher thread rows measure oversubscription)",
+                rep.host_cores
+            );
+            println!(
+                "{:<8} {:>8} {:>12} {:>9}  digest",
+                "workload", "threads", "wall [ms]", "speedup"
+            );
+            for r in &rep.rows {
+                println!(
+                    "{:<8} {:>8} {:>12.2} {:>8.2}x  {}",
+                    r.workload, r.threads, r.wall_ms, r.speedup, r.digest
                 );
             }
         }

@@ -824,6 +824,184 @@ pub fn faults(cfg: &BenchConfig, rates: &[f64]) -> Vec<FaultRow> {
     out
 }
 
+// ---------------------------------------------------------------- E15 ---
+
+/// One cell of the thread-scaling sweep (E15, extension).
+#[derive(Debug, Clone, Serialize)]
+pub struct ParScaleRow {
+    /// Which parallelized hot path was measured.
+    pub workload: String,
+    /// Thread count the pool ran with.
+    pub threads: usize,
+    /// Best-of-reps wall clock \[ms\].
+    pub wall_ms: f64,
+    /// Single-thread wall clock over this run's wall clock.
+    pub speedup: f64,
+    /// Result fingerprint — must be identical at every thread count.
+    pub digest: String,
+}
+
+/// The E15 report. `host_cores` matters for reading the numbers: speedup
+/// saturates at the physical core count no matter how many pool threads
+/// are requested, so an 8-thread row on a 2-core host is an oversubscription
+/// data point, not a scalability ceiling.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParScaleReport {
+    /// `available_parallelism` of the machine that produced the numbers.
+    pub host_cores: usize,
+    /// Workload seed (fixed: the sweep is reproducible end to end).
+    pub seed: u64,
+    /// Packets in the replay trace.
+    pub packets: usize,
+    /// One row per workload × thread count.
+    pub rows: Vec<ParScaleRow>,
+}
+
+/// Extension experiment E15: wall-clock scaling of the three parallelized
+/// hot paths — exhaustive equivalence checking, FD mining, and modeled
+/// packet replay — across pool sizes, on the E5 GWLB workload.
+///
+/// Every row carries a digest of the computed *result*; the sweep panics
+/// if any digest differs across thread counts, so the benchmark doubles
+/// as an end-to-end determinism check (DESIGN.md §9).
+///
+/// # Panics
+/// Panics if a workload's result differs between thread counts — that is
+/// a determinism bug in the executor, never an acceptable outcome.
+pub fn parscale(cfg: &BenchConfig, threads: &[usize]) -> ParScaleReport {
+    use mapro_core::{Catalog, EquivConfig, EquivOutcome, Table, Value};
+    use std::time::Instant;
+
+    // Equivalence workload: a 3× scaled-up GWLB so the domain product
+    // spans many scan chunks and the universal table's linear lookup is
+    // expensive per packet. (The E5-sized instance finishes in one chunk.)
+    let g_eq = Gwlb::random(cfg.services * 3, cfg.backends * 2, cfg.seed);
+    let goto_eq = g_eq.normalized(JoinKind::Goto).expect("decomposes");
+
+    // Replay workload: the E5 pipeline under a longer trace, so per-shard
+    // replay work dwarfs the per-shard classifier compile.
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let trace = generate(
+        &g.universal.catalog,
+        &g.trace_spec(),
+        cfg.packets.max(200_000),
+        cfg.seed,
+    );
+
+    // Mining workload: a fixed-seed relation of low-cardinality columns —
+    // no small attribute subset is a key, so the lattice search stays deep
+    // and partition refinement dominates the wall clock.
+    const MINE_COLS: usize = 10;
+    const MINE_ROWS: usize = 12_000;
+    let mut mine_cat = Catalog::new();
+    let cols: Vec<_> = (0..MINE_COLS)
+        .map(|i| mine_cat.field(format!("c{i}"), 16))
+        .collect();
+    let mut relation = Table::new("bench", cols.clone(), vec![]);
+    let mut s = cfg.seed | 1;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for _ in 0..MINE_ROWS {
+        let row: Vec<Value> = (0..MINE_COLS)
+            .map(|i| Value::Int(rng() % (3 + i as u64)))
+            .collect();
+        relation.row(row, vec![]);
+    }
+
+    let equiv_cfg = EquivConfig::default();
+    type Work<'a> = (&'a str, Box<dyn Fn() -> String + 'a>);
+    let workloads: Vec<Work> = vec![
+        ("equiv", {
+            let (l, r, c) = (&g_eq.universal, &goto_eq, &equiv_cfg);
+            Box::new(move || match mapro_core::check_equivalent(l, r, c) {
+                Ok(EquivOutcome::Equivalent {
+                    packets_checked,
+                    exhaustive,
+                }) => format!("eq:{packets_checked}:{exhaustive}"),
+                Ok(EquivOutcome::Counterexample(cx)) => format!("cx:{:?}", cx.fields),
+                Err(e) => format!("err:{e}"),
+            })
+        }),
+        ("mine", {
+            let (t, c) = (&relation, &mine_cat);
+            Box::new(move || {
+                let m = mapro_fd::mine_fds(t, c);
+                format!("fds:{}:{}", m.fds.len(), m.distinct_rows)
+            })
+        }),
+        ("replay", {
+            let (p, t) = (&g.universal, &trace);
+            Box::new(move || {
+                let rep = mapro_switch::run_modeled_parallel(
+                    &|| Box::new(OvsSim::compile(p)) as Box<dyn Switch + Send>,
+                    t,
+                    8,
+                );
+                format!(
+                    "mpps:{:.9}:lat:{:.9}:{:.9}:{:.9}:drop:{}",
+                    rep.mpps, rep.latency_us[0], rep.latency_us[1], rep.latency_us[2], rep.dropped
+                )
+            })
+        }),
+    ];
+
+    const REPS: usize = 3;
+    let saved = mapro_par::thread_override();
+    // Untimed warmup: the first-ever run of each workload pays page-fault
+    // and allocator warmup that would otherwise bias the first thread
+    // count measured (and make later ones look superlinear).
+    mapro_par::set_threads(1);
+    for (_, run) in &workloads {
+        let _ = run();
+    }
+    let mut rows = Vec::new();
+    let mut base_ms: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+    let mut digests: std::collections::HashMap<&str, String> = std::collections::HashMap::new();
+    for &t in threads {
+        mapro_par::set_threads(t);
+        for (name, run) in &workloads {
+            let mut best = f64::INFINITY;
+            let mut digest = String::new();
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                digest = run();
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            match digests.get(name) {
+                None => {
+                    digests.insert(name, digest.clone());
+                }
+                Some(d) => assert_eq!(
+                    *d, digest,
+                    "parscale: {name} result diverged at {t} threads — determinism bug"
+                ),
+            }
+            let base = *base_ms.entry(name).or_insert(best);
+            rows.push(ParScaleRow {
+                workload: (*name).to_owned(),
+                threads: t,
+                wall_ms: best,
+                speedup: base / best,
+                digest,
+            });
+        }
+    }
+    mapro_par::set_threads(saved);
+
+    ParScaleReport {
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        seed: cfg.seed,
+        packets: trace.len(),
+        rows,
+    }
+}
+
 /// Run a switch over the trace and return the report — helper used by
 /// criterion benches.
 pub fn measure(switch: &mut dyn Switch, cfg: &BenchConfig) -> mapro_switch::RunReport {

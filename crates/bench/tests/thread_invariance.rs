@@ -1,0 +1,92 @@
+//! End-to-end thread invariance: the binaries must produce byte-identical
+//! output no matter how the pool is sized, and must reject malformed
+//! thread counts as usage errors (exit 2).
+//!
+//! This drives the real `MAPRO_THREADS` fallback path — the same contract
+//! the CI thread-matrix job enforces by diffing `repro` JSON across
+//! thread counts.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn repro_json_is_byte_identical_across_thread_counts() {
+    // fig5 exercises check_equivalent (the pool's chunked scan); table1
+    // replays traces. Small --packets keeps the matrix cheap.
+    for exp in ["fig5", "table1"] {
+        let mut outputs = Vec::new();
+        for threads in ["1", "2", "8"] {
+            let out = repro()
+                .args(["--experiment", exp, "--packets", "2000", "--json"])
+                .env("MAPRO_THREADS", threads)
+                .output()
+                .expect("repro runs");
+            assert!(
+                out.status.success(),
+                "{exp} at {threads} threads: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            outputs.push(out.stdout);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "{exp}: output differs between 1 and 2 threads"
+        );
+        assert_eq!(
+            outputs[0], outputs[2],
+            "{exp}: output differs between 1 and 8 threads"
+        );
+    }
+}
+
+#[test]
+fn malformed_thread_counts_are_usage_errors() {
+    for args in [
+        vec!["--threads", "0"],
+        vec!["--threads", "abc"],
+        vec!["--threads"],
+    ] {
+        let out = repro().args(&args).output().expect("repro runs");
+        assert_eq!(out.status.code(), Some(2), "args: {args:?}");
+    }
+    let out = repro()
+        .args(["--experiment", "fig1"])
+        .env("MAPRO_THREADS", "banana")
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "bad MAPRO_THREADS must exit 2");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("MAPRO_THREADS"), "{err}");
+}
+
+#[test]
+fn explicit_threads_flag_beats_bad_environment() {
+    let out = repro()
+        .args(["--experiment", "fig1", "--threads", "2"])
+        .env("MAPRO_THREADS", "banana")
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "--threads must take precedence over MAPRO_THREADS: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn mapro_cli_accepts_and_validates_threads() {
+    let mapro = env!("CARGO_BIN_EXE_mapro");
+    let ok = Command::new(mapro)
+        .args(["demo", "fig1", "--threads", "2"])
+        .output()
+        .expect("mapro runs");
+    assert!(ok.status.success());
+    let bad = Command::new(mapro)
+        .args(["demo", "fig1", "--threads", "zero"])
+        .output()
+        .expect("mapro runs");
+    assert_eq!(bad.status.code(), Some(2));
+}

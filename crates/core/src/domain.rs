@@ -114,6 +114,42 @@ impl Domain {
             proto,
             idx: vec![0; self.fields.len()],
             done: self.fields.iter().any(|(_, v)| v.is_empty()),
+            remaining: None,
+        }
+    }
+
+    /// Iterate `len` packets of the Cartesian product starting at product
+    /// index `start` (mixed-radix, last field varying fastest — the same
+    /// order [`Domain::packets`] enumerates). This is the random-access
+    /// entry point the parallel equivalence checker uses to hand disjoint
+    /// index ranges to pool workers; concatenating the ranges
+    /// `[0,c), [c,2c), …` reproduces the serial enumeration exactly.
+    pub fn packets_range<'a>(
+        &'a self,
+        proto: &'a Packet,
+        start: u128,
+        len: usize,
+    ) -> DomainIter<'a> {
+        let size = self.product_size();
+        let mut idx = vec![0usize; self.fields.len()];
+        let done = start >= size || len == 0 || self.fields.iter().any(|(_, v)| v.is_empty());
+        if !done {
+            // Mixed-radix decode of `start`: the last field is the least
+            // significant digit (the iterator's odometer increments it
+            // first).
+            let mut rem = start;
+            for k in (0..self.fields.len()).rev() {
+                let base = self.fields[k].1.len() as u128;
+                idx[k] = (rem % base) as usize;
+                rem /= base;
+            }
+        }
+        DomainIter {
+            domain: self,
+            proto,
+            idx,
+            done,
+            remaining: Some(len),
         }
     }
 
@@ -141,6 +177,8 @@ pub struct DomainIter<'a> {
     proto: &'a Packet,
     idx: Vec<usize>,
     done: bool,
+    /// Packet budget for range iteration (`None` = the full product).
+    remaining: Option<usize>,
 }
 
 impl Iterator for DomainIter<'_> {
@@ -149,6 +187,13 @@ impl Iterator for DomainIter<'_> {
     fn next(&mut self) -> Option<Packet> {
         if self.done {
             return None;
+        }
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                self.done = true;
+                return None;
+            }
+            *rem -= 1;
         }
         let mut p = self.proto.clone();
         for (k, (attr, vs)) in self.domain.fields.iter().enumerate() {
@@ -276,6 +321,36 @@ mod tests {
         assert_eq!(a, b);
         let c = d.sample(&proto, 10, 43);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_iteration_tiles_the_product() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let g = c.field("g", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f, g], vec![out]);
+        t.row(vec![Value::Int(1), Value::Int(2)], vec![Value::sym("p")]);
+        t.row(vec![Value::Int(7), Value::Int(9)], vec![Value::sym("p")]);
+        let p = Pipeline::single(c, t);
+        let d = Domain::from_pipelines(&[&p]).unwrap();
+        let proto = Packet::zero(&p.catalog);
+        let serial: Vec<_> = d.packets(&proto).collect();
+        let n = serial.len();
+        assert_eq!(n as u128, d.product_size());
+        // Any chunking concatenates back to the serial enumeration.
+        for chunk in [1usize, 2, 3, n, n + 5] {
+            let mut tiled = Vec::new();
+            let mut start = 0usize;
+            while start < n {
+                tiled.extend(d.packets_range(&proto, start as u128, chunk));
+                start += chunk;
+            }
+            assert_eq!(tiled, serial, "chunk={chunk}");
+        }
+        // Out-of-range start and zero budget are empty.
+        assert_eq!(d.packets_range(&proto, n as u128, 4).count(), 0);
+        assert_eq!(d.packets_range(&proto, 0, 0).count(), 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::attr::AttrId;
 use crate::domain::{Domain, DomainError};
 use crate::pipeline::{EvalError, Packet, Pipeline, Verdict};
+use mapro_par::{CancelToken, Pool};
 
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,12 +114,35 @@ impl Default for EquivConfig {
     }
 }
 
+/// A chunk scan's terminating event: the first counterexample or the
+/// first evaluation error in that chunk's index range. Combined across
+/// chunks by lowest-chunk-wins, which reproduces serial domain order.
+enum ChunkEvent {
+    Cx(Box<Counterexample>),
+    Fail(EquivError),
+}
+
+/// How many product indices one pool task scans. Fixed — never derived
+/// from the thread count — so the chunk grid (and therefore which packet
+/// each task sees) is identical at any pool size.
+const EQUIV_CHUNK: usize = 4096;
+
+/// How often a chunk scan polls for supersession/cancellation.
+const POLL_EVERY: usize = 512;
+
 /// Check whether two pipelines are observationally equivalent on all packets
 /// of their joint derived domain.
 ///
 /// Completeness holds when the check is exhaustive (see
 /// [`EquivOutcome::Equivalent::exhaustive`]) and both pipelines draw match
 /// predicates from the interval-shaped fragment.
+///
+/// The scan runs on the global [`Pool`] (sized by `--threads` /
+/// `MAPRO_THREADS`, defaulting to all cores): the domain product is split
+/// into fixed index ranges, ranges are checked in parallel with
+/// cancel-on-counterexample, and the reported counterexample is always the
+/// **first in domain enumeration order** — output is byte-identical at any
+/// thread count.
 pub fn check_equivalent(
     left: &Pipeline,
     right: &Pipeline,
@@ -165,30 +189,78 @@ pub fn check_equivalent(
         Ok(None)
     };
 
+    mapro_obs::counter!("equiv.checks").inc();
+    let pool = Pool::current();
     let size = domain.product_size();
-    if size <= cfg.max_exhaustive {
-        let mut n = 0usize;
-        for pkt in domain.packets(&proto_l) {
-            n += 1;
-            if let Some(cx) = check_one(&pkt)? {
-                return Ok(EquivOutcome::Counterexample(Box::new(cx)));
+    if size <= cfg.max_exhaustive && size <= usize::MAX as u128 {
+        let n = size as usize;
+        mapro_obs::counter!("equiv.packets").add(n as u64);
+        let chunks = mapro_par::chunk_ranges(n, EQUIV_CHUNK);
+        let hit = pool.find_first(chunks.len(), &CancelToken::new(), |ci, ctl| {
+            let _t = mapro_obs::time!("equiv.chunk_ns");
+            let range = &chunks[ci];
+            let mut scanned = 0usize;
+            for pkt in domain.packets_range(&proto_l, range.start as u128, range.len()) {
+                scanned += 1;
+                if scanned.is_multiple_of(POLL_EVERY) && ctl.superseded(ci) {
+                    return None; // a lower-indexed chunk already hit
+                }
+                match check_one(&pkt) {
+                    Ok(None) => {}
+                    Ok(Some(cx)) => return Some(ChunkEvent::Cx(Box::new(cx))),
+                    Err(e) => return Some(ChunkEvent::Fail(e)),
+                }
             }
+            None
+        });
+        match hit {
+            None => Ok(EquivOutcome::Equivalent {
+                packets_checked: n,
+                exhaustive: true,
+            }),
+            Some(ChunkEvent::Cx(cx)) => Ok(EquivOutcome::Counterexample(cx)),
+            Some(ChunkEvent::Fail(e)) => Err(e),
         }
-        Ok(EquivOutcome::Equivalent {
-            packets_checked: n,
-            exhaustive: true,
-        })
     } else {
+        // Deduplicate the drawn packets before checking: the splitmix64
+        // stream may repeat representatives (it *will* on small per-field
+        // domains), and duplicates both waste checking work and overstate
+        // `packets_checked`. First-occurrence order is kept so the
+        // reported counterexample matches the draw order at any thread
+        // count.
         let pkts = domain.sample(&proto_l, cfg.samples, cfg.seed);
-        for pkt in &pkts {
-            if let Some(cx) = check_one(pkt)? {
-                return Ok(EquivOutcome::Counterexample(Box::new(cx)));
+        let mut seen = std::collections::HashSet::with_capacity(pkts.len());
+        let pkts: Vec<Packet> = pkts
+            .into_iter()
+            .filter(|p| {
+                let key: Vec<u64> = domain.fields.iter().map(|(a, _)| p.get(*a)).collect();
+                seen.insert(key)
+            })
+            .collect();
+        mapro_obs::counter!("equiv.packets").add(pkts.len() as u64);
+        let chunks = mapro_par::chunk_ranges(pkts.len(), EQUIV_CHUNK);
+        let hit = pool.find_first(chunks.len(), &CancelToken::new(), |ci, ctl| {
+            let _t = mapro_obs::time!("equiv.chunk_ns");
+            for (off, pkt) in pkts[chunks[ci].clone()].iter().enumerate() {
+                if off % POLL_EVERY == POLL_EVERY - 1 && ctl.superseded(ci) {
+                    return None;
+                }
+                match check_one(pkt) {
+                    Ok(None) => {}
+                    Ok(Some(cx)) => return Some(ChunkEvent::Cx(Box::new(cx))),
+                    Err(e) => return Some(ChunkEvent::Fail(e)),
+                }
             }
+            None
+        });
+        match hit {
+            None => Ok(EquivOutcome::Equivalent {
+                packets_checked: pkts.len(),
+                exhaustive: false,
+            }),
+            Some(ChunkEvent::Cx(cx)) => Ok(EquivOutcome::Counterexample(cx)),
+            Some(ChunkEvent::Fail(e)) => Err(e),
         }
-        Ok(EquivOutcome::Equivalent {
-            packets_checked: pkts.len(),
-            exhaustive: false,
-        })
     }
 }
 
@@ -318,9 +390,43 @@ mod tests {
                 packets_checked,
             } => {
                 assert!(!exhaustive);
-                assert_eq!(packets_checked, 50);
+                // The derived domain has 3 representatives ({0,1,2}); 50
+                // draws collapse to the distinct packets actually checked.
+                assert_eq!(packets_checked, 3);
             }
             _ => panic!(),
         }
+    }
+
+    /// Regression: sampled draws are deduplicated before checking, so
+    /// `packets_checked` reports distinct packets, never the raw draw
+    /// count (which used to overstate coverage on small domains).
+    #[test]
+    fn sampling_deduplicates_drawn_packets() {
+        let a = out_table(&[(1, "x"), (2, "y")]);
+        let b = out_table(&[(1, "x"), (2, "y")]);
+        // Domain of f: {0, 1, 2, 3} — 4 distinct representatives.
+        let cfg = EquivConfig {
+            max_exhaustive: 0,
+            samples: 10_000,
+            seed: 99,
+        };
+        match check_equivalent(&a, &b, &cfg).unwrap() {
+            EquivOutcome::Equivalent {
+                exhaustive,
+                packets_checked,
+            } => {
+                assert!(!exhaustive);
+                assert!(
+                    packets_checked <= 4,
+                    "only distinct packets count (got {packets_checked})"
+                );
+                assert_eq!(packets_checked, 4, "10k draws surely cover all 4");
+            }
+            _ => panic!("expected equivalence"),
+        }
+        // Dedup must not mask a counterexample reachable by sampling.
+        let c = out_table(&[(1, "x"), (2, "z")]);
+        assert!(!check_equivalent(&a, &c, &cfg).unwrap().is_equivalent());
     }
 }

@@ -1,0 +1,84 @@
+//! Thread-count invariance of `check_equivalent` (DESIGN.md §9).
+//!
+//! The parallel executor must be *unobservable*: the outcome — including
+//! which counterexample is reported when several exist — has to be
+//! identical at every pool size. The single-thread run takes the inline
+//! path (literally the serial scan), so comparing the multi-thread runs
+//! against it proves "same answer as serial enumeration".
+//!
+//! One `#[test]` drives every scenario: [`mapro_par::set_threads`] is
+//! process-global, so scenarios must not run concurrently from the test
+//! harness's worker threads.
+
+use mapro_core::{
+    check_equivalent, ActionSem, Catalog, EquivConfig, EquivOutcome, Pipeline, Table, Value,
+};
+
+/// Two-field pipeline whose domain product (~10⁴ packets) spans several
+/// scan chunks. Rows `i >= split` output a different port than in
+/// [`reference`], yielding dozens of counterexamples scattered across
+/// chunks — the parallel search must still report the domain-order first.
+fn two_field(n: u64, split: u64) -> Pipeline {
+    let mut c = Catalog::new();
+    let f = c.field("f", 16);
+    let g = c.field("g", 16);
+    let out = c.action("out", ActionSem::Output);
+    let mut t = Table::new("t", vec![f, g], vec![out]);
+    for i in 0..n {
+        let port = if i < split { "left" } else { "right" };
+        t.row(vec![Value::Int(i), Value::Int(i)], vec![Value::sym(port)]);
+    }
+    Pipeline::single(c, t)
+}
+
+#[test]
+fn equivalence_outcome_is_identical_at_any_thread_count() {
+    const N: u64 = 100; // domain product ≈ 100² packets, several chunks
+    let a = two_field(N, N); // every row outputs "left"
+    let b = two_field(N, 30); // rows 30.. output "right": many counterexamples
+    let exhaustive = EquivConfig::default();
+    let sampling = EquivConfig {
+        max_exhaustive: 0,
+        samples: 5_000,
+        seed: 41,
+    };
+
+    let scenarios: Vec<(&str, &Pipeline, &Pipeline, &EquivConfig)> = vec![
+        ("exhaustive/counterexample", &a, &b, &exhaustive),
+        ("exhaustive/equivalent", &a, &a, &exhaustive),
+        ("sampling/counterexample", &a, &b, &sampling),
+        ("sampling/equivalent", &a, &a, &sampling),
+    ];
+
+    for (name, l, r, cfg) in scenarios {
+        let mut reference: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            mapro_par::set_threads(threads);
+            let got = format!("{:?}", check_equivalent(l, r, cfg));
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(
+                    want, &got,
+                    "{name}: outcome changed between 1 and {threads} threads"
+                ),
+            }
+        }
+        mapro_par::set_threads(0);
+    }
+
+    // And the reported counterexample is the *serial-order first*: rows
+    // 0..29 agree, row 30 is the first domain-order packet that differs.
+    mapro_par::set_threads(8);
+    match check_equivalent(&a, &b, &exhaustive).unwrap() {
+        EquivOutcome::Counterexample(cx) => {
+            let vals: Vec<u64> = cx.fields.iter().map(|(_, v)| *v).collect();
+            assert_eq!(
+                vals,
+                vec![30, 30],
+                "parallel search must report the first counterexample in domain order"
+            );
+        }
+        other => panic!("expected a counterexample, got {other:?}"),
+    }
+    mapro_par::set_threads(0);
+}

@@ -1,0 +1,108 @@
+//! Cancellation semantics of the work-stealing pool: cancelling a run
+//! must never deadlock or lose a worker (no lost wakeups — every worker
+//! observes the flag and drains), must skip the remaining task bodies,
+//! and must still hand back everything produced before the cancel.
+
+use mapro_par::{CancelToken, Pool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+#[test]
+fn cancel_drains_all_workers_promptly() {
+    for threads in [1, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        let cancel = CancelToken::new();
+        let executed = AtomicUsize::new(0);
+        let start = Instant::now();
+        let (out, stats) = pool.run_tasks_stats(
+            10_000,
+            &cancel,
+            || (),
+            |_, i, _| {
+                // Task 3 requests early exit; everything else is trivial.
+                if i == 3 {
+                    cancel.cancel();
+                }
+                executed.fetch_add(1, Ordering::Relaxed);
+                Some(i)
+            },
+        );
+        // The run terminated (this line being reached is the no-deadlock
+        // assertion) and did so by draining, not by finishing everything.
+        let ran = executed.load(Ordering::Relaxed);
+        assert!(ran >= 1, "threads={threads}: the cancelling task ran");
+        assert!(
+            ran < 10_000,
+            "threads={threads}: cancellation skipped remaining work (ran {ran})"
+        );
+        assert_eq!(stats.tasks_run, ran);
+        assert_eq!(stats.tasks_run + stats.tasks_skipped, 10_000);
+        // Results produced before the cancel are preserved, in order.
+        assert!(out.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "drain must be prompt"
+        );
+    }
+}
+
+#[test]
+fn cancel_before_run_executes_nothing() {
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let (out, stats) = Pool::new(4).run_tasks_stats(500, &cancel, || (), |_, i, _| Some(i));
+    assert!(out.is_empty());
+    assert_eq!(stats.tasks_run, 0);
+    assert_eq!(stats.tasks_skipped, 500);
+}
+
+#[test]
+fn long_task_bodies_can_poll_cancellation() {
+    let pool = Pool::new(2);
+    let cancel = CancelToken::new();
+    let (out, _) = pool.run_tasks_stats(
+        2,
+        &cancel,
+        || (),
+        |_, i, ctl| {
+            if i == 0 {
+                cancel.cancel();
+                return Some(0usize);
+            }
+            // The long body observes the flag cooperatively and bails.
+            for step in 0..1_000_000usize {
+                if ctl.is_cancelled() {
+                    return None;
+                }
+                std::hint::black_box(step);
+                std::thread::sleep(Duration::from_micros(10));
+            }
+            Some(usize::MAX)
+        },
+    );
+    // Only the cancelling task's result may appear once the flag is seen.
+    assert!(out.iter().all(|(_, r)| *r != usize::MAX));
+}
+
+#[test]
+fn find_first_supersession_cancels_higher_tasks() {
+    // A hit at task 2 must prevent (or stop) tasks far to its right; the
+    // winner must be the hit of the lowest-indexed task at any pool size.
+    for threads in [1, 2, 8] {
+        let pool = Pool::new(threads);
+        let bodies = AtomicUsize::new(0);
+        let got = pool.find_first(5_000, &CancelToken::new(), |i, ctl| {
+            bodies.fetch_add(1, Ordering::Relaxed);
+            // Simulate a scan that polls for supersession midway.
+            if ctl.superseded(i) {
+                return None;
+            }
+            (i == 2 || i >= 10).then_some(i)
+        });
+        assert_eq!(got, Some(2), "threads={threads}");
+        assert!(
+            bodies.load(Ordering::Relaxed) <= 5_000,
+            "threads={threads}: no task runs twice"
+        );
+    }
+}

@@ -80,13 +80,33 @@ pub fn run_modeled(switch: &mut dyn Switch, trace: &Trace) -> RunReport {
     }
 }
 
+/// Per-shard replay statistics, merged deterministically in shard order.
+struct ShardStats {
+    packets: usize,
+    service_ns: f64,
+    latencies_us: Vec<f64>,
+    dropped: usize,
+    lookups: usize,
+    slow_path: usize,
+}
+
 /// Multi-worker modeled replay: shard the trace by flow across `workers`
 /// independent switch instances (per-core datapath threads with RSS-style
 /// flow affinity, as OVS/ESwitch deploy on multi-queue NICs) and aggregate.
 ///
-/// Aggregate throughput is the sum of per-worker rates (workers run in
-/// parallel); latency quartiles are computed over all packets. Flow
-/// sharding preserves per-flow cache locality, so the OVS model's
+/// Shards execute on the global [`mapro_par::Pool`] (sized by `--threads`
+/// / `MAPRO_THREADS`): each pool task compiles the shard's switch — and
+/// thus its classifiers — **once** and reuses it for every packet of the
+/// shard. Results come back through the pool's ordered reduction, so the
+/// latency population is assembled in shard order and the report is
+/// bit-identical at any thread count. Note the *model* keeps `workers`
+/// shards regardless of how many OS threads replay them: `workers` is a
+/// property of the simulated deployment (per-queue datapath threads),
+/// thread count merely changes how fast we compute it.
+///
+/// Aggregate throughput is the sum of per-shard rates (modeled workers
+/// run concurrently); latency quartiles are computed over all packets.
+/// Flow sharding preserves per-flow cache locality, so the OVS model's
 /// megaflow caches behave as per-core caches do in the real datapath.
 pub fn run_modeled_parallel(
     factory: &(dyn Fn() -> Box<dyn Switch + Send> + Sync),
@@ -99,50 +119,54 @@ pub fn run_modeled_parallel(
     for (flow, pkt) in &trace.packets {
         shards[flow % workers].push(pkt);
     }
-    let results = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for shard in shards.iter().filter(|s| !s.is_empty()) {
-            let results = &results;
-            scope.spawn(move || {
-                let mut sw = factory();
-                let qf = sw.queue_factor();
-                let mut service = 0.0f64;
-                let mut lat = Vec::with_capacity(shard.len());
-                let mut dropped = 0usize;
-                let mut lookups = 0usize;
-                let mut slow = 0usize;
-                for pkt in shard {
-                    let r = sw.process(pkt);
-                    service += r.service_ns;
-                    lat.push(r.latency_ns * qf / 1000.0);
-                    if r.dropped {
-                        dropped += 1;
-                    }
-                    lookups += r.lookups;
-                    if r.slow_path {
-                        slow += 1;
-                    }
-                }
-                results
-                    .lock()
-                    .unwrap()
-                    .push((shard.len(), service, lat, dropped, lookups, slow));
-            });
+    let pool = mapro_par::Pool::current();
+    let results: Vec<ShardStats> = pool.map_ordered(&shards, |_, shard| {
+        let _t = mapro_obs::time!("switch.replay.shard_ns");
+        let mut stats = ShardStats {
+            packets: shard.len(),
+            service_ns: 0.0,
+            latencies_us: Vec::with_capacity(shard.len()),
+            dropped: 0,
+            lookups: 0,
+            slow_path: 0,
+        };
+        if shard.is_empty() {
+            return stats;
         }
+        // Per-shard classifier reuse: one compiled switch per shard.
+        let mut sw = factory();
+        let qf = sw.queue_factor();
+        for pkt in shard {
+            let r = sw.process(pkt);
+            stats.service_ns += r.service_ns;
+            stats.latencies_us.push(r.latency_ns * qf / 1000.0);
+            if r.dropped {
+                stats.dropped += 1;
+            }
+            stats.lookups += r.lookups;
+            if r.slow_path {
+                stats.slow_path += 1;
+            }
+        }
+        stats
     });
 
-    let results = results.into_inner().unwrap();
+    // Deterministic merge: results arrive in shard order (ordered
+    // reduction), so the concatenated latency population — and with it
+    // every quartile — is independent of the executing thread count.
     let mut all_lat: Vec<f64> = Vec::with_capacity(trace.len());
     let mut mpps = 0.0f64;
     let mut dropped = 0usize;
     let mut lookups = 0usize;
     let mut slow = 0usize;
-    for (n, service, lat, d, l, s) in results {
-        mpps += n as f64 * 1000.0 / service; // workers run concurrently
-        all_lat.extend(lat);
-        dropped += d;
-        lookups += l;
-        slow += s;
+    for s in results {
+        if s.packets > 0 {
+            mpps += s.packets as f64 * 1000.0 / s.service_ns; // shards run concurrently
+        }
+        all_lat.extend(s.latencies_us);
+        dropped += s.dropped;
+        lookups += s.lookups;
+        slow += s.slow_path;
     }
     let latency_us = quartiles(&mut all_lat);
     RunReport {

@@ -28,6 +28,15 @@ done
 # so its JSON is bit-reproducible — keep the committed reference in sync.
 cp "$OUT/faults.json" BENCH_faults.json
 
+echo "== parallel executor scaling (E15) =="
+# Wall-clock scaling of the parallelized hot paths at 1/2/4/8 pool
+# threads. Timings are machine-dependent (read host_cores before judging
+# speedups); the digests are not — the sweep aborts if any result differs
+# across thread counts.
+cargo run --release -p mapro-bench --bin repro -- --experiment parscale --json \
+    | sed '1,/############/d' > "$OUT/parscale.json"
+cp "$OUT/parscale.json" BENCH_parallel.json
+
 echo "== benches =="
 cargo bench --workspace 2>&1 | tee "$OUT/bench_output.txt" | grep -E "^(table1|fig4|encoding|classifier|normalize)/" || true
 
