@@ -4,15 +4,23 @@
 //! with `mapro demo`). Subcommands:
 //!
 //! ```text
-//! mapro demo <fig1|gwlb|l3|vlan|sdx> [--services N --backends M --seed S] [--mat]
+//! mapro demo <fig1|gwlb|l3|vlan|sdx|enterprise> [--services N --backends M --seed S] [--mat]
 //! mapro convert <prog.json|prog.mat> [--mat]     # JSON ↔ text format
 //! mapro show <prog.json>                          # paper-figure rendering
 //! mapro analyze <prog.json>                       # per-table NF report
+//! mapro lint <prog.json> [--format text|json] [--deny warn] [-A|-W|-D <lint-id>]...
 //! mapro normalize <prog.json> [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf] [--verify]
 //! mapro flatten <prog.json>                       # denormalize to one table
 //! mapro check <a.json> <b.json>                   # semantic equivalence
 //! mapro export <prog.json> --format openflow|p4   # data-plane program text
 //! ```
+//!
+//! `mapro lint` runs the static analyzer (`mapro-lint`): the report goes
+//! to stdout as text or JSON; the exit code is 0 when clean of
+//! error-severity findings, 1 otherwise. `-A <id>` drops a lint, `-W <id>`
+//! demotes it to warn, `-D <id>` promotes it to error, `--deny warn`
+//! promotes every warn (the CI gate). Usage errors — unknown lint ids
+//! included — exit 2.
 //!
 //! Transformation commands print the resulting program JSON to stdout (so
 //! they compose with shell pipes); human-readable reports go to stderr.
@@ -33,9 +41,15 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mapro <demo|convert|show|analyze|normalize|flatten|check|export> [args]\n\
-         run `mapro <cmd> --help` conventions: see crate docs"
+        "usage: mapro <demo|convert|show|analyze|lint|normalize|flatten|check|export> [args]"
     );
+    exit(2)
+}
+
+/// Report a usage error on one line and exit 2 (the contract `tests/cli.rs`
+/// pins down for every malformed invocation).
+fn usage_error(msg: impl std::fmt::Display) -> ! {
+    eprintln!("mapro: {msg}");
     exit(2)
 }
 
@@ -73,6 +87,19 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let has = |name: &str| args.iter().any(|a| a == name);
+    // Collect the value after *every* occurrence of a repeatable flag
+    // (`-A x -A y`); a trailing occurrence with no value is a usage error.
+    let multi = |name: &str| -> Vec<String> {
+        args.iter()
+            .enumerate()
+            .filter(|(_, a)| a.as_str() == name)
+            .map(|(i, _)| {
+                args.get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| usage_error(format_args!("missing value for {name}")))
+            })
+            .collect()
+    };
     // `--metrics` takes an optional path: Some(None) = text to stderr,
     // Some(Some(path)) = JSON file.
     let metrics: Option<Option<String>> = args
@@ -84,21 +111,17 @@ fn main() {
     // malformed value in either place is a usage error, not a silent default.
     if has("--threads") {
         let Some(v) = flag("--threads") else {
-            eprintln!("mapro: missing value for --threads");
-            exit(2)
+            usage_error("missing value for --threads")
         };
         match mapro_par::parse_threads(&v) {
             Ok(n) => mapro_par::set_threads(n),
-            Err(e) => {
-                eprintln!("mapro: {e}");
-                exit(2)
-            }
+            Err(e) => usage_error(e),
         }
     } else if let Err(e) = mapro_par::env_threads() {
-        eprintln!("mapro: {e}");
-        exit(2)
+        usage_error(e)
     }
 
+    let mut exit_code = 0;
     match cmd.as_str() {
         "demo" => {
             let which = args.get(1).map(String::as_str).unwrap_or("fig1");
@@ -115,9 +138,16 @@ fn main() {
                 "l3" => mapro_workloads::L3::fig2().universal,
                 "vlan" => mapro_workloads::Vlan::fig3().universal,
                 "sdx" => mapro_workloads::Sdx::fig5().universal,
+                "enterprise" => {
+                    let n = flag("--hosts").and_then(|v| v.parse().ok()).unwrap_or(24);
+                    let racks = flag("--racks").and_then(|v| v.parse().ok()).unwrap_or(4);
+                    let s = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(2019);
+                    mapro_workloads::Enterprise::random(n, racks, s).pipeline
+                }
                 other => {
-                    eprintln!("unknown demo {other:?} (fig1|gwlb|l3|vlan|sdx)");
-                    exit(2)
+                    usage_error(format_args!(
+                        "unknown demo {other:?} (fig1|gwlb|l3|vlan|sdx|enterprise)"
+                    ));
                 }
             };
             if has("--mat") {
@@ -164,25 +194,59 @@ fn main() {
                 }
             }
         }
+        "lint" => {
+            let p = load(args.get(1).unwrap_or_else(|| usage()));
+            let json = match flag("--format").as_deref() {
+                None | Some("text") => false,
+                Some("json") => true,
+                Some(f) => usage_error(format_args!("unknown format {f:?} (text|json)")),
+            };
+            let overrides = mapro_lint::Overrides {
+                allow: multi("-A"),
+                warn: multi("-W"),
+                deny: multi("-D"),
+                deny_warnings: match flag("--deny").as_deref() {
+                    None => false,
+                    Some("warn") => true,
+                    Some(v) => usage_error(format_args!(
+                        "unknown --deny level {v:?} (only `warn`; use -D <lint-id> for one lint)"
+                    )),
+                },
+            };
+            if let Some(id) = overrides.unknown_lint() {
+                usage_error(format_args!("unknown lint {id:?}; known lints:{}", {
+                    let mut s = String::new();
+                    for l in mapro_lint::CATALOGUE {
+                        s.push(' ');
+                        s.push_str(l.id);
+                    }
+                    s
+                }));
+            }
+            let mut report = mapro_lint::lint(&p, &mapro_lint::LintConfig::default());
+            report.apply(&overrides);
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.to_text());
+            }
+            if report.has_errors() {
+                exit_code = 1;
+            }
+        }
         "normalize" => {
             let p = load(args.get(1).unwrap_or_else(|| usage()));
             let join = match flag("--join").as_deref() {
                 None | Some("metadata") => JoinKind::Metadata,
                 Some("goto") => JoinKind::Goto,
                 Some("rematch") => JoinKind::Rematch,
-                Some(j) => {
-                    eprintln!("unknown join {j:?}");
-                    exit(2)
-                }
+                Some(j) => usage_error(format_args!("unknown join {j:?} (goto|metadata|rematch)")),
             };
             let target = match flag("--target").as_deref() {
                 None | Some("3nf") => Target::ThirdNf,
                 Some("2nf") => Target::SecondNf,
                 Some("bcnf") => Target::Bcnf,
-                Some(t) => {
-                    eprintln!("unknown target {t:?} (2nf|3nf|bcnf)");
-                    exit(2)
-                }
+                Some(t) => usage_error(format_args!("unknown target {t:?} (2nf|3nf|bcnf)")),
             };
             let opts = NormalizeOpts {
                 join,
@@ -251,10 +315,7 @@ fn main() {
             match flag("--format").as_deref() {
                 Some("openflow") | None => print!("{}", export::to_openflow(&p)),
                 Some("p4") => print!("{}", export::to_p4(&p)),
-                Some(f) => {
-                    eprintln!("unknown format {f:?} (openflow|p4)");
-                    exit(2)
-                }
+                Some(f) => usage_error(format_args!("unknown format {f:?} (openflow|p4)")),
             }
         }
         _ => usage(),
@@ -272,6 +333,9 @@ fn main() {
                 eprintln!("metrics written to {path}");
             }
         }
+    }
+    if exit_code != 0 {
+        exit(exit_code)
     }
 }
 

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--threads N]
 //!       [--json] [--metrics [out.json]]
 //! ```
@@ -15,7 +15,7 @@
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -75,7 +75,7 @@ fn parse_args() -> Result<Args, String> {
                 println!("{USAGE}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown argument {other:?} (try --help)")),
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
     Ok(args)
@@ -102,32 +102,33 @@ const EXPERIMENTS: &[&str] = &[
     "joins",
     "faults",
     "parscale",
+    "lint",
 ];
+
+/// Report a usage error on one line and exit 2 (the contract
+/// `tests/cli.rs` pins down for every malformed invocation).
+fn usage_error(e: impl std::fmt::Display) -> ! {
+    eprintln!("repro: {e} (try --help)");
+    std::process::exit(2)
+}
 
 fn main() {
     install_pipe_hook();
-    let args = parse_args().unwrap_or_else(|e| {
-        eprintln!("repro: {e}");
-        eprintln!("usage: {USAGE}");
-        std::process::exit(2);
-    });
+    let args = parse_args().unwrap_or_else(|e| usage_error(e));
     // Surface a malformed MAPRO_THREADS as a usage error rather than
     // silently ignoring it (an explicit --threads takes precedence).
     if mapro_par::thread_override() == 0 {
         if let Err(e) = mapro_par::env_threads() {
-            eprintln!("repro: {e}");
-            eprintln!("usage: {USAGE}");
-            std::process::exit(2);
+            usage_error(e);
         }
     }
     let all = args.experiment == "all";
     if !all && !EXPERIMENTS.contains(&args.experiment.as_str()) {
-        eprintln!(
+        usage_error(format_args!(
             "unknown experiment {:?}; expected all|{}",
             args.experiment,
             EXPERIMENTS.join("|")
-        );
-        std::process::exit(2);
+        ));
     }
     let want = |name: &str| {
         assert!(
@@ -421,6 +422,31 @@ fn main() {
                 println!(
                     "{:<8} {:>8} {:>12.2} {:>8.2}x  {}",
                     r.workload, r.threads, r.wall_ms, r.speedup, r.digest
+                );
+            }
+        }
+    }
+    if want("lint") {
+        println!(
+            "\n############ E16 — static analysis of the paper workloads (extension) ############"
+        );
+        let rows = lint_workloads(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+        } else {
+            println!(
+                "{:<12} {:>7} {:>7} {:>6} {:>6}  lints",
+                "workload", "tables", "errors", "warns", "infos"
+            );
+            for r in &rows {
+                println!(
+                    "{:<12} {:>7} {:>7} {:>6} {:>6}  {}",
+                    r.workload,
+                    r.tables,
+                    r.errors,
+                    r.warns,
+                    r.infos,
+                    r.lints.join(", ")
                 );
             }
         }

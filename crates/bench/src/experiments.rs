@@ -1009,3 +1009,85 @@ pub fn measure(switch: &mut dyn Switch, cfg: &BenchConfig) -> mapro_switch::RunR
     let trace = generate(&g.universal.catalog, &g.trace_spec(), cfg.packets, cfg.seed);
     run_modeled(switch, &trace)
 }
+
+// --------------------------------------------------------------- E16 ----
+
+/// One row of E16: static-analysis findings for a paper workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct LintRow {
+    /// Workload name.
+    pub workload: String,
+    /// Tables in the pipeline.
+    pub tables: usize,
+    /// Error-severity findings (must be zero for the paper programs).
+    pub errors: usize,
+    /// Warn-severity findings.
+    pub warns: usize,
+    /// Info-severity findings.
+    pub infos: usize,
+    /// Distinct lint ids reported, sorted.
+    pub lints: Vec<String>,
+}
+
+/// Run `mapro-lint` over every workload generator and tabulate findings.
+///
+/// The rows double as an executable claim about the paper programs:
+/// nothing in them is provably dead or broken (zero error-severity
+/// findings), while the redundancy the paper normalizes away *is*
+/// reported — Fig. 3 must surface its action-to-match dependency, Fig. 1
+/// its `ip_dst ↔ tcp_dst` redundancy. Violations panic, so
+/// `repro -e lint` is self-checking.
+pub fn lint_workloads(cfg: &BenchConfig) -> Vec<LintRow> {
+    let cases: Vec<(&str, Pipeline)> = vec![
+        ("fig1", Gwlb::fig1().universal),
+        (
+            "gwlb",
+            Gwlb::random(cfg.services, cfg.backends, cfg.seed).universal,
+        ),
+        ("fig2-l3", L3::fig2().universal),
+        ("fig3-vlan", Vlan::fig3().universal),
+        ("fig5-sdx", Sdx::fig5().universal),
+        (
+            "enterprise",
+            mapro_workloads::Enterprise::random(cfg.services, 4, cfg.seed).pipeline,
+        ),
+    ];
+    let lint_cfg = mapro_lint::LintConfig::default();
+    cases
+        .into_iter()
+        .map(|(name, p)| {
+            let r = mapro_lint::lint(&p, &lint_cfg);
+            assert_eq!(
+                r.count(mapro_lint::Severity::Error),
+                0,
+                "{name}: paper workload reports error-severity lints:\n{}",
+                r.to_text()
+            );
+            match name {
+                "fig3-vlan" => assert!(
+                    r.with_lint("action-to-match-dependency").count() > 0,
+                    "{name}: Fig. 3 hazard not reported:\n{}",
+                    r.to_text()
+                ),
+                "fig1" => assert!(
+                    r.with_lint("bcnf-dependency")
+                        .any(|d| d.message.contains("ip_dst")),
+                    "{name}: ip_dst redundancy not reported:\n{}",
+                    r.to_text()
+                ),
+                _ => {}
+            }
+            let mut lints: Vec<String> = r.diagnostics.iter().map(|d| d.lint.clone()).collect();
+            lints.sort();
+            lints.dedup();
+            LintRow {
+                workload: name.to_owned(),
+                tables: p.tables.len(),
+                errors: r.count(mapro_lint::Severity::Error),
+                warns: r.count(mapro_lint::Severity::Warn),
+                infos: r.count(mapro_lint::Severity::Info),
+                lints,
+            }
+        })
+        .collect()
+}

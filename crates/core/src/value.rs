@@ -161,6 +161,54 @@ impl Value {
         })
     }
 
+    /// The `(bits, mask)` ternary form of this predicate: it matches `v`
+    /// iff `v & mask == bits`. Every predicate kind has one (`Int` with a
+    /// full mask, `Prefix` with a prefix mask, `Any` with an empty mask);
+    /// symbolic values, which match nothing, have none.
+    ///
+    /// The returned mask is trimmed to the low `width` bits and the bits
+    /// are trimmed to the mask, so two predicates denote the same packet
+    /// set iff their ternary forms are equal. This canonical form is the
+    /// basis of the cover/subsumption algebra used by the static analyzer
+    /// and reusable by ternary classifiers.
+    pub fn as_ternary(&self, width: u32) -> Option<(u64, u64)> {
+        let full = low_mask(width);
+        match *self {
+            Value::Int(x) => Some((x & full, full)),
+            Value::Prefix { bits, len } => {
+                let m = prefix_mask(len, width);
+                Some((bits & m, m))
+            }
+            Value::Ternary { bits, mask } => {
+                let m = mask & full;
+                Some((bits & m, m))
+            }
+            Value::Any => Some((0, 0)),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// Does this predicate *cover* `other` — i.e. does every `width`-bit
+    /// value matching `other` also match `self`?
+    ///
+    /// In ternary form, `A ⊇ B` iff `A` cares about a subset of `B`'s bits
+    /// and agrees with `B` on all of them. Symbolic values match nothing,
+    /// so everything subsumes them and they subsume only each other.
+    ///
+    /// This is the subsumption half of the ternary-cover algebra that
+    /// shadowed-/dead-entry detection in `mapro-lint` is built on
+    /// (property-tested against enumeration in `tests/value_properties.rs`).
+    pub fn subsumes(&self, other: &Value, width: u32) -> bool {
+        match (self.as_ternary(width), other.as_ternary(width)) {
+            // `other` matches nothing: vacuously covered.
+            (_, None) => true,
+            // `self` matches nothing but `other` is satisfiable (every
+            // ternary form matches at least one value).
+            (None, Some(_)) => false,
+            (Some((sb, sm)), Some((ob, om))) => sm & om == sm && (sb ^ ob) & sm == 0,
+        }
+    }
+
     /// The interval `[lo, hi]` of field values this predicate covers, if it
     /// is interval-shaped (exact values, prefixes, and wildcards are; general
     /// ternary masks are not).
@@ -386,6 +434,47 @@ mod tests {
         let a = Value::prefix(0, 1, 32);
         let b = Value::prefix(0, 2, 32);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn ternary_form_is_canonical() {
+        let w = 8;
+        assert_eq!(Value::Int(5).as_ternary(w), Some((5, 0xff)));
+        assert_eq!(Value::Any.as_ternary(w), Some((0, 0)));
+        assert_eq!(
+            Value::prefix(0b1100_0000, 2, w).as_ternary(w),
+            Some((0b1100_0000, 0b1100_0000))
+        );
+        // Don't-care bits and out-of-width mask bits are trimmed away.
+        assert_eq!(
+            Value::Ternary {
+                bits: 0xffff,
+                mask: 0x10f
+            }
+            .as_ternary(w),
+            Some((0x0f, 0x0f))
+        );
+        assert_eq!(Value::sym("p").as_ternary(w), None);
+    }
+
+    #[test]
+    fn subsumption_is_cover() {
+        let w = 8;
+        let any = Value::Any;
+        let p = Value::prefix(0b1000_0000, 1, w); // 1*
+        let q = Value::prefix(0b1100_0000, 2, w); // 11*
+        let x = Value::Int(0b1100_0001);
+        assert!(any.subsumes(&p, w) && !p.subsumes(&any, w));
+        assert!(p.subsumes(&q, w) && !q.subsumes(&p, w));
+        assert!(q.subsumes(&x, w) && !x.subsumes(&q, w));
+        assert!(x.subsumes(&x, w));
+        // Disjoint prefixes subsume in neither direction.
+        let z = Value::prefix(0, 1, w); // 0*
+        assert!(!z.subsumes(&q, w) && !q.subsumes(&z, w));
+        // Syms match nothing: subsumed by anything, subsume only syms.
+        assert!(x.subsumes(&Value::sym("a"), w));
+        assert!(Value::sym("a").subsumes(&Value::sym("b"), w));
+        assert!(!Value::sym("a").subsumes(&x, w));
     }
 
     #[test]

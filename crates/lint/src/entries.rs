@@ -1,0 +1,155 @@
+//! Shadowed- and dead-entry detection — classifier minimization as a
+//! *symbolic* pass.
+//!
+//! `mapro_normalize::prune_dead_entries` establishes the same facts by
+//! enumerating the packet domain; this pass proves them from the program
+//! text alone via the ternary-cover algebra ([`crate::cover`]), in time
+//! polynomial in the table size (plus a bounded cover-split budget),
+//! independent of field widths.
+
+use crate::cover::{covered_by, Cube};
+use crate::diag::{Diagnostic, LintReport};
+use crate::LintConfig;
+use mapro_core::Pipeline;
+
+/// Run shadowed-/dead-entry detection over every table.
+pub fn check_entries(p: &Pipeline, cfg: &LintConfig, out: &mut LintReport) {
+    for t in &p.tables {
+        let widths: Vec<u32> = t
+            .match_attrs
+            .iter()
+            .map(|&a| p.catalog.attr(a).width)
+            .collect();
+        let cubes: Vec<Option<Cube>> = t
+            .entries
+            .iter()
+            .map(|e| Cube::of(&e.matches, &widths))
+            .collect();
+        for (j, cj) in cubes.iter().enumerate() {
+            let Some(cj) = cj else {
+                out.diagnostics.push(
+                    Diagnostic::new(
+                        "dead-entry",
+                        "a match cell holds a symbolic value, which matches no packet",
+                    )
+                    .table(&t.name)
+                    .entry(j),
+                );
+                continue;
+            };
+            // Single-cube shadow: the first earlier entry covering this one.
+            if let Some(i) = cubes[..j]
+                .iter()
+                .position(|ci| ci.as_ref().is_some_and(|ci| ci.subsumes(cj)))
+            {
+                out.diagnostics.push(
+                    Diagnostic::new(
+                        "shadowed-entry",
+                        format!("every packet it matches is claimed by entry {i} first"),
+                    )
+                    .table(&t.name)
+                    .entry(j)
+                    .suggest(format!("remove entry {j}; entry {i} subsumes it")),
+                );
+                continue;
+            }
+            // Union cover: no single entry shadows it, but together the
+            // earlier entries leave it nothing to match.
+            let earlier: Vec<&Cube> = cubes[..j].iter().flatten().collect();
+            if earlier.len() >= 2 {
+                let mut budget = cfg.cover_budget;
+                if covered_by(cj, &earlier, &mut budget) == Some(true) {
+                    out.diagnostics.push(
+                        Diagnostic::new(
+                            "dead-entry",
+                            format!(
+                                "the union of the {} higher-priority entries covers it",
+                                earlier.len()
+                            ),
+                        )
+                        .table(&t.name)
+                        .entry(j)
+                        .suggest(format!("remove entry {j}; no packet can reach it")),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{ActionSem, Catalog, Table, Value};
+
+    fn lint_table(t: Table, c: Catalog) -> LintReport {
+        let p = Pipeline::single(c, t);
+        let mut r = LintReport::default();
+        check_entries(&p, &LintConfig::default(), &mut r);
+        r
+    }
+
+    fn cat() -> (Catalog, Vec<mapro_core::AttrId>, mapro_core::AttrId) {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let g = c.field("g", 8);
+        let out = c.action("out", ActionSem::Output);
+        (c, vec![f, g], out)
+    }
+
+    #[test]
+    fn shadowed_by_single_entry() {
+        let (c, fs, out) = cat();
+        let mut t = Table::new("t", fs, vec![out]);
+        t.row(
+            vec![Value::prefix(0, 1, 8), Value::Any],
+            vec![Value::sym("a")],
+        );
+        t.row(vec![Value::Int(1), Value::Int(9)], vec![Value::sym("b")]);
+        let r = lint_table(t, c);
+        let d: Vec<_> = r.with_lint("shadowed-entry").collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].entry, Some(1));
+    }
+
+    #[test]
+    fn dead_by_union_not_single() {
+        let (c, fs, out) = cat();
+        let mut t = Table::new("t", fs, vec![out]);
+        // 0*/any and 1*/any together cover any/any; neither alone does.
+        t.row(
+            vec![Value::prefix(0, 1, 8), Value::Any],
+            vec![Value::sym("a")],
+        );
+        t.row(
+            vec![Value::prefix(0x80, 1, 8), Value::Any],
+            vec![Value::sym("b")],
+        );
+        t.row(vec![Value::Any, Value::Any], vec![Value::sym("c")]);
+        let r = lint_table(t, c);
+        assert_eq!(r.with_lint("shadowed-entry").count(), 0);
+        let d: Vec<_> = r.with_lint("dead-entry").collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].entry, Some(2));
+    }
+
+    #[test]
+    fn live_entries_unflagged() {
+        let (c, fs, out) = cat();
+        let mut t = Table::new("t", fs, vec![out]);
+        t.row(vec![Value::Int(1), Value::Any], vec![Value::sym("a")]);
+        t.row(vec![Value::Int(2), Value::Any], vec![Value::sym("b")]);
+        t.row(vec![Value::Any, Value::Int(5)], vec![Value::sym("c")]);
+        let r = lint_table(t, c);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn symbolic_match_cell_is_dead() {
+        let (c, fs, out) = cat();
+        let mut t = Table::new("t", fs, vec![out]);
+        t.row(vec![Value::sym("oops"), Value::Any], vec![Value::sym("a")]);
+        let r = lint_table(t, c);
+        assert_eq!(r.with_lint("dead-entry").count(), 1);
+    }
+}

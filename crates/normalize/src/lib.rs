@@ -43,6 +43,7 @@ pub use factor::{factor_constants, FactorError, FactorPlacement};
 pub use flatten::{flatten, FlattenError};
 pub use join::JoinKind;
 pub use normalize::{
-    normalize, pipeline_level, report, NormalizeOpts, Normalized, SkipRecord, StepRecord, Target,
+    normalize, pipeline_level, program_view, report, NormalizeOpts, Normalized, SkipRecord,
+    StepRecord, Target,
 };
 pub use prune::{prune_dead_entries, PruneError, Pruned};

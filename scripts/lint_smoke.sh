@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI smoke test: run the static analyzer over the five paper workloads
+# (Fig. 1, Fig. 2/L3, Fig. 3/VLAN, Fig. 5/SDX, enterprise) and diff the
+# combined JSON report against the committed golden file.
+#
+# `--deny warn` promotes every warn to error, so exit code 1 from `mapro
+# lint` is *expected* here — the paper workloads are redundant by design.
+# Exit 2+ (a usage error) or any drift from the golden report fails.
+#
+# Regenerate the golden after an intentional analyzer change with:
+#   UPDATE_GOLDEN=1 scripts/lint_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${MAPRO_BIN:-target/release/mapro}
+GOLDEN=tests/golden/lint_workloads.json
+WORKLOADS="fig1 l3 vlan sdx enterprise"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for w in $WORKLOADS; do
+    "$BIN" demo "$w" > "$tmp/$w.prog.json"
+    rc=0
+    "$BIN" lint "$tmp/$w.prog.json" --format json --deny warn \
+        > "$tmp/$w.lint.json" || rc=$?
+    if [ "$rc" -ge 2 ]; then
+        echo "lint_smoke: mapro lint $w exited $rc (usage error)" >&2
+        exit 1
+    fi
+done
+
+# shellcheck disable=SC2086  # word-splitting of WORKLOADS is intentional
+python3 - "$tmp" $WORKLOADS > "$tmp/combined.json" <<'EOF'
+import json, pathlib, sys
+tmp = pathlib.Path(sys.argv[1])
+combined = {w: json.loads((tmp / f"{w}.lint.json").read_text()) for w in sys.argv[2:]}
+print(json.dumps(combined, indent=2))
+EOF
+
+if [ "${UPDATE_GOLDEN:-0}" = "1" ]; then
+    cp "$tmp/combined.json" "$GOLDEN"
+    echo "lint_smoke: updated $GOLDEN"
+    exit 0
+fi
+
+diff -u "$GOLDEN" "$tmp/combined.json"
+echo "lint_smoke: OK (${WORKLOADS// /, } match the golden report)"

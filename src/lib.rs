@@ -32,6 +32,7 @@ pub use mapro_classifier as classifier;
 pub use mapro_control as control;
 pub use mapro_core as core;
 pub use mapro_fd as fd;
+pub use mapro_lint as lint;
 pub use mapro_netkat as netkat;
 pub use mapro_normalize as normalize;
 pub use mapro_packet as packet;

@@ -113,6 +113,130 @@ fn cli_pipeline_end_to_end() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Like [`run`] but reporting the raw exit code (for the exit-code
+/// contract: 0 clean, 1 findings/failures, 2 usage errors).
+fn run_code(bin_path: &std::path::Path, args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(bin_path).args(args).output().expect("runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+fn repro_bin() -> PathBuf {
+    let mut p = bin();
+    p.pop();
+    p.push(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+#[test]
+fn cli_lint_reports_and_exit_codes() {
+    if !bin().exists() {
+        eprintln!("skipping: {} not built", bin().display());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mapro-cli-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("vlan.json");
+    let (vlan, _, ok) = run(&["demo", "vlan"], None);
+    assert!(ok);
+    std::fs::write(&prog, vlan).unwrap();
+    let path = prog.to_str().unwrap();
+
+    // Clean of error-severity findings: exit 0, human summary on stdout.
+    let (out, _, code) = run_code(&bin(), &["lint", path]);
+    assert_eq!(code, Some(0), "{out}");
+    assert!(out.contains("findings:"), "{out}");
+    assert!(out.contains("action-to-match-dependency"), "{out}");
+
+    // JSON is the machine interface.
+    let (out, _, code) = run_code(&bin(), &["lint", path, "--format", "json"]);
+    assert_eq!(code, Some(0));
+    let parsed = serde_json::parse(&out).expect("valid JSON");
+    assert!(parsed.get("diagnostics").is_some(), "{out}");
+
+    // --deny warn promotes the Fig. 3 warning to an error: exit 1.
+    let (out, _, code) = run_code(&bin(), &["lint", path, "--deny", "warn"]);
+    assert_eq!(code, Some(1), "{out}");
+
+    // ...unless the lint is allowed away.
+    let (_, _, code) = run_code(
+        &bin(),
+        &[
+            "lint",
+            path,
+            "--deny",
+            "warn",
+            "-A",
+            "action-to-match-dependency",
+            "-A",
+            "bcnf-dependency",
+            "-A",
+            "overlapping-entries",
+        ],
+    );
+    assert_eq!(code, Some(0));
+
+    // -D promotes a single lint to error severity.
+    let (_, _, code) = run_code(&bin(), &["lint", path, "-D", "action-to-match-dependency"]);
+    assert_eq!(code, Some(1));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_usage_errors_exit_2_with_one_line() {
+    if !bin().exists() {
+        eprintln!("skipping: {} not built", bin().display());
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("mapro-cli-usage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("f.json");
+    let (fig1, _, _) = run(&["demo", "fig1"], None);
+    std::fs::write(&prog, fig1).unwrap();
+    let path = prog.to_str().unwrap();
+
+    let cases: &[&[&str]] = &[
+        &[],
+        &["bogus"],
+        &["demo", "bogus"],
+        &["lint", path, "--format", "yaml"],
+        &["lint", path, "-D", "not-a-lint"],
+        &["lint", path, "-A"],
+        &["lint", path, "--deny", "error"],
+        &["normalize", path, "--join", "bogus"],
+        &["normalize", path, "--target", "4nf"],
+        &["export", path, "--format", "xml"],
+        &["show", "--threads", "zero"],
+    ];
+    for args in cases {
+        let (_, err, code) = run_code(&bin(), args);
+        assert_eq!(code, Some(2), "mapro {args:?}: {err}");
+        assert_eq!(
+            err.trim_end().lines().count(),
+            1,
+            "mapro {args:?} usage message not one line: {err:?}"
+        );
+    }
+
+    if repro_bin().exists() {
+        for args in [&["--experiment", "bogus"][..], &["--bogus-flag"][..]] {
+            let (_, err, code) = run_code(&repro_bin(), args);
+            assert_eq!(code, Some(2), "repro {args:?}: {err}");
+            assert_eq!(
+                err.trim_end().lines().count(),
+                1,
+                "repro {args:?} usage message not one line: {err:?}"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn cli_detects_inequivalence() {
     if !bin().exists() {

@@ -1,0 +1,181 @@
+//! False-positive and true-positive guard for the static analyzer.
+//!
+//! Soundness (no false positives): `Error`-severity lints claim program
+//! text is *provably* wasted or broken, so a pipeline that `normalize`
+//! produced and `check_equivalent` accepted must lint clean at that
+//! level, and every shadowed-/dead-entry finding must be confirmed
+//! removable — deleting the flagged entry leaves a semantically
+//! equivalent program.
+//!
+//! Completeness (no missed defects): planting a shadowed entry, a
+//! union-covered dead entry, an unreachable table, or a goto cycle into a
+//! healthy program must each produce the corresponding finding.
+
+use mapro::prelude::*;
+use mapro_lint::{lint, LintConfig, LintReport, Severity};
+use mapro_workloads::{random_table, RandomSpec};
+use proptest::prelude::*;
+
+fn rt_pipeline(fields: usize, rows: usize, domain: u64, seed: u64) -> Pipeline {
+    let spec = RandomSpec {
+        fields,
+        rows,
+        domain,
+        planted: vec![(0, 1)],
+    };
+    random_table(&spec, seed).pipeline
+}
+
+/// Every shadowed-/dead-entry finding must survive the ground-truth test:
+/// removing the flagged entry is semantics-preserving.
+fn assert_flagged_entries_removable(p: &Pipeline, report: &LintReport) {
+    let mut flagged: Vec<(String, usize)> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.lint == "shadowed-entry" || d.lint == "dead-entry")
+        .map(|d| {
+            (
+                d.table.clone().expect("entry lints are table-scoped"),
+                d.entry.expect("entry-scoped"),
+            )
+        })
+        .collect();
+    // Remove back-to-front so indices stay valid if a table is flagged twice.
+    flagged.sort();
+    flagged.reverse();
+    let mut pruned = p.clone();
+    for (table, entry) in &flagged {
+        pruned.table_mut(table).unwrap().entries.remove(*entry);
+    }
+    if !flagged.is_empty() {
+        assert_equivalent(p, &pruned);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Normalized, equivalence-accepted output lints clean of errors.
+    #[test]
+    fn normalized_accepted_pipeline_has_no_error_lints(
+        fields in 3usize..5,
+        rows in 8usize..24,
+        domain in 3u64..8,
+        seed in 0u64..500,
+    ) {
+        let p = rt_pipeline(fields, rows, domain, seed);
+        let n = normalize(&p, &NormalizeOpts::default());
+        prop_assume!(n.complete());
+        assert_equivalent(&p, &n.pipeline);
+        let r = lint(&n.pipeline, &LintConfig::default());
+        prop_assert_eq!(
+            r.count(Severity::Error), 0,
+            "false positive on normalized pipeline:\n{}", r.to_text()
+        );
+    }
+
+    /// The raw generator output is healthy too: distinct point rows can
+    /// neither shadow nor union-cover each other.
+    #[test]
+    fn random_program_has_no_error_lints(
+        fields in 3usize..5,
+        rows in 5usize..20,
+        domain in 3u64..10,
+        seed in 0u64..500,
+    ) {
+        let p = rt_pipeline(fields, rows, domain, seed);
+        let r = lint(&p, &LintConfig::default());
+        prop_assert_eq!(r.count(Severity::Error), 0, "{}", r.to_text());
+        assert_flagged_entries_removable(&p, &r);
+    }
+
+    /// A replayed entry is shadowed; the finding names it and is removable.
+    #[test]
+    fn planted_shadowed_entry_detected(
+        fields in 3usize..5,
+        rows in 5usize..15,
+        domain in 3u64..8,
+        seed in 0u64..500,
+    ) {
+        let mut p = rt_pipeline(fields, rows, domain, seed);
+        let t = p.table_mut("rt").unwrap();
+        let mut dup = t.entries[0].clone();
+        dup.actions = t.entries[t.entries.len() - 1].actions.clone();
+        let planted_at = t.entries.len();
+        t.entries.push(dup);
+        let r = lint(&p, &LintConfig::default());
+        prop_assert!(
+            r.with_lint("shadowed-entry").any(|d| d.entry == Some(planted_at)),
+            "planted shadowed entry missed:\n{}", r.to_text()
+        );
+        assert_flagged_entries_removable(&p, &r);
+    }
+
+    /// An entry below a union cover (two half-space prefixes on f0) is
+    /// dead even though no single entry shadows it.
+    #[test]
+    fn planted_dead_entry_detected(
+        fields in 3usize..5,
+        rows in 5usize..15,
+        domain in 3u64..8,
+        seed in 0u64..500,
+    ) {
+        let mut p = rt_pipeline(fields, rows, domain, seed);
+        let t = p.table_mut("rt").unwrap();
+        let wild = |v: Value, fields: usize| -> Vec<Value> {
+            std::iter::once(v)
+                .chain(std::iter::repeat_n(Value::Any, fields - 1))
+                .collect()
+        };
+        t.entries.clear();
+        t.row(wild(Value::prefix(0, 1, 16), fields), vec![Value::sym("lo")]);
+        t.row(wild(Value::prefix(0x8000, 1, 16), fields), vec![Value::sym("hi")]);
+        t.row(wild(Value::Any, fields), vec![Value::sym("dead")]);
+        let r = lint(&p, &LintConfig::default());
+        prop_assert!(
+            r.with_lint("dead-entry").any(|d| d.entry == Some(2)),
+            "planted dead entry missed:\n{}", r.to_text()
+        );
+        prop_assert_eq!(r.with_lint("shadowed-entry").count(), 0, "{}", r.to_text());
+        assert_flagged_entries_removable(&p, &r);
+    }
+}
+
+#[test]
+fn planted_unreachable_table_detected() {
+    let mut p = rt_pipeline(3, 10, 5, 42);
+    let mut orphan = p.tables[0].clone();
+    orphan.name = "orphan".into();
+    p.tables.push(orphan);
+    let r = lint(&p, &LintConfig::default());
+    assert!(
+        r.with_lint("unreachable-table")
+            .any(|d| d.table.as_deref() == Some("orphan")),
+        "{}",
+        r.to_text()
+    );
+}
+
+#[test]
+fn planted_goto_cycle_detected() {
+    let mut p = rt_pipeline(3, 10, 5, 42);
+    let mut second = p.tables[0].clone();
+    second.name = "back".into();
+    second.next = Some("rt".into());
+    p.tables.push(second);
+    p.table_mut("rt").unwrap().next = Some("back".into());
+    let r = lint(&p, &LintConfig::default());
+    assert!(r.with_lint("goto-cycle").count() > 0, "{}", r.to_text());
+}
+
+#[test]
+fn planted_unknown_target_detected() {
+    let mut p = rt_pipeline(3, 10, 5, 42);
+    p.table_mut("rt").unwrap().next = Some("nowhere".into());
+    let r = lint(&p, &LintConfig::default());
+    assert!(
+        r.with_lint("unknown-goto-target").count() > 0,
+        "{}",
+        r.to_text()
+    );
+}

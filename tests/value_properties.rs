@@ -7,11 +7,27 @@ use proptest::prelude::*;
 
 const W: u32 = 16;
 
+/// A width small enough to enumerate every field value, so the ternary
+/// algebra can be checked against brute force rather than sampling.
+const SMALL_W: u32 = 7;
+
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
         (0u64..1 << W).prop_map(Value::Int),
         (0u64..1 << W, 0u8..=W as u8).prop_map(|(b, l)| Value::prefix(b, l, W)),
         (0u64..1 << W, 0u64..1 << W).prop_map(|(b, m)| Value::Ternary {
+            bits: b & m,
+            mask: m
+        }),
+        Just(Value::Any),
+    ]
+}
+
+fn arb_small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0u64..1 << SMALL_W).prop_map(Value::Int),
+        (0u64..1 << SMALL_W, 0u8..=SMALL_W as u8).prop_map(|(b, l)| Value::prefix(b, l, SMALL_W)),
+        (0u64..1 << SMALL_W, 0u64..1 << SMALL_W).prop_map(|(b, m)| Value::Ternary {
             bits: b & m,
             mask: m
         }),
@@ -76,6 +92,47 @@ proptest! {
     #[test]
     fn intersects_symmetric(a in arb_value(), b in arb_value()) {
         prop_assert_eq!(a.intersects(&b, W), b.intersects(&a, W));
+    }
+
+    /// `subsumes` is *exactly* set containment: checked against full
+    /// enumeration of the small domain, in both directions (no missed
+    /// covers, no spurious ones). This is the guarantee that lets
+    /// shadowed-entry detection and the classifier templates rely on the
+    /// ternary algebra without re-verifying per use.
+    #[test]
+    fn subsumes_iff_containment(a in arb_small_value(), b in arb_small_value()) {
+        let contained = (0..1u64 << SMALL_W)
+            .all(|v| !b.matches(v, SMALL_W) || a.matches(v, SMALL_W));
+        prop_assert_eq!(a.subsumes(&b, SMALL_W), contained, "{} ⊇ {}", a, b);
+    }
+
+    /// `as_ternary` denotes the same packet set as the value itself, and
+    /// its canonical form makes structural equality semantic.
+    #[test]
+    fn ternary_form_is_exact(a in arb_small_value(), b in arb_small_value()) {
+        if let Some((bits, mask)) = a.as_ternary(SMALL_W) {
+            for v in 0..1u64 << SMALL_W {
+                prop_assert_eq!(a.matches(v, SMALL_W), v & mask == bits, "{} at {}", a, v);
+            }
+        }
+        if let (Some(ta), Some(tb)) = (a.as_ternary(SMALL_W), b.as_ternary(SMALL_W)) {
+            let same_set = (0..1u64 << SMALL_W)
+                .all(|v| a.matches(v, SMALL_W) == b.matches(v, SMALL_W));
+            prop_assert_eq!(ta == tb, same_set, "{} vs {}", a, b);
+        }
+    }
+
+    /// Subsumption is reflexive and transitive on predicates (a preorder),
+    /// and mutual subsumption coincides with equal ternary forms.
+    #[test]
+    fn subsumes_is_preorder(a in arb_small_value(), b in arb_small_value(), c in arb_small_value()) {
+        prop_assert!(a.subsumes(&a, SMALL_W));
+        if a.subsumes(&b, SMALL_W) && b.subsumes(&c, SMALL_W) {
+            prop_assert!(a.subsumes(&c, SMALL_W), "{} ⊇ {} ⊇ {}", a, b, c);
+        }
+        if a.subsumes(&b, SMALL_W) && b.subsumes(&a, SMALL_W) {
+            prop_assert_eq!(a.as_ternary(SMALL_W), b.as_ternary(SMALL_W));
+        }
     }
 }
 
