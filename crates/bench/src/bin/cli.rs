@@ -11,7 +11,7 @@
 //! mapro lint <prog.json> [--format text|json] [--deny warn] [-A|-W|-D <lint-id>]...
 //! mapro normalize <prog.json> [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf] [--verify]
 //! mapro flatten <prog.json>                       # denormalize to one table
-//! mapro check <a.json> <b.json>                   # semantic equivalence
+//! mapro check <a.json> <b.json> [--mode auto|symbolic|enumerate]
 //! mapro export <prog.json> --format openflow|p4   # data-plane program text
 //! ```
 //!
@@ -291,12 +291,31 @@ fn main() {
         "check" => {
             let a = load(args.get(1).unwrap_or_else(|| usage()));
             let b = load(args.get(2).unwrap_or_else(|| usage()));
-            match mapro_core::check_equivalent(&a, &b, &mapro_core::EquivConfig::default()) {
+            // Engine selection: the default Auto prefers the symbolic
+            // cover engine and falls back to enumeration outside its
+            // fragment; the method is always printed so a sampled verdict
+            // is never mistaken for a proof.
+            let mode = match flag("--mode").as_deref() {
+                None | Some("auto") => mapro_core::EquivMode::Auto,
+                Some("symbolic") => mapro_core::EquivMode::Symbolic,
+                Some("enumerate") => mapro_core::EquivMode::Enumerate,
+                Some(m) => {
+                    usage_error(format_args!("unknown mode {m:?} (auto|symbolic|enumerate)"))
+                }
+            };
+            let cfg = mapro_core::EquivConfig {
+                mode,
+                ..mapro_core::EquivConfig::default()
+            };
+            match mapro_sym::check_equivalent(&a, &b, &cfg) {
                 Ok(mapro_core::EquivOutcome::Equivalent {
                     packets_checked,
                     exhaustive,
+                    method,
                 }) => {
-                    println!("EQUIVALENT ({packets_checked} packets, exhaustive: {exhaustive})");
+                    println!(
+                        "EQUIVALENT ({packets_checked} packets, exhaustive: {exhaustive}, method: {method})"
+                    );
                 }
                 Ok(mapro_core::EquivOutcome::Counterexample(cx)) => {
                     println!("NOT EQUIVALENT on packet {:?}", cx.fields);

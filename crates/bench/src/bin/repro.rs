@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint|symscale]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--threads N]
 //!       [--json] [--metrics [out.json]]
 //! ```
@@ -15,7 +15,7 @@
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint|symscale] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -103,6 +103,7 @@ const EXPERIMENTS: &[&str] = &[
     "faults",
     "parscale",
     "lint",
+    "symscale",
 ];
 
 /// Report a usage error on one line and exit 2 (the contract
@@ -135,9 +136,10 @@ fn main() {
             EXPERIMENTS.contains(&name),
             "want({name:?}) not in EXPERIMENTS — add it to the list"
         );
-        // parscale repeats every hot path at 4 pool sizes; it is a
-        // machine benchmark, not a paper artifact, so `all` skips it.
-        (all && name != "parscale") || args.experiment == name
+        // parscale repeats every hot path at 4 pool sizes and symscale
+        // repeats the equivalence workloads per engine; they are machine
+        // benchmarks, not paper artifacts, so `all` skips them.
+        (all && name != "parscale" && name != "symscale") || args.experiment == name
     };
 
     if want("fig1") {
@@ -422,6 +424,47 @@ fn main() {
                 println!(
                     "{:<8} {:>8} {:>12.2} {:>8.2}x  {}",
                     r.workload, r.threads, r.wall_ms, r.speedup, r.digest
+                );
+            }
+        }
+    }
+    if want("symscale") {
+        println!(
+            "\n############ E17 — symbolic vs enumerative equivalence checking (extension) ############"
+        );
+        let rep = symscale(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+        } else {
+            println!("host cores: {}", rep.host_cores);
+            println!(
+                "{:<8} {:>9} {:>9} {:>10} {:>9} {:>8} {:>8} {:>8}  verdict / digest",
+                "workload",
+                "log2|D|",
+                "enum[ms]",
+                "sym[ms]",
+                "speedup",
+                "atoms_l",
+                "atoms_r",
+                "pairs"
+            );
+            for r in &rep.rows {
+                println!(
+                    "{:<8} {:>9.1} {:>9} {:>10.2} {:>9} {:>8} {:>8} {:>8}  {} / {}",
+                    r.workload,
+                    r.product_log2,
+                    r.enum_ms
+                        .map(|m| format!("{m:.2}"))
+                        .unwrap_or_else(|| "infeasible".into()),
+                    r.sym_ms,
+                    r.speedup
+                        .map(|s| format!("{s:.1}x"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.atoms_left,
+                    r.atoms_right,
+                    r.pairs,
+                    r.verdict,
+                    r.digest
                 );
             }
         }

@@ -921,6 +921,7 @@ pub fn parscale(cfg: &BenchConfig, threads: &[usize]) -> ParScaleReport {
                 Ok(EquivOutcome::Equivalent {
                     packets_checked,
                     exhaustive,
+                    ..
                 }) => format!("eq:{packets_checked}:{exhaustive}"),
                 Ok(EquivOutcome::Counterexample(cx)) => format!("cx:{:?}", cx.fields),
                 Err(e) => format!("err:{e}"),
@@ -1090,4 +1091,241 @@ pub fn lint_workloads(cfg: &BenchConfig) -> Vec<LintRow> {
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------- E17 ---
+
+/// One configuration of the symbolic-vs-enumerative sweep (E17, extension).
+#[derive(Debug, Clone, Serialize)]
+pub struct SymScaleRow {
+    /// Workload label.
+    pub workload: String,
+    /// log2 of the derived Cartesian packet-domain product.
+    pub product_log2: f64,
+    /// Whether exhaustive enumeration is feasible (product within the
+    /// default `max_exhaustive`); when false, enumeration could only
+    /// *sample* and the symbolic verdict is the only complete one.
+    pub enum_feasible: bool,
+    /// Best-of-reps wall clock of the enumerative engine \[ms\]; `None`
+    /// when enumeration is infeasible and was not run.
+    pub enum_ms: Option<f64>,
+    /// Best-of-reps wall clock of the symbolic engine \[ms\].
+    pub sym_ms: f64,
+    /// `enum_ms / sym_ms` when both ran.
+    pub speedup: Option<f64>,
+    /// Atom count of the left behavior cover.
+    pub atoms_left: usize,
+    /// Atom count of the right behavior cover.
+    pub atoms_right: usize,
+    /// Non-empty atom intersections compared (only meaningful on an
+    /// equivalent verdict; 0 when a counterexample cut the scan short).
+    pub pairs: usize,
+    /// How the reported verdict was decided (`symbolic` always, here).
+    pub method: String,
+    /// `equivalent` or `counterexample`.
+    pub verdict: String,
+    /// Fingerprint of the deterministic parts of the result (atom counts,
+    /// pairs, verdict, counterexample fields) — never timings — so CI can
+    /// diff it across thread counts.
+    pub digest: String,
+}
+
+/// The E17 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct SymScaleReport {
+    /// `available_parallelism` of the measuring host.
+    pub host_cores: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// One row per configuration.
+    pub rows: Vec<SymScaleRow>,
+}
+
+/// Extension experiment E17: the symbolic atom-based equivalence engine
+/// against the enumerative oracle, across the feasibility boundary.
+///
+/// Four configurations:
+/// * `gwlb` — the E15 equivalence workload (universal vs goto-normalized
+///   GWLB), where exhaustive enumeration is feasible: both engines run and
+///   the speedup is reported. (The enumerative engine's representative
+///   domain is tiny here while GWLB's wide exact fields inflate the atom
+///   count — an honest configuration where enumeration wins.)
+/// * `wide4` — 4 × 16-bit fields with disjoint exact rows, reordered: the
+///   representative product is ~10^6 (feasible, expensive) while the
+///   covers stay small — the configuration where the symbolic engine is
+///   an order of magnitude faster.
+/// * `wide8` — same shape at 8 fields: the derived product exceeds 2^40
+///   packets, enumeration can only sample, while the cover check
+///   completes and *proves* equivalence.
+/// * `churn` — the `gwlb` pair re-checked after one action edit (the
+///   update-churn shape): the per-table partition cache carries over, and
+///   the engine pinpoints the exact counterexample.
+///
+/// Timing is best-of-`REPS` after an untimed warmup, like E15. The digest
+/// column captures only deterministic results, so runs at different
+/// `--threads` must produce byte-identical digests (CI enforces this).
+pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
+    use mapro_core::{
+        ActionSem, Catalog, Domain, EquivConfig, EquivMode, EquivOutcome, Table, Value,
+    };
+    use mapro_sym::{compile, FieldSpace, SymConfig};
+    use std::time::Instant;
+
+    const REPS: usize = 3;
+    let enum_cfg = EquivConfig {
+        mode: EquivMode::Enumerate,
+        ..EquivConfig::default()
+    };
+
+    // `wide{4,8}`: k disjoint exact rows over f wide fields, vs the same
+    // rows in reverse priority order. Every field sees k distinct values,
+    // so the derived domain has ~2k representatives per field and the
+    // product grows as (2k)^f while the covers stay near-linear in k·f:
+    // at f=4 the product is large-but-feasible (the enumerative engine
+    // pays it in full and symbolic wins big); at f=8 it passes 2^40 and
+    // only the symbolic engine can still *prove* equivalence.
+    let wide = |fields: usize, nrows: u64, reversed: bool| {
+        let mut c = Catalog::new();
+        let fs: Vec<_> = (0..fields).map(|i| c.field(format!("w{i}"), 16)).collect();
+        let out = c.action("out", ActionSem::Output);
+        let mut s = cfg.seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut rows: Vec<(Vec<Value>, Vec<Value>)> = (0..nrows)
+            .map(|r| {
+                let m: Vec<Value> = (0..fields).map(|_| Value::Int(rng() & 0xffff)).collect();
+                (m, vec![Value::sym(format!("p{r}"))])
+            })
+            .collect();
+        if reversed {
+            rows.reverse();
+        }
+        let mut table = Table::new("wide", fs, vec![out]);
+        for (m, a) in rows {
+            table.row(m, a);
+        }
+        Pipeline::single(c, table)
+    };
+
+    // `gwlb`: the E15 equivalence pair, and its churn variant with one
+    // backend's output port edited (guaranteed counterexample).
+    let g = Gwlb::random(cfg.services * 3, cfg.backends * 2, cfg.seed);
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+    let mut churned = goto.clone();
+    'edit: for t in &mut churned.tables {
+        for e in &mut t.entries {
+            for v in &mut e.actions {
+                if let Value::Sym(s) = v {
+                    if s.as_ref().starts_with("vm") {
+                        *v = Value::sym("vm-churned");
+                        break 'edit;
+                    }
+                }
+            }
+        }
+    }
+
+    let cases: Vec<(&str, Pipeline, Pipeline)> = vec![
+        ("gwlb", g.universal.clone(), goto),
+        ("wide4", wide(4, 12, false), wide(4, 12, true)),
+        ("wide8", wide(8, 24, false), wide(8, 24, true)),
+        ("churn", g.universal.clone(), churned),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, l, r) in &cases {
+        let product = Domain::from_pipelines(&[l, r])
+            .map(|d| d.product_size())
+            .unwrap_or(u128::MAX);
+        let enum_feasible = product <= enum_cfg.max_exhaustive;
+
+        // Untimed warmup (also primes the partition cache, deliberately:
+        // re-verification against a warm cache is the production shape).
+        let _ = mapro_sym::check_equivalent_with(
+            l,
+            r,
+            &EquivConfig {
+                mode: EquivMode::Symbolic,
+                ..EquivConfig::default()
+            },
+            &SymConfig::default(),
+        );
+
+        let mut sym_ms = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            outcome = Some(
+                mapro_sym::check_symbolic(l, r, &SymConfig::default())
+                    .expect("symscale workloads are inside the symbolic fragment"),
+            );
+            sym_ms = sym_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let outcome = outcome.expect("REPS >= 1");
+
+        let space = FieldSpace::from_pipelines(&[l, r]);
+        let atoms_left = compile(l, &space, &SymConfig::default())
+            .expect("compiles")
+            .atoms
+            .len();
+        let atoms_right = compile(r, &space, &SymConfig::default())
+            .expect("compiles")
+            .atoms
+            .len();
+
+        let (pairs, verdict, digest_tail) = match &outcome {
+            EquivOutcome::Equivalent {
+                packets_checked, ..
+            } => (*packets_checked, "equivalent", "eq".to_owned()),
+            EquivOutcome::Counterexample(cx) => {
+                (0, "counterexample", format!("cx@{:?}", cx.fields))
+            }
+        };
+
+        let enum_ms = if enum_feasible {
+            let _ = mapro_core::check_equivalent(l, r, &enum_cfg); // warmup
+            let mut best = f64::INFINITY;
+            for _ in 0..REPS {
+                let t0 = Instant::now();
+                let e =
+                    mapro_core::check_equivalent(l, r, &enum_cfg).expect("enumerative oracle runs");
+                assert_eq!(
+                    e.is_equivalent(),
+                    outcome.is_equivalent(),
+                    "symscale {name}: engines disagree — differential bug"
+                );
+                best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            Some(best)
+        } else {
+            None
+        };
+
+        rows.push(SymScaleRow {
+            workload: (*name).to_owned(),
+            product_log2: (product as f64).log2(),
+            enum_feasible,
+            enum_ms,
+            sym_ms,
+            speedup: enum_ms.map(|e| e / sym_ms),
+            atoms_left,
+            atoms_right,
+            pairs,
+            method: "symbolic".to_owned(),
+            verdict: verdict.to_owned(),
+            digest: format!("sym:{atoms_left}:{atoms_right}:{pairs}:{digest_tail}"),
+        });
+    }
+
+    SymScaleReport {
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        seed: cfg.seed,
+        rows,
+    }
 }

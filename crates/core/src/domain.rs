@@ -102,9 +102,18 @@ impl Domain {
         Ok(Domain { fields })
     }
 
-    /// Number of packets in the full Cartesian product.
+    /// Number of packets in the full Cartesian product, saturating at
+    /// `u128::MAX`.
+    ///
+    /// Saturation (rather than `Iterator::product`, which panics in debug
+    /// builds and wraps in release) keeps the exhaustive-vs-sampling mode
+    /// decision in the equivalence checker correct for programs with many
+    /// wide fields: a wrapped product could land *under* `max_exhaustive`
+    /// and trigger a doomed exhaustive enumeration.
     pub fn product_size(&self) -> u128 {
-        self.fields.iter().map(|(_, vs)| vs.len() as u128).product()
+        self.fields
+            .iter()
+            .fold(1u128, |acc, (_, vs)| acc.saturating_mul(vs.len() as u128))
     }
 
     /// Iterate the full Cartesian product of representatives as packets.
@@ -309,6 +318,28 @@ mod tests {
             Domain::from_pipelines(&[&p]),
             Err(DomainError::NonIntervalPredicate { .. })
         ));
+    }
+
+    /// Regression: a product exceeding 2^128 must saturate, not wrap (or
+    /// panic in debug builds), so the sampling-mode trigger in the
+    /// equivalence checker stays robust for many-wide-field programs.
+    #[test]
+    fn product_size_saturates_instead_of_overflowing() {
+        // 13 fields × 1000 representatives each: 1000^13 ≈ 2^129.5 > 2^128.
+        let fields: Vec<(AttrId, Vec<u64>)> = (0..13)
+            .map(|i| (AttrId(i), (0..1000u64).collect()))
+            .collect();
+        let d = Domain { fields };
+        assert_eq!(d.product_size(), u128::MAX);
+        // The saturated size is still usable: sampling works and range
+        // iteration treats any in-range start as valid.
+        let mut c = Catalog::new();
+        for i in 0..13 {
+            c.field(format!("f{i}"), 32);
+        }
+        let proto = Packet::zero(&c);
+        assert_eq!(d.sample(&proto, 5, 1).len(), 5);
+        assert_eq!(d.packets_range(&proto, 0, 3).count(), 3);
     }
 
     #[test]

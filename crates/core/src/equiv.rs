@@ -11,16 +11,45 @@ use crate::domain::{Domain, DomainError};
 use crate::pipeline::{EvalError, Packet, Pipeline, Verdict};
 use mapro_par::{CancelToken, Pool};
 
+/// How an equivalence verdict was reached.
+///
+/// Only [`CheckMethod::Sampled`] verdicts are incomplete; the other two are
+/// proofs. Surfaced in CLI/repro output so a sampled "equivalent" is never
+/// mistaken for one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMethod {
+    /// Every packet of the derived Cartesian domain was evaluated.
+    Exhaustive,
+    /// The domain was too large; a deterministic sample was evaluated.
+    Sampled,
+    /// Behavior covers were compared symbolically (every packet is covered
+    /// by exactly one ternary atom, so this is a complete check).
+    Symbolic,
+}
+
+impl std::fmt::Display for CheckMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckMethod::Exhaustive => write!(f, "exhaustive"),
+            CheckMethod::Sampled => write!(f, "sampled"),
+            CheckMethod::Symbolic => write!(f, "symbolic"),
+        }
+    }
+}
+
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EquivOutcome {
     /// No distinguishing packet exists in the checked set.
     Equivalent {
-        /// How many packets were evaluated.
+        /// How many packets were evaluated (for [`CheckMethod::Symbolic`]:
+        /// how many non-empty atom intersections were compared).
         packets_checked: usize,
         /// True if the full Cartesian product was enumerated (complete
         /// check); false if the product was sampled.
         exhaustive: bool,
+        /// How the verdict was decided.
+        method: CheckMethod,
     },
     /// A packet on which the two pipelines disagree.
     Counterexample(Box<Counterexample>),
@@ -63,6 +92,12 @@ pub enum EquivError {
         /// Its name in the right catalog (if present).
         right: Option<String>,
     },
+    /// [`EquivMode::Symbolic`] was requested but the program contains a
+    /// construct the symbolic compiler cannot express (reachable goto
+    /// cycle, unknown goto target, malformed action parameter, or an
+    /// exhausted atom/partition budget). Under [`EquivMode::Auto`] these
+    /// cases silently fall back to the enumerative engine instead.
+    SymbolicUnsupported(String),
 }
 
 impl From<DomainError> for EquivError {
@@ -86,11 +121,35 @@ impl std::fmt::Display for EquivError {
                 f,
                 "programs are not comparable: field {attr} is {left:?} on the left but {right:?} on the right"
             ),
+            EquivError::SymbolicUnsupported(why) => {
+                write!(f, "symbolic equivalence unsupported: {why}")
+            }
         }
     }
 }
 
 impl std::error::Error for EquivError {}
+
+/// Which engine decides an equivalence query.
+///
+/// This crate only implements the enumerative engine; the symbolic one
+/// lives in `mapro-sym`, whose `check_equivalent` front door dispatches on
+/// this mode (and is what the umbrella `mapro` prelude re-exports).
+/// Calling [`check_equivalent`] here directly treats `Auto` as the
+/// enumerative fallback and rejects an explicit `Symbolic` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EquivMode {
+    /// Prefer the symbolic engine; fall back to enumeration for constructs
+    /// the cube compiler cannot express.
+    #[default]
+    Auto,
+    /// Symbolic only: unsupported constructs are an error
+    /// ([`EquivError::SymbolicUnsupported`]), never silently enumerated.
+    Symbolic,
+    /// Enumerative only (the cross-check oracle): exhaustive up to
+    /// [`EquivConfig::max_exhaustive`], sampled beyond it.
+    Enumerate,
+}
 
 /// Configuration for [`check_equivalent`].
 #[derive(Debug, Clone)]
@@ -102,6 +161,8 @@ pub struct EquivConfig {
     pub samples: usize,
     /// Seed for the sampling fallback.
     pub seed: u64,
+    /// Engine selection (see [`EquivMode`]).
+    pub mode: EquivMode,
 }
 
 impl Default for EquivConfig {
@@ -110,6 +171,7 @@ impl Default for EquivConfig {
             max_exhaustive: 2_000_000,
             samples: 200_000,
             seed: 0x6d61_7072_6f31_3919, // "mapro19" tag — any fixed value works
+            mode: EquivMode::Auto,
         }
     }
 }
@@ -148,6 +210,13 @@ pub fn check_equivalent(
     right: &Pipeline,
     cfg: &EquivConfig,
 ) -> Result<EquivOutcome, EquivError> {
+    if cfg.mode == EquivMode::Symbolic {
+        return Err(EquivError::SymbolicUnsupported(
+            "the enumerative engine cannot honor EquivMode::Symbolic; \
+             use the mode-dispatching front door in mapro-sym"
+                .to_owned(),
+        ));
+    }
     let domain = Domain::from_pipelines(&[left, right])?;
     // The packets we construct assign values by attribute id; both programs
     // must agree on what each participating field id denotes.
@@ -217,6 +286,7 @@ pub fn check_equivalent(
             None => Ok(EquivOutcome::Equivalent {
                 packets_checked: n,
                 exhaustive: true,
+                method: CheckMethod::Exhaustive,
             }),
             Some(ChunkEvent::Cx(cx)) => Ok(EquivOutcome::Counterexample(cx)),
             Some(ChunkEvent::Fail(e)) => Err(e),
@@ -257,6 +327,7 @@ pub fn check_equivalent(
             None => Ok(EquivOutcome::Equivalent {
                 packets_checked: pkts.len(),
                 exhaustive: false,
+                method: CheckMethod::Sampled,
             }),
             Some(ChunkEvent::Cx(cx)) => Ok(EquivOutcome::Counterexample(cx)),
             Some(ChunkEvent::Fail(e)) => Err(e),
@@ -309,9 +380,11 @@ mod tests {
         if let EquivOutcome::Equivalent {
             packets_checked,
             exhaustive,
+            method,
         } = r
         {
             assert!(exhaustive);
+            assert_eq!(method, CheckMethod::Exhaustive);
             assert_eq!(packets_checked, 4); // boundary values {0, 1, 2, 3}
         }
     }
@@ -383,19 +456,38 @@ mod tests {
             max_exhaustive: 0,
             samples: 50,
             seed: 7,
+            ..EquivConfig::default()
         };
         match check_equivalent(&a, &b, &cfg).unwrap() {
             EquivOutcome::Equivalent {
                 exhaustive,
                 packets_checked,
+                method,
             } => {
                 assert!(!exhaustive);
+                assert_eq!(method, CheckMethod::Sampled);
                 // The derived domain has 3 representatives ({0,1,2}); 50
                 // draws collapse to the distinct packets actually checked.
                 assert_eq!(packets_checked, 3);
             }
             _ => panic!(),
         }
+    }
+
+    /// The enumerative engine cannot satisfy an explicit symbolic-only
+    /// request; it must refuse rather than silently enumerate.
+    #[test]
+    fn explicit_symbolic_mode_rejected_by_enumerative_engine() {
+        let a = out_table(&[(1, "x")]);
+        let b = out_table(&[(1, "x")]);
+        let cfg = EquivConfig {
+            mode: EquivMode::Symbolic,
+            ..EquivConfig::default()
+        };
+        assert!(matches!(
+            check_equivalent(&a, &b, &cfg),
+            Err(EquivError::SymbolicUnsupported(_))
+        ));
     }
 
     /// Regression: sampled draws are deduplicated before checking, so
@@ -410,11 +502,13 @@ mod tests {
             max_exhaustive: 0,
             samples: 10_000,
             seed: 99,
+            ..EquivConfig::default()
         };
         match check_equivalent(&a, &b, &cfg).unwrap() {
             EquivOutcome::Equivalent {
                 exhaustive,
                 packets_checked,
+                ..
             } => {
                 assert!(!exhaustive);
                 assert!(

@@ -39,7 +39,10 @@ pub mod value;
 
 pub use attr::{ActionSem, AttrId, AttrKind, Attribute, Catalog};
 pub use domain::{Domain, DomainError};
-pub use equiv::{assert_equivalent, check_equivalent, Counterexample, EquivConfig, EquivOutcome};
+pub use equiv::{
+    assert_equivalent, check_equivalent, CheckMethod, Counterexample, EquivConfig, EquivError,
+    EquivMode, EquivOutcome,
+};
 pub use pipeline::{EvalError, Packet, Pipeline, Verdict};
 pub use size::{SizeReport, TableSize};
 pub use table::{Entry, MissPolicy, Overlap, Table};

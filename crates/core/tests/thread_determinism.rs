@@ -41,6 +41,7 @@ fn equivalence_outcome_is_identical_at_any_thread_count() {
         max_exhaustive: 0,
         samples: 5_000,
         seed: 41,
+        ..EquivConfig::default()
     };
 
     let scenarios: Vec<(&str, &Pipeline, &Pipeline, &EquivConfig)> = vec![

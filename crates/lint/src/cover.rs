@@ -1,194 +1,11 @@
-//! Ternary-cube cover algebra over whole entries.
+//! Ternary-cube cover algebra — re-exported from `mapro-sym`.
 //!
-//! An entry's match row is a *cube*: one canonical ternary `(bits, mask)`
-//! per match column (see `Value::as_ternary`). Shadowing is single-cube
-//! subsumption; dead-entry detection asks whether a cube is covered by the
-//! *union* of the cubes above it, decided exactly by the classic recursive
-//! cover check (split the cube along one care bit of an intersecting
-//! earlier cube, recurse on the residue). The split fan-out is bounded by
-//! a budget; an exhausted budget means "unknown", never a false positive.
+//! The cube machinery (canonical per-column ternaries, exact union-cover
+//! checks with budgeted splitting) originated here for the shadowing and
+//! dead-entry analyses, and was promoted to [`mapro_sym::cube`] when the
+//! symbolic equivalence engine generalized it with intersection,
+//! subtraction and representative extraction. This module keeps the
+//! historical `mapro_lint::cover` paths working as thin re-exports; the
+//! algebra itself (and its oracle tests) lives in `mapro-sym`.
 
-use mapro_core::Value;
-
-/// One column of a cube: matches `v` iff `v & mask == bits`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Tern {
-    /// Cared-for bit values (always a subset of `mask`).
-    pub bits: u64,
-    /// Care mask, trimmed to the column width.
-    pub mask: u64,
-}
-
-/// A conjunction of per-column ternary predicates — the packet set of one
-/// entry. `None` cells (symbolic "predicates", which match nothing) make
-/// the whole cube unsatisfiable; such entries are reported separately and
-/// never enter the cover computation.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Cube(pub Vec<Tern>);
-
-impl Cube {
-    /// Build from an entry's match cells; `None` when any cell is
-    /// unsatisfiable (a symbolic value in a match column).
-    pub fn of(matches: &[Value], widths: &[u32]) -> Option<Cube> {
-        debug_assert_eq!(matches.len(), widths.len());
-        matches
-            .iter()
-            .zip(widths)
-            .map(|(v, &w)| v.as_ternary(w).map(|(bits, mask)| Tern { bits, mask }))
-            .collect::<Option<Vec<_>>>()
-            .map(Cube)
-    }
-
-    /// Does every packet in `other` also lie in `self`?
-    pub fn subsumes(&self, other: &Cube) -> bool {
-        self.0
-            .iter()
-            .zip(&other.0)
-            .all(|(a, b)| a.mask & b.mask == a.mask && (a.bits ^ b.bits) & a.mask == 0)
-    }
-
-    /// Do the two cubes share a packet? (Per-column ternary overlap.)
-    pub fn intersects(&self, other: &Cube) -> bool {
-        self.0
-            .iter()
-            .zip(&other.0)
-            .all(|(a, b)| (a.bits ^ b.bits) & a.mask & b.mask == 0)
-    }
-}
-
-/// Is `cube` entirely covered by the union of `cover`?
-///
-/// Exact when it answers: `Some(true)` / `Some(false)` are proofs. `None`
-/// means the recursive split exceeded `budget` steps and the question is
-/// left open (callers must treat it as "not covered" to stay sound).
-pub fn covered_by(cube: &Cube, cover: &[&Cube], budget: &mut usize) -> Option<bool> {
-    if *budget == 0 {
-        return None;
-    }
-    *budget -= 1;
-    // Find an earlier cube that intersects; if none, some packet of `cube`
-    // escapes every cover cube.
-    let Some(c) = cover.iter().find(|c| c.intersects(cube)) else {
-        return Some(false);
-    };
-    if c.subsumes(cube) {
-        return Some(true);
-    }
-    // `c` intersects but does not contain `cube`: split `cube ∖ c` into
-    // disjoint subcubes (one per care bit of `c` that `cube` leaves free)
-    // and require each to be covered. The subcube for bit `k` pins bits
-    // k+1.. (in iteration order) to agree with `c` and bit `k` to differ,
-    // which makes the subcubes pairwise disjoint and their union exactly
-    // `cube ∖ c`.
-    let mut pinned = cube.clone();
-    for col in 0..cube.0.len() {
-        let free = c.0[col].mask & !cube.0[col].mask;
-        let mut rest = free;
-        while rest != 0 {
-            let k = rest & rest.wrapping_neg(); // lowest set bit
-            rest &= rest - 1;
-            let mut sub = pinned.clone();
-            sub.0[col].mask |= k;
-            sub.0[col].bits = (sub.0[col].bits & !k) | (!c.0[col].bits & k);
-            match covered_by(&sub, cover, budget) {
-                Some(true) => {}
-                other => return other,
-            }
-            // Pin this bit to agree with `c` for the remaining subcubes.
-            pinned.0[col].mask |= k;
-            pinned.0[col].bits = (pinned.0[col].bits & !k) | (c.0[col].bits & k);
-        }
-    }
-    Some(true)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn cube(cells: &[(u64, u64)]) -> Cube {
-        Cube(
-            cells
-                .iter()
-                .map(|&(bits, mask)| Tern { bits, mask })
-                .collect(),
-        )
-    }
-
-    #[test]
-    fn subsumption_per_column() {
-        let wide = cube(&[(0, 0), (5, 0xff)]);
-        let narrow = cube(&[(3, 0xff), (5, 0xff)]);
-        assert!(wide.subsumes(&narrow));
-        assert!(!narrow.subsumes(&wide));
-    }
-
-    #[test]
-    fn union_cover_found() {
-        // 0* ∪ 1* covers * on one 4-bit column.
-        let all = cube(&[(0, 0)]);
-        let lo = cube(&[(0, 0b1000)]);
-        let hi = cube(&[(0b1000, 0b1000)]);
-        let mut budget = 1000;
-        assert_eq!(covered_by(&all, &[&lo, &hi], &mut budget), Some(true));
-        let mut budget = 1000;
-        assert_eq!(covered_by(&all, &[&lo], &mut budget), Some(false));
-    }
-
-    #[test]
-    fn union_cover_multi_column() {
-        // Column 0 split across two cubes that each pin column 1 = 7:
-        // together they cover (any, 7) but not (any, any).
-        let lo = cube(&[(0, 0b1000), (7, 0xf)]);
-        let hi = cube(&[(0b1000, 0b1000), (7, 0xf)]);
-        let target = cube(&[(0, 0), (7, 0xf)]);
-        let mut budget = 1000;
-        assert_eq!(covered_by(&target, &[&lo, &hi], &mut budget), Some(true));
-        let wider = cube(&[(0, 0), (0, 0)]);
-        let mut budget = 1000;
-        assert_eq!(covered_by(&wider, &[&lo, &hi], &mut budget), Some(false));
-    }
-
-    #[test]
-    fn budget_exhaustion_is_unknown() {
-        let all = cube(&[(0, 0)]);
-        let lo = cube(&[(0, 0b1000)]);
-        let hi = cube(&[(0b1000, 0b1000)]);
-        let mut budget = 1;
-        assert_eq!(covered_by(&all, &[&lo, &hi], &mut budget), None);
-    }
-
-    /// Brute-force oracle on a single small column.
-    #[test]
-    fn covered_by_matches_enumeration() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
-        let w = 6u32;
-        let full = (1u64 << w) - 1;
-        let mut rng = SmallRng::seed_from_u64(2019);
-        for _ in 0..200 {
-            let t: Vec<Tern> = (0..rng.gen_range(1..5))
-                .map(|_| {
-                    let mask = rng.gen_range(0..=full);
-                    Tern {
-                        bits: rng.gen_range(0..=full) & mask,
-                        mask,
-                    }
-                })
-                .collect();
-            let cm = rng.gen_range(0..=full);
-            let c = cube(&[(rng.gen_range(0..=full) & cm, cm)]);
-            let covers: Vec<Cube> = t.iter().map(|&x| Cube(vec![x])).collect();
-            let refs: Vec<&Cube> = covers.iter().collect();
-            let expect = (0..=full)
-                .filter(|&v| v & c.0[0].mask == c.0[0].bits)
-                .all(|v| t.iter().any(|x| v & x.mask == x.bits));
-            let mut budget = 100_000;
-            assert_eq!(
-                covered_by(&c, &refs, &mut budget),
-                Some(expect),
-                "{c:?} vs {t:?}"
-            );
-        }
-    }
-}
+pub use mapro_sym::cube::{covered_by, Cube, Tern};

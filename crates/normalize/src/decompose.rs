@@ -22,9 +22,12 @@
 
 use crate::join::{fresh_goto_action, fresh_meta, fresh_table_name, fresh_tag_action, JoinKind};
 use mapro_core::{
-    check_equivalent, ActionSem, AttrId, AttrKind, Counterexample, EquivConfig, EquivOutcome,
-    Pipeline, Table, Value,
+    ActionSem, AttrId, AttrKind, Counterexample, EquivConfig, EquivOutcome, Pipeline, Table, Value,
 };
+// Verification gates go through the mode-dispatching front door: symbolic
+// behavior-cover comparison by default, enumerative fallback for programs
+// outside the cube fragment.
+use mapro_sym::check_equivalent;
 use std::collections::HashMap;
 use std::fmt;
 

@@ -10,7 +10,10 @@
 //! reaches; composing it with [`crate::normalize()`] demonstrates the
 //! orthogonality (tests do both orders).
 
-use mapro_core::{check_equivalent, Domain, EquivConfig, EquivOutcome, Packet, Pipeline};
+use mapro_core::{Domain, EquivConfig, EquivOutcome, Packet, Pipeline};
+// The sampled-prune safety gate verifies through the symbolic front door
+// (with enumerative fallback), like the decomposition verify gates.
+use mapro_sym::check_equivalent;
 use std::collections::HashSet;
 use std::fmt;
 

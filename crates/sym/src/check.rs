@@ -1,0 +1,440 @@
+//! Cover cross-intersection and the mode-dispatching equivalence front door.
+//!
+//! Two pipelines are equivalent iff on every non-empty intersection of a
+//! left atom with a right atom the two behaviors agree: the atoms of each
+//! cover tile the input space, so the pairwise intersections tile it too,
+//! and behavior is constant on each piece. The check is therefore a
+//! cross-product scan — quadratic in atom counts, independent of field
+//! widths — instead of a sweep over the (possibly astronomically large)
+//! Cartesian packet domain.
+//!
+//! A disagreeing atom is reported as a concrete [`Counterexample`]: a
+//! representative packet is extracted from the intersection cube and both
+//! pipelines are re-run on it with the ordinary evaluator, so the reported
+//! packet, field listing and verdicts are byte-compatible with the
+//! enumerative engine's output (and independently re-checkable).
+
+use crate::compile::{compile, FieldSpace, SymConfig, Unsupported};
+use mapro_core::{
+    CheckMethod, Counterexample, EquivConfig, EquivError, EquivMode, EquivOutcome, Packet, Pipeline,
+};
+use mapro_par::{CancelToken, Pool};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Why the symbolic path could not produce a verdict.
+enum SymFail {
+    /// The program is outside the cube compiler's fragment (or blew a
+    /// budget) — `Auto` mode falls back to the enumerative engine.
+    Unsupported(Unsupported),
+    /// A hard comparability/evaluation error the fallback engine would
+    /// also report — never retried.
+    Hard(EquivError),
+}
+
+/// How many left atoms one pool task scans against the full right cover.
+/// Fixed — never derived from the thread count — so the chunk grid (and
+/// therefore the winning counterexample) is identical at any pool size.
+const SYM_CHUNK: usize = 32;
+
+/// A scan task's terminating event (first in-chunk disagreement or the
+/// first evaluation error while concretizing it).
+enum ChunkEvent {
+    Cx(Box<Counterexample>),
+    Fail(EquivError),
+}
+
+/// Run the symbolic engine only. Public for benchmarks and tests that
+/// want the raw engine; most callers should use [`check_equivalent`].
+///
+/// # Errors
+/// [`EquivError::SymbolicUnsupported`] when the program falls outside the
+/// cube compiler's fragment (under [`EquivMode::Auto`] the front door
+/// falls back to enumeration instead), plus the same hard errors the
+/// enumerative engine reports ([`EquivError::IncompatibleCatalogs`],
+/// [`EquivError::Eval`]).
+pub fn check_symbolic(
+    left: &Pipeline,
+    right: &Pipeline,
+    sym: &SymConfig,
+) -> Result<EquivOutcome, EquivError> {
+    symbolic(left, right, sym).map_err(|e| match e {
+        SymFail::Unsupported(u) => EquivError::SymbolicUnsupported(u.to_string()),
+        SymFail::Hard(e) => e,
+    })
+}
+
+fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivOutcome, SymFail> {
+    mapro_obs::counter!("sym.checks").inc();
+    let _t = mapro_obs::time!("sym.check_ns");
+    let space = FieldSpace::from_pipelines(&[left, right]);
+    // The representative packets we construct assign values by attribute
+    // id; both programs must agree on what each participating id denotes
+    // (same guard, and same error, as the enumerative engine).
+    for &(attr, _) in &space.coords {
+        let l = (attr.index() < left.catalog.len()).then(|| left.catalog.attr(attr));
+        let r = (attr.index() < right.catalog.len()).then(|| right.catalog.attr(attr));
+        let same = matches!((l, r), (Some(a), Some(b)) if a.name == b.name && a.width == b.width);
+        if !same {
+            return Err(SymFail::Hard(EquivError::IncompatibleCatalogs {
+                attr,
+                left: l.map(|a| a.name.clone()),
+                right: r.map(|a| a.name.clone()),
+            }));
+        }
+    }
+
+    let lc = compile(left, &space, sym).map_err(SymFail::Unsupported)?;
+    let rc = compile(right, &space, sym).map_err(SymFail::Unsupported)?;
+
+    let li = left.name_index();
+    let ri = right.name_index();
+    let proto = Packet::zero(&left.catalog);
+    // Concretize a disagreeing intersection cube into a counterexample by
+    // re-running the ordinary evaluator on a representative packet.
+    let concretize = |cube: &crate::cube::Cube| -> Result<Counterexample, EquivError> {
+        let rep = cube.representative();
+        let mut pkt = proto.clone();
+        for (k, &(attr, _)) in space.coords.iter().enumerate() {
+            pkt.set(attr, rep[k]);
+        }
+        let vl = left.run_indexed(&pkt, &li)?;
+        let vr = right.run_indexed(&pkt, &ri)?;
+        debug_assert_ne!(
+            vl.observable(),
+            vr.observable(),
+            "behavior covers disagree on an atom whose representative \
+             evaluates identically — cover compilation is unsound"
+        );
+        let fields = space
+            .coords
+            .iter()
+            .map(|&(a, _)| (left.catalog.name(a).to_owned(), pkt.get(a)))
+            .collect();
+        Ok(Counterexample {
+            packet: pkt,
+            fields,
+            left: vl,
+            right: vr,
+        })
+    };
+
+    // Cross-intersection fan-out: fixed-size chunks of left atoms, each
+    // task scanning the full right cover. `find_first` keeps the lowest
+    // chunk index, and within a chunk the scan is in order, so the winning
+    // counterexample is the first in (left atom, right atom) order at any
+    // thread count. The non-empty pair count is only reported on the
+    // equivalent outcome, where every task ran to completion — making the
+    // relaxed atomic tally deterministic too.
+    let pairs = AtomicUsize::new(0);
+    let chunks = mapro_par::chunk_ranges(lc.atoms.len(), SYM_CHUNK);
+    let pool = Pool::current();
+    let hit = pool.find_first(chunks.len(), &CancelToken::new(), |ci, ctl| {
+        let mut local_pairs = 0usize;
+        for la in &lc.atoms[chunks[ci].clone()] {
+            if ctl.superseded(ci) {
+                return None; // a lower-indexed chunk already hit
+            }
+            for ra in &rc.atoms {
+                let Some(meet) = la.cube.intersect(&ra.cube) else {
+                    continue;
+                };
+                local_pairs += 1;
+                if la.behavior != ra.behavior {
+                    return Some(match concretize(&meet) {
+                        Ok(cx) => ChunkEvent::Cx(Box::new(cx)),
+                        Err(e) => ChunkEvent::Fail(e),
+                    });
+                }
+            }
+        }
+        pairs.fetch_add(local_pairs, Ordering::Relaxed);
+        None
+    });
+    match hit {
+        None => Ok(EquivOutcome::Equivalent {
+            packets_checked: pairs.load(Ordering::Relaxed),
+            exhaustive: true,
+            method: CheckMethod::Symbolic,
+        }),
+        Some(ChunkEvent::Cx(cx)) => Ok(EquivOutcome::Counterexample(cx)),
+        Some(ChunkEvent::Fail(e)) => Err(SymFail::Hard(e)),
+    }
+}
+
+/// Check whether two pipelines are observationally equivalent — the
+/// mode-dispatching front door (re-exported by the `mapro` prelude).
+///
+/// Dispatch on [`EquivConfig::mode`]:
+/// * [`EquivMode::Auto`] — run the symbolic engine; if the program is
+///   outside the cube compiler's fragment, fall back to the enumerative
+///   engine (counted in `sym.fallbacks`). Hard errors never fall back.
+/// * [`EquivMode::Symbolic`] — symbolic only; unsupported constructs are
+///   [`EquivError::SymbolicUnsupported`].
+/// * [`EquivMode::Enumerate`] — the enumerative cross-check oracle in
+///   `mapro-core`, exhaustive up to [`EquivConfig::max_exhaustive`] and
+///   sampled beyond it.
+///
+/// Every equivalent outcome reports how it was decided in
+/// [`EquivOutcome::Equivalent::method`]; only sampled verdicts are
+/// incomplete.
+pub fn check_equivalent(
+    left: &Pipeline,
+    right: &Pipeline,
+    cfg: &EquivConfig,
+) -> Result<EquivOutcome, EquivError> {
+    check_equivalent_with(left, right, cfg, &SymConfig::default())
+}
+
+/// [`check_equivalent`] with explicit symbolic-compiler budgets.
+pub fn check_equivalent_with(
+    left: &Pipeline,
+    right: &Pipeline,
+    cfg: &EquivConfig,
+    sym: &SymConfig,
+) -> Result<EquivOutcome, EquivError> {
+    match cfg.mode {
+        EquivMode::Enumerate => mapro_core::check_equivalent(left, right, cfg),
+        EquivMode::Symbolic => check_symbolic(left, right, sym),
+        EquivMode::Auto => match symbolic(left, right, sym) {
+            Ok(out) => Ok(out),
+            Err(SymFail::Hard(e)) => Err(e),
+            Err(SymFail::Unsupported(_)) => {
+                mapro_obs::counter!("sym.fallbacks").inc();
+                let cfg = EquivConfig {
+                    mode: EquivMode::Enumerate,
+                    ..cfg.clone()
+                };
+                mapro_core::check_equivalent(left, right, &cfg)
+            }
+        },
+    }
+}
+
+/// Convenience wrapper asserting equivalence with default configuration
+/// (symbolic with enumerative fallback).
+///
+/// # Panics
+/// Panics with a readable counterexample if the pipelines differ, or on
+/// check errors. Intended for tests and transformation verification.
+pub fn assert_equivalent(left: &Pipeline, right: &Pipeline) {
+    match check_equivalent(left, right, &EquivConfig::default()) {
+        Ok(EquivOutcome::Equivalent { .. }) => {}
+        Ok(EquivOutcome::Counterexample(cx)) => {
+            panic!(
+                "pipelines differ on packet {:?}:\n left: {:?}\n right: {:?}",
+                cx.fields, cx.left, cx.right
+            );
+        }
+        Err(e) => panic!("equivalence check failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{ActionSem, Catalog, Table, Value};
+
+    fn out_table(width: u32, rows: &[(u64, &str)]) -> Pipeline {
+        let mut c = Catalog::new();
+        let f = c.field("f", width);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        for &(v, port) in rows {
+            t.row(vec![Value::Int(v)], vec![Value::sym(port)]);
+        }
+        Pipeline::single(c, t)
+    }
+
+    #[test]
+    fn identical_pipelines_symbolically_equivalent() {
+        let a = out_table(8, &[(1, "x"), (2, "y")]);
+        let b = out_table(8, &[(1, "x"), (2, "y")]);
+        match check_symbolic(&a, &b, &SymConfig::default()).unwrap() {
+            EquivOutcome::Equivalent {
+                exhaustive, method, ..
+            } => {
+                assert!(exhaustive, "symbolic verdicts are complete");
+                assert_eq!(method, CheckMethod::Symbolic);
+            }
+            _ => panic!("expected equivalence"),
+        }
+    }
+
+    #[test]
+    fn entry_order_irrelevant_when_disjoint() {
+        let a = out_table(8, &[(1, "x"), (2, "y")]);
+        let b = out_table(8, &[(2, "y"), (1, "x")]);
+        assert!(check_symbolic(&a, &b, &SymConfig::default())
+            .unwrap()
+            .is_equivalent());
+    }
+
+    #[test]
+    fn differing_output_found_with_concrete_counterexample() {
+        let a = out_table(8, &[(1, "x")]);
+        let b = out_table(8, &[(1, "y")]);
+        match check_symbolic(&a, &b, &SymConfig::default()).unwrap() {
+            EquivOutcome::Counterexample(cx) => {
+                assert_eq!(cx.fields, vec![("f".to_owned(), 1)]);
+                assert_eq!(cx.left.output.as_deref(), Some("x"));
+                assert_eq!(cx.right.output.as_deref(), Some("y"));
+            }
+            _ => panic!("expected counterexample"),
+        }
+    }
+
+    #[test]
+    fn infeasible_width_still_checked_exactly() {
+        // 2^64 packets: enumeration (even sampled) could miss the single
+        // disagreeing point; the cover check finds it exactly.
+        let a = out_table(64, &[(123_456_789_000, "x")]);
+        let b = out_table(64, &[(123_456_789_000, "z")]);
+        match check_symbolic(&a, &b, &SymConfig::default()).unwrap() {
+            EquivOutcome::Counterexample(cx) => {
+                assert_eq!(cx.fields, vec![("f".to_owned(), 123_456_789_000)]);
+            }
+            _ => panic!("expected counterexample"),
+        }
+        let c = out_table(64, &[(123_456_789_000, "x")]);
+        assert!(check_symbolic(&a, &c, &SymConfig::default())
+            .unwrap()
+            .is_equivalent());
+    }
+
+    #[test]
+    fn general_ternary_outside_enumerative_fragment_is_checked() {
+        // Non-contiguous ternary masks are outside the enumerative
+        // domain's decidable fragment; the cube engine handles them
+        // natively.
+        let mk = |port: &str| {
+            let mut c = Catalog::new();
+            let f = c.field("f", 8);
+            let out = c.action("out", ActionSem::Output);
+            let mut t = Table::new("t", vec![f], vec![out]);
+            t.row(
+                vec![Value::Ternary {
+                    bits: 0b0100_0001,
+                    mask: 0b0101_0101,
+                }],
+                vec![Value::sym(port)],
+            );
+            Pipeline::single(c, t)
+        };
+        let (a, b) = (mk("x"), mk("x"));
+        assert!(check_symbolic(&a, &b, &SymConfig::default())
+            .unwrap()
+            .is_equivalent());
+        let c = mk("y");
+        let cx = match check_symbolic(&a, &c, &SymConfig::default()).unwrap() {
+            EquivOutcome::Counterexample(cx) => cx,
+            _ => panic!("expected counterexample"),
+        };
+        // The representative must actually satisfy the ternary predicate.
+        assert_eq!(cx.fields[0].1 & 0b0101_0101, 0b0100_0001);
+    }
+
+    #[test]
+    fn auto_mode_falls_back_on_blown_budget() {
+        let a = out_table(8, &[(1, "x"), (2, "y")]);
+        let b = out_table(8, &[(2, "y"), (1, "x")]);
+        let tiny = SymConfig {
+            max_atoms: 1,
+            ..SymConfig::default()
+        };
+        // Symbolic-only: budget exhaustion is an error...
+        assert!(matches!(
+            check_equivalent_with(
+                &a,
+                &b,
+                &EquivConfig {
+                    mode: EquivMode::Symbolic,
+                    ..EquivConfig::default()
+                },
+                &tiny
+            ),
+            Err(EquivError::SymbolicUnsupported(_))
+        ));
+        // ...while Auto silently falls back to the enumerative oracle.
+        match check_equivalent_with(&a, &b, &EquivConfig::default(), &tiny).unwrap() {
+            EquivOutcome::Equivalent { method, .. } => {
+                assert_eq!(method, CheckMethod::Exhaustive);
+            }
+            _ => panic!("expected equivalence via fallback"),
+        }
+    }
+
+    #[test]
+    fn front_door_dispatches_all_three_modes() {
+        let a = out_table(8, &[(1, "x")]);
+        let b = out_table(8, &[(1, "x")]);
+        let method_of = |mode| {
+            let cfg = EquivConfig {
+                mode,
+                ..EquivConfig::default()
+            };
+            match check_equivalent(&a, &b, &cfg).unwrap() {
+                EquivOutcome::Equivalent { method, .. } => method,
+                _ => panic!("expected equivalence"),
+            }
+        };
+        assert_eq!(method_of(EquivMode::Auto), CheckMethod::Symbolic);
+        assert_eq!(method_of(EquivMode::Symbolic), CheckMethod::Symbolic);
+        assert_eq!(method_of(EquivMode::Enumerate), CheckMethod::Exhaustive);
+    }
+
+    #[test]
+    fn incompatible_catalogs_rejected_not_fallen_back() {
+        let a = out_table(8, &[(1, "x")]);
+        let mut c = Catalog::new();
+        let g = c.field("completely_different", 16);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![g], vec![out]);
+        t.row(vec![Value::Int(1)], vec![Value::sym("x")]);
+        let b = Pipeline::single(c, t);
+        assert!(matches!(
+            check_equivalent(&a, &b, &EquivConfig::default()),
+            Err(EquivError::IncompatibleCatalogs { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "pipelines differ")]
+    fn assert_equivalent_panics_with_counterexample() {
+        let a = out_table(8, &[(1, "x")]);
+        let b = out_table(8, &[(1, "y")]);
+        assert_equivalent(&a, &b);
+    }
+
+    /// The symbolic verdict must agree with the enumerative oracle on a
+    /// multi-table program with metadata plumbing and header rewrites.
+    #[test]
+    fn differential_multi_table() {
+        let mk = |swap: bool| {
+            let mut c = Catalog::new();
+            let f = c.field("f", 4);
+            let g = c.field("g", 4);
+            let m = c.meta("m", 4);
+            let set_m = c.action("set_m", ActionSem::SetField(m));
+            let set_g = c.action("set_g", ActionSem::SetField(g));
+            let out = c.action("out", ActionSem::Output);
+            let mut t0 = Table::new("t0", vec![f], vec![set_m]);
+            t0.row(vec![Value::Int(1)], vec![Value::Int(1)]);
+            t0.next = Some("t1".into());
+            let mut t1 = Table::new("t1", vec![m, g], vec![set_g, out]);
+            t1.row(
+                vec![Value::Int(1), Value::Any],
+                vec![Value::Int(9), Value::sym("a")],
+            );
+            t1.row(
+                vec![Value::Any, Value::Int(2)],
+                vec![Value::Any, Value::sym(if swap { "c" } else { "b" })],
+            );
+            Pipeline::new(c, vec![t0, t1], "t0")
+        };
+        for (l, r) in [(mk(false), mk(false)), (mk(false), mk(true))] {
+            let sym = check_symbolic(&l, &r, &SymConfig::default()).unwrap();
+            let enu = mapro_core::check_equivalent(&l, &r, &EquivConfig::default()).unwrap();
+            assert_eq!(sym.is_equivalent(), enu.is_equivalent());
+        }
+    }
+}

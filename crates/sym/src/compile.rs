@@ -1,0 +1,778 @@
+//! Compiling a pipeline into its canonical *behavior cover*.
+//!
+//! A behavior cover is an ordered set of pairwise disjoint ternary cubes
+//! over the program's free header fields — the *atoms* (forwarding
+//! equivalence classes) — each mapped to the one concrete observable
+//! behavior every packet in the atom experiences. Equivalence of two
+//! pipelines then costs one behavior comparison per non-empty atom
+//! intersection instead of one evaluation per packet.
+//!
+//! The compiler runs the pipeline *symbolically*: a state is an input
+//! cube plus the concrete values of every field the program has written
+//! so far (metadata starts at zero, `SetField` writes are always concrete
+//! integers, so written fields never become symbolic). At each table the
+//! incoming cube is split against the table's priority-resolved entry
+//! partition — which-entry-fires depends only on the input atom — and
+//! each piece continues at its successor table until the run terminates,
+//! yielding an atom. Every branch a packet could take is explored, every
+//! split is a partition, and the leaf cubes therefore tile the input
+//! space exactly: soundness and completeness are inherited from the cube
+//! algebra, not from enumeration.
+//!
+//! The priority resolution of one table — per entry, the disjoint region
+//! it wins after all higher-priority entries took theirs, plus the miss
+//! region — is independent of the incoming state, so it is computed once
+//! per distinct table *content* and cached process-wide keyed by a
+//! structural digest of the match columns (widths + canonical ternary
+//! rows; actions are irrelevant to the partition). Churn/re-check
+//! workloads that modify actions or re-verify the same tables pay the
+//! subtraction fan-out once (`sym.cache.hits` / `sym.cache.misses`).
+
+use crate::cube::Cube;
+use mapro_core::{ActionSem, AttrId, AttrKind, MissPolicy, Pipeline, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The joint ternary coordinate system: every header `Field` attribute
+/// matched by any of the compared pipelines, sorted by attribute id (the
+/// same order `Domain::from_pipelines` derives, so counterexample field
+/// listings stay byte-compatible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpace {
+    /// `(attribute, width)` per cube column.
+    pub coords: Vec<(AttrId, u32)>,
+}
+
+impl FieldSpace {
+    /// Derive the joint space of several pipelines.
+    pub fn from_pipelines(pipelines: &[&Pipeline]) -> FieldSpace {
+        let mut coords: Vec<(AttrId, u32)> = Vec::new();
+        for p in pipelines {
+            for t in &p.tables {
+                for &attr in &t.match_attrs {
+                    let a = p.catalog.attr(attr);
+                    if matches!(a.kind, AttrKind::Field)
+                        && !coords.iter().any(|&(id, _)| id == attr)
+                    {
+                        coords.push((attr, a.width));
+                    }
+                }
+            }
+        }
+        coords.sort_unstable_by_key(|&(id, _)| id);
+        FieldSpace { coords }
+    }
+
+    /// Column index of an attribute, if it participates.
+    #[inline]
+    pub fn coord_of(&self, attr: AttrId) -> Option<usize> {
+        self.coords.iter().position(|&(id, _)| id == attr)
+    }
+
+    /// The all-wildcard cube over this space.
+    pub fn universe(&self) -> Cube {
+        Cube::any(self.coords.len())
+    }
+}
+
+/// The concrete observable behavior of one atom — the symbolic mirror of
+/// `Verdict::observable()`. Construction normalizes a drop (not punted to
+/// the controller) to the absorbing [`Behavior::Dropped`], discarding any
+/// effects accumulated before the miss, exactly as the evaluator does.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Behavior {
+    /// The packet was discarded; nothing is externally visible.
+    Dropped,
+    /// The packet left the switch with these effects applied.
+    Delivered {
+        /// Output port, if any (last write wins).
+        output: Option<Arc<str>>,
+        /// Whether the packet was punted to the controller.
+        to_controller: bool,
+        /// Final values of modified header fields, sorted by attribute id.
+        header_mods: Vec<(AttrId, u64)>,
+        /// Opaque actions applied (sorted multiset).
+        opaque: Vec<(String, Value)>,
+    },
+}
+
+/// One forwarding equivalence class: an input cube and the behavior every
+/// packet in it experiences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Input constraint over the [`FieldSpace`] coordinates.
+    pub cube: Cube,
+    /// The concrete behavior of all packets in `cube`.
+    pub behavior: Behavior,
+}
+
+/// A pipeline compiled to disjoint atoms tiling the whole input space.
+///
+/// Atom order is the deterministic depth-first branch order of the
+/// symbolic run (table entries in priority order, then the miss region),
+/// identical at any thread count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BehaviorCover {
+    /// The coordinate system the atoms' cubes live in.
+    pub space: FieldSpace,
+    /// The atoms, pairwise disjoint, union = universe.
+    pub atoms: Vec<Atom>,
+}
+
+/// Budgets for the symbolic compiler. Exhaustion is reported as
+/// [`Unsupported`], which `Auto` mode turns into an enumerative fallback —
+/// never a wrong answer.
+#[derive(Debug, Clone)]
+pub struct SymConfig {
+    /// Maximum number of atoms one compilation may produce.
+    pub max_atoms: usize,
+    /// Maximum number of live cubes while partitioning one table.
+    pub partition_budget: usize,
+}
+
+impl Default for SymConfig {
+    fn default() -> Self {
+        SymConfig {
+            max_atoms: 1 << 20,
+            partition_budget: 1 << 20,
+        }
+    }
+}
+
+/// A construct the cube compiler cannot express (or a blown budget).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unsupported {
+    /// A symbolic path revisited tables beyond the evaluator's own visit
+    /// budget; the concrete evaluator would error identically, and error
+    /// *ordering* across the domain is the enumerative engine's business.
+    GotoCycle {
+        /// The visit budget that was exceeded.
+        limit: usize,
+    },
+    /// A reachable `Goto`/`next`/`Fall` named a table that does not exist.
+    UnknownTable(String),
+    /// A reachable action cell held a malformed parameter.
+    BadActionParam {
+        /// Offending table name.
+        table: String,
+        /// Offending action attribute name.
+        attr: String,
+    },
+    /// The compilation exceeded [`SymConfig::max_atoms`].
+    AtomBudget,
+    /// A table partition exceeded [`SymConfig::partition_budget`].
+    PartitionBudget,
+}
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Unsupported::GotoCycle { limit } => {
+                write!(
+                    f,
+                    "a symbolic path exceeds {limit} table visits (goto cycle?)"
+                )
+            }
+            Unsupported::UnknownTable(t) => {
+                write!(f, "a reachable jump targets unknown table {t:?}")
+            }
+            Unsupported::BadActionParam { table, attr } => {
+                write!(
+                    f,
+                    "table {table:?}: malformed parameter for action {attr:?}"
+                )
+            }
+            Unsupported::AtomBudget => write!(f, "atom budget exhausted"),
+            Unsupported::PartitionBudget => write!(f, "table partition budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// A table's priority-resolved match partition over its own columns:
+/// per entry the disjoint region it wins, plus the miss region. State
+/// independent, hence cacheable by table content.
+#[derive(Debug)]
+struct TablePartition {
+    /// Per entry: `None` if unsatisfiable (a symbolic match cell), else
+    /// the disjoint cubes of `entry ∖ (earlier entries)`.
+    regions: Vec<Option<Vec<Cube>>>,
+    /// `universe ∖ (all entries)` — the packets that miss.
+    miss: Vec<Cube>,
+}
+
+/// Process-wide partition cache. Bounded: a full cache is cleared rather
+/// than evicted — the workloads that benefit (churn/re-verify) re-touch a
+/// small working set, and correctness never depends on a hit.
+static PART_CACHE: OnceLock<Mutex<HashMap<Vec<u8>, Arc<TablePartition>>>> = OnceLock::new();
+const PART_CACHE_CAP: usize = 512;
+
+/// Structural digest key of a table's match side: column widths plus each
+/// row's canonical ternary form. Actions are excluded on purpose — they
+/// cannot change which entry wins a packet.
+fn partition_key(widths: &[u32], rows: &[Option<Cube>]) -> Vec<u8> {
+    let mut key = Vec::with_capacity(8 + rows.len() * (1 + widths.len() * 16));
+    key.extend_from_slice(&(widths.len() as u32).to_le_bytes());
+    for &w in widths {
+        key.extend_from_slice(&w.to_le_bytes());
+    }
+    key.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        match row {
+            None => key.push(0),
+            Some(c) => {
+                key.push(1);
+                for t in &c.0 {
+                    key.extend_from_slice(&t.bits.to_le_bytes());
+                    key.extend_from_slice(&t.mask.to_le_bytes());
+                }
+            }
+        }
+    }
+    key
+}
+
+/// Build (or fetch) the partition for one table's canonical rows.
+fn table_partition(
+    widths: &[u32],
+    rows: Vec<Option<Cube>>,
+    cfg: &SymConfig,
+) -> Result<Arc<TablePartition>, Unsupported> {
+    let key = partition_key(widths, &rows);
+    let cache = PART_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("partition cache lock").get(&key) {
+        mapro_obs::counter!("sym.cache.hits").inc();
+        return Ok(Arc::clone(hit));
+    }
+    mapro_obs::counter!("sym.cache.misses").inc();
+
+    let ncols = widths.len();
+    let mut remaining = vec![Cube::any(ncols)];
+    let mut regions = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let Some(ec) = row else {
+            regions.push(None);
+            continue;
+        };
+        let hits: Vec<Cube> = remaining.iter().filter_map(|r| r.intersect(ec)).collect();
+        // `remaining` partitions `universe ∖ (earlier entries)`, so the
+        // subtraction only ever splits the pieces `ec` overlaps.
+        remaining = remaining.iter().flat_map(|r| r.subtract(ec)).collect();
+        if remaining.len() > cfg.partition_budget {
+            return Err(Unsupported::PartitionBudget);
+        }
+        regions.push(Some(hits));
+    }
+    let part = Arc::new(TablePartition {
+        regions,
+        miss: remaining,
+    });
+    let mut cache = cache.lock().expect("partition cache lock");
+    if cache.len() >= PART_CACHE_CAP {
+        cache.clear();
+    }
+    cache.insert(key, Arc::clone(&part));
+    Ok(part)
+}
+
+/// One in-flight symbolic execution state.
+#[derive(Clone)]
+struct SymState {
+    /// Constraint on the *input* packet, over the space coordinates.
+    cube: Cube,
+    /// Concrete current value per catalog attribute: metadata starts at
+    /// `Some(0)`, header fields at `None` (free input) until written.
+    vals: Vec<Option<u64>>,
+    /// `SetField` targets in first-write order (mirrors the evaluator).
+    touched: Vec<AttrId>,
+    /// Last `Output` parameter, if any.
+    output: Option<Arc<str>>,
+    /// Opaque actions accumulated so far.
+    opaque: Vec<(String, Value)>,
+    /// Table visits so far (the evaluator's goto-cycle budget).
+    steps: usize,
+}
+
+/// Where a branch goes next: another table or a terminal behavior.
+enum Next {
+    Table(usize),
+    Done(Behavior),
+}
+
+/// Everything `expand` needs that is shared across branches.
+struct Compiler<'a> {
+    p: &'a Pipeline,
+    space: &'a FieldSpace,
+    index: HashMap<&'a str, usize>,
+    parts: Vec<Arc<TablePartition>>,
+    limit: usize,
+    cfg: &'a SymConfig,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(
+        p: &'a Pipeline,
+        space: &'a FieldSpace,
+        cfg: &'a SymConfig,
+    ) -> Result<Compiler<'a>, Unsupported> {
+        let mut parts = Vec::with_capacity(p.tables.len());
+        for t in &p.tables {
+            let widths: Vec<u32> = t
+                .match_attrs
+                .iter()
+                .map(|&a| p.catalog.attr(a).width)
+                .collect();
+            let rows: Vec<Option<Cube>> = t
+                .entries
+                .iter()
+                .map(|e| Cube::of(&e.matches, &widths))
+                .collect();
+            parts.push(table_partition(&widths, rows, cfg)?);
+        }
+        Ok(Compiler {
+            p,
+            space,
+            index: p.name_index(),
+            parts,
+            limit: p.tables.len().saturating_mul(2) + 8,
+            cfg,
+        })
+    }
+
+    fn resolve(&self, name: &str) -> Result<usize, Unsupported> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| Unsupported::UnknownTable(name.to_owned()))
+    }
+
+    fn initial_state(&self) -> SymState {
+        let vals = (0..self.p.catalog.len())
+            .map(|i| match self.p.catalog.attr(AttrId(i as u32)).kind {
+                AttrKind::Meta => Some(0),
+                _ => None,
+            })
+            .collect();
+        SymState {
+            cube: self.space.universe(),
+            vals,
+            touched: Vec::new(),
+            output: None,
+            opaque: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// Specialize one partition cube to the current state: columns whose
+    /// attribute has a known concrete value filter on it; the rest narrow
+    /// the input cube. Returns the refined input cube, or `None` when this
+    /// piece is unreachable under the current state.
+    fn refine(&self, state: &SymState, attrs: &[AttrId], piece: &Cube) -> Option<Cube> {
+        let mut cube = state.cube.clone();
+        for (col, &attr) in attrs.iter().enumerate() {
+            let t = piece.0[col];
+            match state.vals[attr.index()] {
+                Some(v) => {
+                    if !t.matches(v) {
+                        return None;
+                    }
+                }
+                None => {
+                    let k = self
+                        .space
+                        .coord_of(attr)
+                        .expect("unwritten match attr is a space coordinate");
+                    cube.0[k] = cube.0[k].intersect(t)?;
+                }
+            }
+        }
+        Some(cube)
+    }
+
+    /// Run one table visit on `state`: split it against the table's
+    /// partition and return every successor branch in deterministic order
+    /// (entries by priority, partition cubes in construction order, miss
+    /// region last).
+    fn step(&self, state: &SymState, ti: usize) -> Result<Vec<(SymState, Next)>, Unsupported> {
+        let t = &self.p.tables[ti];
+        let part = &self.parts[ti];
+        let mut out = Vec::new();
+
+        for (ei, region) in part.regions.iter().enumerate() {
+            let Some(region) = region else { continue };
+            for piece in region {
+                let Some(cube) = self.refine(state, &t.match_attrs, piece) else {
+                    continue;
+                };
+                let mut s = state.clone();
+                s.cube = cube;
+                s.steps += 1;
+                if s.steps > self.limit {
+                    return Err(Unsupported::GotoCycle { limit: self.limit });
+                }
+                let mut goto: Option<&str> = None;
+                for (col, &attr) in t.action_attrs.iter().enumerate() {
+                    let param = &t.entries[ei].actions[col];
+                    if matches!(param, Value::Any) {
+                        continue; // no-op slot
+                    }
+                    let a = self.p.catalog.attr(attr);
+                    let sem = match &a.kind {
+                        AttrKind::Action(s) => s,
+                        _ => unreachable!("action column with non-action attr"),
+                    };
+                    let bad = || Unsupported::BadActionParam {
+                        table: t.name.clone(),
+                        attr: a.name.clone(),
+                    };
+                    match sem {
+                        ActionSem::Output => match param {
+                            Value::Sym(p) => s.output = Some(p.clone()),
+                            _ => return Err(bad()),
+                        },
+                        ActionSem::Goto => match param {
+                            Value::Sym(p) => goto = Some(p.as_ref()),
+                            _ => return Err(bad()),
+                        },
+                        ActionSem::SetField(target) => match param {
+                            Value::Int(x) => {
+                                s.vals[target.index()] = Some(*x);
+                                if !s.touched.contains(target) {
+                                    s.touched.push(*target);
+                                }
+                            }
+                            _ => return Err(bad()),
+                        },
+                        ActionSem::Opaque => {
+                            s.opaque.push((a.name.clone(), param.clone()));
+                        }
+                    }
+                }
+                let next = match goto {
+                    Some(g) => Next::Table(self.resolve(g)?),
+                    None => match &t.next {
+                        Some(n) => Next::Table(self.resolve(n)?),
+                        None => Next::Done(self.delivered(&s)),
+                    },
+                };
+                out.push((s, next));
+            }
+        }
+
+        for piece in &part.miss {
+            let Some(cube) = self.refine(state, &t.match_attrs, piece) else {
+                continue;
+            };
+            let mut s = state.clone();
+            s.cube = cube;
+            s.steps += 1;
+            if s.steps > self.limit {
+                return Err(Unsupported::GotoCycle { limit: self.limit });
+            }
+            let next = match &t.miss {
+                MissPolicy::Drop => Next::Done(Behavior::Dropped),
+                MissPolicy::Controller => {
+                    let mut b = self.delivered(&s);
+                    if let Behavior::Delivered { to_controller, .. } = &mut b {
+                        *to_controller = true;
+                    }
+                    Next::Done(b)
+                }
+                MissPolicy::Fall(n) => Next::Table(self.resolve(n)?),
+            };
+            out.push((s, next));
+        }
+        Ok(out)
+    }
+
+    /// The terminal `Delivered` behavior of a state (mirrors the verdict
+    /// projection: touched header fields sorted by id, opaque multiset
+    /// sorted).
+    fn delivered(&self, s: &SymState) -> Behavior {
+        let mut mods: Vec<(AttrId, u64)> = s
+            .touched
+            .iter()
+            .filter(|&&a| matches!(self.p.catalog.attr(a).kind, AttrKind::Field))
+            .map(|&a| (a, s.vals[a.index()].expect("touched fields are concrete")))
+            .collect();
+        mods.sort_unstable_by_key(|&(a, _)| a);
+        let mut opaque = s.opaque.clone();
+        opaque.sort();
+        Behavior::Delivered {
+            output: s.output.clone(),
+            to_controller: false,
+            header_mods: mods,
+            opaque,
+        }
+    }
+
+    /// Depth-first expansion of one branch to its atoms.
+    fn expand(&self, state: SymState, ti: usize, out: &mut Vec<Atom>) -> Result<(), Unsupported> {
+        for (s, next) in self.step(&state, ti)? {
+            match next {
+                Next::Done(behavior) => {
+                    out.push(Atom {
+                        cube: s.cube,
+                        behavior,
+                    });
+                    if out.len() > self.cfg.max_atoms {
+                        return Err(Unsupported::AtomBudget);
+                    }
+                }
+                Next::Table(t2) => self.expand(s, t2, out)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compile `p` into its behavior cover over `space`.
+///
+/// The first-table branches fan out over the `mapro-par` pool; each branch
+/// expands depth-first with the full atom budget and the per-branch atom
+/// lists are concatenated in branch order, so the cover is byte-identical
+/// at any thread count.
+pub fn compile(
+    p: &Pipeline,
+    space: &FieldSpace,
+    cfg: &SymConfig,
+) -> Result<BehaviorCover, Unsupported> {
+    let _t = mapro_obs::time!("sym.compile_ns");
+    let c = Compiler::new(p, space, cfg)?;
+    let start = c.resolve(&p.start)?;
+    let root_branches = c.step(&c.initial_state(), start)?;
+
+    let mut atoms = Vec::new();
+    if root_branches.len() >= 2 {
+        let pool = mapro_par::Pool::current();
+        let branches: Vec<(SymState, Next)> = root_branches;
+        let results: Vec<Result<Vec<Atom>, Unsupported>> =
+            pool.map_ordered(&branches, |_, (s, next)| {
+                let mut part = Vec::new();
+                match next {
+                    Next::Done(b) => part.push(Atom {
+                        cube: s.cube.clone(),
+                        behavior: b.clone(),
+                    }),
+                    Next::Table(ti) => c.expand(s.clone(), *ti, &mut part)?,
+                }
+                Ok(part)
+            });
+        for r in results {
+            atoms.extend(r?);
+        }
+        if atoms.len() > cfg.max_atoms {
+            return Err(Unsupported::AtomBudget);
+        }
+    } else {
+        for (s, next) in root_branches {
+            match next {
+                Next::Done(b) => atoms.push(Atom {
+                    cube: s.cube,
+                    behavior: b,
+                }),
+                Next::Table(ti) => c.expand(s, ti, &mut atoms)?,
+            }
+        }
+    }
+    mapro_obs::counter!("sym.atoms").add(atoms.len() as u64);
+    Ok(BehaviorCover {
+        space: space.clone(),
+        atoms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapro_core::{Catalog, Packet, Table};
+
+    fn single(c: Catalog, t: Table) -> Pipeline {
+        Pipeline::single(c, t)
+    }
+
+    /// Enumerate every packet of the (small) field space and check the
+    /// cover is a partition agreeing with concrete evaluation.
+    fn assert_cover_exact(p: &Pipeline) {
+        let space = FieldSpace::from_pipelines(&[p]);
+        let cover = compile(p, &space, &SymConfig::default()).unwrap();
+        let widths: Vec<u32> = space.coords.iter().map(|&(_, w)| w).collect();
+        let total: u64 = widths.iter().map(|&w| 1u64 << w).product();
+        assert!(total <= 1 << 16, "test space too large");
+        let index = p.name_index();
+        for mut n in 0..total {
+            let mut pkt = Packet::zero(&p.catalog);
+            let mut vals = Vec::new();
+            for (k, &(attr, w)) in space.coords.iter().enumerate() {
+                let v = n & ((1u64 << w) - 1);
+                n >>= w;
+                pkt.set(attr, v);
+                vals.push((k, v));
+            }
+            let owners: Vec<&Atom> = cover
+                .atoms
+                .iter()
+                .filter(|a| vals.iter().all(|&(k, v)| a.cube.0[k].matches(v)))
+                .collect();
+            assert_eq!(owners.len(), 1, "atoms must partition the space");
+            let v = p.run_indexed(&pkt, &index).unwrap();
+            let expect = match v.observable() {
+                mapro_core::pipeline::Observable::Dropped => Behavior::Dropped,
+                mapro_core::pipeline::Observable::Delivered {
+                    output,
+                    to_controller,
+                    header_mods,
+                    opaque,
+                } => Behavior::Delivered {
+                    output: output.map(Arc::from),
+                    to_controller,
+                    header_mods: header_mods.to_vec(),
+                    opaque: opaque.to_vec(),
+                },
+            };
+            assert_eq!(owners[0].behavior, expect, "packet {vals:?}");
+        }
+    }
+
+    #[test]
+    fn single_table_cover_matches_evaluator() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let g = c.field("g", 4);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f, g], vec![out]);
+        t.row(vec![Value::Int(3), Value::Any], vec![Value::sym("a")]);
+        t.row(
+            vec![Value::prefix(0b1000, 1, 4), Value::Int(7)],
+            vec![Value::sym("b")],
+        );
+        t.row(
+            vec![
+                Value::Ternary {
+                    bits: 0b0101,
+                    mask: 0b0101,
+                },
+                Value::Any,
+            ],
+            vec![Value::sym("c")],
+        );
+        assert_cover_exact(&single(c, t));
+    }
+
+    #[test]
+    fn goto_metadata_cover_matches_evaluator() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let m = c.meta("m", 8);
+        let set_m = c.action("set_m", ActionSem::SetField(m));
+        let goto = c.action("goto", ActionSem::Goto);
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![set_m, goto]);
+        t0.row(vec![Value::Int(1)], vec![Value::Int(10), Value::sym("t1")]);
+        t0.row(vec![Value::Int(2)], vec![Value::Int(20), Value::sym("t1")]);
+        let mut t1 = Table::new("t1", vec![m], vec![out]);
+        t1.row(vec![Value::Int(10)], vec![Value::sym("p1")]);
+        t1.row(vec![Value::Int(20)], vec![Value::sym("p2")]);
+        let p = Pipeline::new(c, vec![t0, t1], "t0");
+        assert_cover_exact(&p);
+    }
+
+    #[test]
+    fn header_rewrite_then_rematch_covered() {
+        // t0 rewrites header g, t1 matches g: the rewritten value is
+        // concrete, so t1's branch decision must not constrain the input.
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let g = c.field("g", 4);
+        let set_g = c.action("set_g", ActionSem::SetField(g));
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![set_g]);
+        t0.row(vec![Value::Int(1)], vec![Value::Int(7)]);
+        t0.next = Some("t1".into());
+        let mut t1 = Table::new("t1", vec![g], vec![out]);
+        t1.row(vec![Value::Int(7)], vec![Value::sym("rewritten")]);
+        t1.row(vec![Value::Any], vec![Value::sym("passthrough")]);
+        let p = Pipeline::new(c, vec![t0, t1], "t0");
+        assert_cover_exact(&p);
+    }
+
+    #[test]
+    fn controller_and_fall_miss_policies_covered() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![out]);
+        t0.row(vec![Value::Int(1)], vec![Value::sym("a")]);
+        t0.miss = MissPolicy::Fall("t1".into());
+        let mut t1 = Table::new("t1", vec![f], vec![out]);
+        t1.row(vec![Value::Int(2)], vec![Value::sym("b")]);
+        t1.miss = MissPolicy::Controller;
+        let p = Pipeline::new(c, vec![t0, t1], "t0");
+        assert_cover_exact(&p);
+    }
+
+    #[test]
+    fn goto_cycle_is_unsupported() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let goto = c.action("goto", ActionSem::Goto);
+        let mut t0 = Table::new("t0", vec![f], vec![goto]);
+        t0.row(vec![Value::Any], vec![Value::sym("t0")]);
+        let p = single(c, t0);
+        let space = FieldSpace::from_pipelines(&[&p]);
+        assert!(matches!(
+            compile(&p, &space, &SymConfig::default()),
+            Err(Unsupported::GotoCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_action_param_is_unsupported() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::Any], vec![Value::Int(3)]); // output wants a Sym
+        let p = single(c, t);
+        let space = FieldSpace::from_pipelines(&[&p]);
+        assert!(matches!(
+            compile(&p, &space, &SymConfig::default()),
+            Err(Unsupported::BadActionParam { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_bad_param_does_not_poison_compile() {
+        // The malformed cell sits behind a shadowing entry; no packet can
+        // reach it, and the compiler never visits unreachable branches.
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::Any], vec![Value::sym("a")]);
+        t.row(vec![Value::Int(1)], vec![Value::Int(9)]); // shadowed
+        let p = single(c, t);
+        assert_cover_exact(&p);
+    }
+
+    #[test]
+    fn partition_cache_hits_on_identical_content() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f], vec![out]);
+        t.row(vec![Value::Int(200)], vec![Value::sym("cache-probe-a")]);
+        t.row(vec![Value::Int(201)], vec![Value::sym("cache-probe-b")]);
+        let p = single(c, t);
+        let space = FieldSpace::from_pipelines(&[&p]);
+        let a = compile(&p, &space, &SymConfig::default()).unwrap();
+        // Change only an action: the match partition digest is unchanged.
+        let mut p2 = p.clone();
+        p2.table_mut("t").unwrap().entries[0].actions[0] = Value::sym("cache-probe-c");
+        let b = compile(&p2, &space, &SymConfig::default()).unwrap();
+        assert_eq!(a.atoms.len(), b.atoms.len());
+        assert_eq!(a.atoms[0].cube, b.atoms[0].cube);
+        assert_ne!(a.atoms[0].behavior, b.atoms[0].behavior);
+    }
+}

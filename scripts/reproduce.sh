@@ -37,6 +37,15 @@ cargo run --release -p mapro-bench --bin repro -- --experiment parscale --json \
     | sed '1,/############/d' > "$OUT/parscale.json"
 cp "$OUT/parscale.json" BENCH_parallel.json
 
+echo "== symbolic equivalence engine (E17) =="
+# Symbolic vs enumerative equivalence across the feasibility boundary.
+# Timings are machine-dependent; the digest column (atom counts, pairs,
+# verdicts, counterexamples) is deterministic at any thread count — CI
+# diffs it across MAPRO_THREADS settings.
+cargo run --release -p mapro-bench --bin repro -- --experiment symscale --json \
+    | sed '1,/############/d' > "$OUT/symscale.json"
+cp "$OUT/symscale.json" BENCH_symbolic.json
+
 echo "== benches =="
 cargo bench --workspace 2>&1 | tee "$OUT/bench_output.txt" | grep -E "^(table1|fig4|encoding|classifier|normalize)/" || true
 

@@ -37,19 +37,24 @@ pub use mapro_netkat as netkat;
 pub use mapro_normalize as normalize;
 pub use mapro_packet as packet;
 pub use mapro_switch as switch;
+pub use mapro_sym as sym;
 pub use mapro_workloads as workloads;
 
 /// The most commonly used items, for `use mapro::prelude::*`.
 pub mod prelude {
     pub use mapro_core::{
-        assert_equivalent, check_equivalent, ActionSem, AttrId, Catalog, EquivConfig, EquivOutcome,
-        Packet, Pipeline, SizeReport, Table, Value, Verdict,
+        ActionSem, AttrId, Catalog, CheckMethod, EquivConfig, EquivMode, EquivOutcome, Packet,
+        Pipeline, SizeReport, Table, Value, Verdict,
     };
+    // The equivalence entry points are mapro-sym's mode-dispatching front
+    // door (symbolic by default, enumerative fallback), not the raw
+    // enumerative engine in mapro-core.
     pub use mapro_fd::{analyze, mine_fds, NfLevel};
     pub use mapro_normalize::{
         decompose, factor_constants, flatten, normalize, pipeline_level, DecomposeOpts,
         FactorPlacement, JoinKind, NormalizeOpts,
     };
     pub use mapro_switch::{run_modeled, EswitchSim, LagopusSim, NoviflowSim, OvsSim, Switch};
+    pub use mapro_sym::{assert_equivalent, check_equivalent};
     pub use mapro_workloads::{Gwlb, Sdx, Vlan, L3};
 }
