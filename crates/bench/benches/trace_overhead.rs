@@ -1,0 +1,79 @@
+//! Tracing overhead: the cost of instrumentation when no session is
+//! active (the production default — one relaxed atomic load per probe)
+//! versus with a live session collecting into the per-thread rings.
+//!
+//! The `off/*` numbers are the gate: instrumented hot paths must cost the
+//! same as uninstrumented ones when `--trace` is not given. Compare
+//! `off/symbolic_check` against `on/symbolic_check` to see the live
+//! session's collection cost on a real workload (a few percent: one ring
+//! push per span, no locks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mapro_core::{EquivConfig, EquivMode};
+use mapro_normalize::JoinKind;
+use mapro_obs::trace::{self, TraceConfig};
+use mapro_workloads::Gwlb;
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_probe");
+    // Session inactive: span() must degrade to a branch on one atomic.
+    assert!(!trace::active());
+    group.bench_function("off/span", |b| {
+        b.iter(|| {
+            let _sp = trace::span("probe");
+        });
+    });
+    group.bench_function("off/span_kv", |b| {
+        b.iter(|| {
+            let _sp = trace::span_kv("probe", vec![("k", 7u64.into())]);
+        });
+    });
+    group.bench_function("off/instant", |b| {
+        b.iter(|| trace::instant_kv("tick", vec![("k", 7u64.into())]));
+    });
+    // Session active: one clock read + ring push per event.
+    assert!(trace::start(&TraceConfig::default()));
+    group.bench_function("on/span", |b| {
+        b.iter(|| {
+            let _sp = trace::span("probe");
+        });
+        // Keep the ring from skewing later iterations' drop accounting.
+        let _ = trace::drain();
+    });
+    let _ = trace::stop();
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let g = Gwlb::random(8, 4, 2019);
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+    let cfg = EquivConfig {
+        mode: EquivMode::Symbolic,
+        ..EquivConfig::default()
+    };
+    let check = || {
+        mapro_sym::check_equivalent_with(
+            &g.universal,
+            &goto,
+            &cfg,
+            &mapro_sym::SymConfig::default(),
+        )
+        .expect("comparable")
+    };
+    let mut group = c.benchmark_group("trace_workload");
+    group.sample_size(20);
+    assert!(!trace::active());
+    group.bench_function("off/symbolic_check", |b| {
+        b.iter(|| std::hint::black_box(check()));
+    });
+    assert!(trace::start(&TraceConfig::default()));
+    group.bench_function("on/symbolic_check", |b| {
+        b.iter(|| std::hint::black_box(check()));
+        let _ = trace::drain();
+    });
+    let _ = trace::stop();
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe, bench_workload);
+criterion_main!(benches);

@@ -12,6 +12,8 @@
 //! mapro normalize <prog.json> [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf] [--verify]
 //! mapro flatten <prog.json>                       # denormalize to one table
 //! mapro check <a.json> <b.json> [--mode auto|symbolic|enumerate]
+//! mapro replay <prog.json> [--packets N --flows F --seed S --shards N]
+//!              [--switch ovs|eswitch|lagopus|noviflow]
 //! mapro export <prog.json> --format openflow|p4   # data-plane program text
 //! ```
 //!
@@ -33,6 +35,14 @@
 //! pool used by equivalence checking and FD mining (precedence:
 //! `--threads` > `MAPRO_THREADS` > available cores). Output is
 //! byte-identical at any thread count.
+//!
+//! Every subcommand also accepts `--trace out.json`: a span-trace session
+//! (see `mapro_obs::trace`) wraps the whole command and the collected
+//! events are written as Chrome trace-event JSON — loadable in
+//! `ui.perfetto.dev` or `chrome://tracing` — with a phase-attribution
+//! summary on stderr. `mapro check --mode symbolic --trace t.json a b`
+//! shows where the symbolic engine spends its time; `mapro replay` traces
+//! per-shard switch evaluation.
 
 use mapro_core::{display, export, Pipeline};
 use mapro_normalize::{flatten, normalize, JoinKind, NormalizeOpts, Target};
@@ -41,7 +51,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mapro <demo|convert|show|analyze|lint|normalize|flatten|check|export> [args]"
+        "usage: mapro <demo|convert|show|analyze|lint|normalize|flatten|check|replay|export> [args]"
     );
     exit(2)
 }
@@ -120,6 +130,21 @@ fn main() {
     } else if let Err(e) = mapro_par::env_threads() {
         usage_error(e)
     }
+
+    // `--trace` wraps the whole command in a span-trace session; the
+    // Chrome-format file is written after the subcommand finishes (even
+    // when it fails with exit 1, so a failing check can be profiled).
+    let trace_out: Option<String> = if has("--trace") {
+        let Some(path) = flag("--trace") else {
+            usage_error("missing value for --trace")
+        };
+        if !mapro_obs::trace::start(&mapro_obs::trace::TraceConfig::default()) {
+            usage_error("a trace session is already active");
+        }
+        Some(path)
+    } else {
+        None
+    };
 
     let mut exit_code = 0;
     match cmd.as_str() {
@@ -307,27 +332,146 @@ fn main() {
                 mode,
                 ..mapro_core::EquivConfig::default()
             };
-            match mapro_sym::check_equivalent(&a, &b, &cfg) {
-                Ok(mapro_core::EquivOutcome::Equivalent {
-                    packets_checked,
-                    exhaustive,
-                    method,
-                }) => {
+            match mapro_sym::check_equivalent_explain(
+                &a,
+                &b,
+                &cfg,
+                &mapro_sym::SymConfig::default(),
+            ) {
+                Ok((
+                    mapro_core::EquivOutcome::Equivalent {
+                        packets_checked,
+                        exhaustive,
+                        method,
+                    },
+                    fallback,
+                )) => {
                     println!(
                         "EQUIVALENT ({packets_checked} packets, exhaustive: {exhaustive}, method: {method})"
                     );
+                    if let Some(fb) = fallback {
+                        println!("  symbolic fallback ({}): {}", fb.cause, fb.detail);
+                    }
                 }
-                Ok(mapro_core::EquivOutcome::Counterexample(cx)) => {
+                Ok((mapro_core::EquivOutcome::Counterexample(cx), fallback)) => {
                     println!("NOT EQUIVALENT on packet {:?}", cx.fields);
                     println!("  left:  {:?}", cx.left.observable());
                     println!("  right: {:?}", cx.right.observable());
-                    exit(1)
+                    if let Some(fb) = fallback {
+                        println!("  symbolic fallback ({}): {}", fb.cause, fb.detail);
+                    }
+                    exit_code = 1;
                 }
                 Err(e) => {
                     println!("NOT COMPARABLE: {e}");
-                    exit(1)
+                    exit_code = 1;
                 }
             }
+        }
+        "replay" => {
+            // Modeled switch replay of seeded traffic through a program:
+            // derive the joint field domain, sample `--flows` distinct
+            // flows from it, draw `--packets` arrivals, and shard them
+            // across `--shards` modeled datapath threads.
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let p = load(path);
+            let parse_num = |name: &str, default: u64| -> u64 {
+                match flag(name) {
+                    None => default,
+                    Some(v) => v.parse().unwrap_or_else(|_| {
+                        usage_error(format_args!("bad value for {name}: {v:?}"))
+                    }),
+                }
+            };
+            let packets = parse_num("--packets", 10_000) as usize;
+            let flows = (parse_num("--flows", 64) as usize).max(1);
+            let seed = parse_num("--seed", 2019);
+            let shards = (parse_num("--shards", 4) as usize).max(1);
+            if packets == 0 {
+                usage_error("--packets must be at least 1");
+            }
+            let domain = match mapro_core::Domain::from_pipelines(&[&p]) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot derive traffic domain for {path}: {e}");
+                    exit(1)
+                }
+            };
+            let proto = mapro_core::Packet::zero(&p.catalog);
+            let flow_specs: Vec<mapro_packet::FlowSpec> = domain
+                .sample(&proto, flows, seed)
+                .into_iter()
+                .map(|pkt| mapro_packet::FlowSpec {
+                    fields: domain
+                        .fields
+                        .iter()
+                        .map(|(attr, _)| (*attr, pkt.get(*attr)))
+                        .collect(),
+                    weight: 1,
+                })
+                .collect();
+            let spec = mapro_packet::TraceSpec::uniform(flow_specs);
+            let trace = mapro_packet::generate(&p.catalog, &spec, packets, seed);
+            let kind = flag("--switch").unwrap_or_else(|| "ovs".to_owned());
+            // Compile once up front so a model rejection is a clean error,
+            // then recompile per shard inside the factory (each modeled
+            // datapath thread owns its classifiers).
+            let factory: Box<dyn Fn() -> Box<dyn mapro_switch::Switch + Send> + Sync> =
+                match kind.as_str() {
+                    "ovs" => {
+                        let p = p.clone();
+                        Box::new(move || Box::new(mapro_switch::OvsSim::compile(&p)))
+                    }
+                    "eswitch" => {
+                        if let Err(e) = mapro_switch::EswitchSim::compile(&p) {
+                            eprintln!("eswitch cannot model {path}: {e}");
+                            exit(1)
+                        }
+                        let p = p.clone();
+                        Box::new(move || {
+                            Box::new(mapro_switch::EswitchSim::compile(&p).expect("checked above"))
+                        })
+                    }
+                    "lagopus" => {
+                        if let Err(e) = mapro_switch::LagopusSim::compile(&p) {
+                            eprintln!("lagopus cannot model {path}: {e}");
+                            exit(1)
+                        }
+                        let p = p.clone();
+                        Box::new(move || {
+                            Box::new(mapro_switch::LagopusSim::compile(&p).expect("checked above"))
+                        })
+                    }
+                    "noviflow" => {
+                        if let Err(e) = mapro_switch::NoviflowSim::compile(&p) {
+                            eprintln!("noviflow cannot model {path}: {e}");
+                            exit(1)
+                        }
+                        let p = p.clone();
+                        Box::new(move || {
+                            Box::new(mapro_switch::NoviflowSim::compile(&p).expect("checked above"))
+                        })
+                    }
+                    other => usage_error(format_args!(
+                        "unknown switch {other:?} (ovs|eswitch|lagopus|noviflow)"
+                    )),
+                };
+            let rep = mapro_switch::run_modeled_parallel(&*factory, &trace, shards);
+            println!(
+                "replayed {} packets ({} flows, {} shards, {kind} model)",
+                rep.packets,
+                trace.distinct_flows(),
+                shards
+            );
+            println!("  throughput:  {:.2} Mpps", rep.mpps);
+            println!(
+                "  latency us:  q1 {:.2} / q2 {:.2} / q3 {:.2}",
+                rep.latency_us[0], rep.latency_us[1], rep.latency_us[2]
+            );
+            println!(
+                "  avg lookups: {:.2}   dropped: {}   slow path: {}",
+                rep.avg_lookups, rep.dropped, rep.slow_path
+            );
         }
         "export" => {
             let p = load(args.get(1).unwrap_or_else(|| usage()));
@@ -340,8 +484,29 @@ fn main() {
         _ => usage(),
     }
 
+    if let Some(path) = &trace_out {
+        let data = mapro_obs::trace::stop();
+        let summary = data.summary();
+        if let Err(e) = std::fs::write(path, data.to_chrome_json()) {
+            eprintln!("cannot write trace to {path}: {e}");
+            exit(1);
+        }
+        eprint!("{}", summary.to_text());
+        eprintln!(
+            "trace written to {path} ({} events, {:.1}% of wall covered)",
+            data.events.len(),
+            summary.coverage() * 100.0
+        );
+    }
     if let Some(sink) = metrics {
-        let report = mapro_obs::registry().snapshot();
+        let mut report = mapro_obs::registry()
+            .snapshot()
+            .with_meta("experiment", cmd)
+            .with_meta("threads", mapro_par::configured_threads())
+            .with_meta("version", env!("CARGO_PKG_VERSION"));
+        if let Some(seed) = flag("--seed") {
+            report = report.with_meta("seed", seed);
+        }
         match sink {
             None => eprint!("{}", report.to_text()),
             Some(path) => {

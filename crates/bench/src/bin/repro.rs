@@ -1,9 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint|symscale]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint|symscale|phases]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--threads N]
-//!       [--json] [--metrics [out.json]]
+//!       [--json] [--metrics [out.json]] [--trace out.json]
 //! ```
 //!
 //! Output is paper-shaped text (or JSON with `--json`) suitable for
@@ -11,11 +11,14 @@
 //! registry after the run: as JSON to the given file, or as a text table
 //! to stderr when no path follows. `--threads` sizes the work-stealing
 //! pool (precedence: `--threads` > `MAPRO_THREADS` > available cores);
-//! results are byte-identical at any thread count.
+//! results are byte-identical at any thread count. `--trace` records a
+//! structured span trace of the whole run and writes it as Chrome
+//! trace-event JSON (open in Perfetto / `chrome://tracing`); a phase
+//! summary goes to stderr.
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint|symscale] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint|symscale|phases] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -30,6 +33,7 @@ struct Args {
     cfg: BenchConfig,
     json: bool,
     metrics: Option<MetricsSink>,
+    trace: Option<String>,
 }
 
 fn take(it: &mut impl Iterator<Item = String>, name: &str) -> Result<String, String> {
@@ -51,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         cfg: BenchConfig::default(),
         json: false,
         metrics: None,
+        trace: None,
     };
     let mut it = std::env::args().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -65,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
                 mapro_par::set_threads(mapro_par::parse_threads(&v)?);
             }
             "--json" => args.json = true,
+            "--trace" => args.trace = Some(take(&mut it, "--trace")?),
             "--metrics" => {
                 args.metrics = Some(match it.peek() {
                     Some(v) if !v.starts_with('-') => MetricsSink::File(it.next().expect("peeked")),
@@ -104,6 +110,7 @@ const EXPERIMENTS: &[&str] = &[
     "parscale",
     "lint",
     "symscale",
+    "phases",
 ];
 
 /// Report a usage error on one line and exit 2 (the contract
@@ -123,6 +130,9 @@ fn main() {
             usage_error(e);
         }
     }
+    if args.trace.is_some() && !mapro_obs::trace::start(&mapro_obs::trace::TraceConfig::default()) {
+        usage_error("a trace session is already active");
+    }
     let all = args.experiment == "all";
     if !all && !EXPERIMENTS.contains(&args.experiment.as_str()) {
         usage_error(format_args!(
@@ -136,10 +146,11 @@ fn main() {
             EXPERIMENTS.contains(&name),
             "want({name:?}) not in EXPERIMENTS — add it to the list"
         );
-        // parscale repeats every hot path at 4 pool sizes and symscale
-        // repeats the equivalence workloads per engine; they are machine
-        // benchmarks, not paper artifacts, so `all` skips them.
-        (all && name != "parscale" && name != "symscale") || args.experiment == name
+        // parscale repeats every hot path at 4 pool sizes, symscale
+        // repeats the equivalence workloads per engine, and phases
+        // re-runs the instrumented hot paths under tracing; they are
+        // machine benchmarks, not paper artifacts, so `all` skips them.
+        (all && !matches!(name, "parscale" | "symscale" | "phases")) || args.experiment == name
     };
 
     if want("fig1") {
@@ -369,10 +380,11 @@ fn main() {
     if want("faults") {
         println!("\n############ E14 — churn under an unreliable control channel (extension) ############");
         let rates = [0.0, 0.1, 0.2, 0.3];
-        let rows = faults(&args.cfg, &rates);
+        let rep = faults_report(&args.cfg, &rates);
         if args.json {
-            println!("{}", serde_json::to_string_pretty(&rows).unwrap());
+            println!("{}", serde_json::to_string_pretty(&rep).unwrap());
         } else {
+            let rows = rep.rows;
             println!(
                 "{:>6} {:<10} {:>5} {:>8} {:>8} {:>9} {:>8} {:>11} {:>10} {:>11}",
                 "p",
@@ -469,6 +481,47 @@ fn main() {
             }
         }
     }
+    if want("phases") {
+        println!(
+            "\n############ E18 — phase attribution from span traces (extension) ############"
+        );
+        let rep = phases(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+        } else {
+            for w in &rep.workloads {
+                println!(
+                    "{} — wall {:.2} ms, coverage {:.1}%, {} events{}",
+                    w.workload,
+                    w.wall_ms,
+                    w.coverage * 100.0,
+                    w.events,
+                    if w.dropped > 0 {
+                        format!(", {} dropped", w.dropped)
+                    } else {
+                        String::new()
+                    }
+                );
+                // Top phases by self time; the full attribution is in --json.
+                let mut by_self: Vec<_> = w.phases.iter().collect();
+                by_self.sort_by(|a, b| b.self_ms.total_cmp(&a.self_ms));
+                println!(
+                    "  {:<44} {:>7} {:>11} {:>10} {:>7}",
+                    "phase", "count", "total [ms]", "self [ms]", "share"
+                );
+                for p in by_self.iter().take(8) {
+                    println!(
+                        "  {:<44} {:>7} {:>11.2} {:>10.2} {:>6.1}%",
+                        p.path,
+                        p.count,
+                        p.total_ms,
+                        p.self_ms,
+                        p.share * 100.0
+                    );
+                }
+            }
+        }
+    }
     if want("lint") {
         println!(
             "\n############ E16 — static analysis of the paper workloads (extension) ############"
@@ -506,8 +559,28 @@ fn main() {
         }
     }
 
+    if let Some(path) = &args.trace {
+        let data = mapro_obs::trace::stop();
+        let summary = data.summary();
+        if let Err(e) = std::fs::write(path, data.to_chrome_json()) {
+            eprintln!("repro: cannot write trace to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprint!("{}", summary.to_text());
+        eprintln!(
+            "trace written to {path} ({} events, {:.1}% of wall covered)",
+            data.events.len(),
+            summary.coverage() * 100.0
+        );
+    }
+
     if let Some(sink) = &args.metrics {
-        let report = mapro_obs::registry().snapshot();
+        let report = mapro_obs::registry()
+            .snapshot()
+            .with_meta("experiment", &args.experiment)
+            .with_meta("seed", args.cfg.seed)
+            .with_meta("threads", mapro_par::configured_threads())
+            .with_meta("version", env!("CARGO_PKG_VERSION"));
         match sink {
             MetricsSink::Stderr => eprint!("{}", report.to_text()),
             MetricsSink::File(path) => {

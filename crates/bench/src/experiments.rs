@@ -5,7 +5,9 @@
 //! E7 = §2 controllability, E8 = §2 monitorability, E9 = Theorem 1,
 //! E10 = Fig. 5 / appendix, E11 = §5 ESwitch template mechanism,
 //! E12 = OVS cache sensitivity, E13 = flow state explosion,
-//! E14 = faults: churn under an unreliable control channel.
+//! E14 = faults: churn under an unreliable control channel,
+//! E15 = thread scaling, E16 = static analysis, E17 = symbolic vs
+//! enumerative equivalence, E18 = phase attribution from span traces.
 
 use mapro_core::{display, Pipeline};
 use mapro_normalize::JoinKind;
@@ -37,6 +39,42 @@ impl Default for BenchConfig {
             backends: 8,
             packets: 50_000,
             seed: 2019,
+        }
+    }
+}
+
+/// Provenance header embedded in every benchmark artifact, so the
+/// regression gate (`scripts/bench_diff.py`) can refuse apples-to-oranges
+/// comparisons (different seed, workload shape, or artifact schema)
+/// instead of reporting them as regressions.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMeta {
+    /// Artifact schema version; bump when the report shape changes.
+    pub schema: u32,
+    /// Experiment id (`faults`, `parscale`, `symscale`, `phases`, …).
+    pub experiment: String,
+    /// Workload seed the artifact was produced with.
+    pub seed: u64,
+    /// Resolved worker-pool size at production time.
+    pub threads: usize,
+    /// Crate version that produced the artifact.
+    pub version: String,
+    /// `available_parallelism` of the producing host.
+    pub host_cores: usize,
+}
+
+impl RunMeta {
+    /// Capture the provenance of the current run.
+    pub fn new(experiment: &str, seed: u64) -> RunMeta {
+        RunMeta {
+            schema: 1,
+            experiment: experiment.to_owned(),
+            seed,
+            threads: mapro_par::configured_threads(),
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            host_cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -733,6 +771,25 @@ pub struct FaultRow {
     pub goodput_mpps: f64,
 }
 
+/// The E14 artifact: fault-sweep rows under a provenance header.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultsReport {
+    /// Provenance header (seed, threads, version) for the regression gate.
+    pub meta: RunMeta,
+    /// One row per fault rate × representation.
+    pub rows: Vec<FaultRow>,
+}
+
+/// [`faults`] wrapped in the artifact header `scripts/bench_diff.py`
+/// keys on. The rows are virtual-clock deterministic, so the gate can
+/// compare them exactly when the metadata matches.
+pub fn faults_report(cfg: &BenchConfig, rates: &[f64]) -> FaultsReport {
+    FaultsReport {
+        meta: RunMeta::new("faults", cfg.seed),
+        rows: faults(cfg, rates),
+    }
+}
+
 /// Extension experiment E14: update amplification under an unreliable
 /// control channel. GWLB under churn (each intent moves one service to a
 /// fresh port) driven through a [`FaultyChannel`] at increasing fault
@@ -847,6 +904,8 @@ pub struct ParScaleRow {
 /// data point, not a scalability ceiling.
 #[derive(Debug, Clone, Serialize)]
 pub struct ParScaleReport {
+    /// Provenance header (seed, threads, version) for the regression gate.
+    pub meta: RunMeta,
     /// `available_parallelism` of the machine that produced the numbers.
     pub host_cores: usize,
     /// Workload seed (fixed: the sweep is reproducible end to end).
@@ -994,6 +1053,7 @@ pub fn parscale(cfg: &BenchConfig, threads: &[usize]) -> ParScaleReport {
     mapro_par::set_threads(saved);
 
     ParScaleReport {
+        meta: RunMeta::new("parscale", cfg.seed),
         host_cores: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -1133,12 +1193,53 @@ pub struct SymScaleRow {
 /// The E17 report.
 #[derive(Debug, Clone, Serialize)]
 pub struct SymScaleReport {
+    /// Provenance header (seed, threads, version) for the regression gate.
+    pub meta: RunMeta,
     /// `available_parallelism` of the measuring host.
     pub host_cores: usize,
     /// Workload seed.
     pub seed: u64,
     /// One row per configuration.
     pub rows: Vec<SymScaleRow>,
+}
+
+/// The E17/E18 `wide{f}` workload: `nrows` disjoint exact rows over
+/// `fields` 16-bit fields, paired with the same rows in reverse priority
+/// order. Every field sees `nrows` distinct values, so the derived
+/// enumeration domain grows as `(2·nrows)^fields` while the behavior
+/// covers stay near-linear in `nrows·fields` — at 4 fields the product
+/// is large-but-feasible (the enumerative engine pays it in full), at 8
+/// it passes 2^40 and only the symbolic engine can still prove
+/// equivalence.
+pub fn wide_pair(fields: usize, nrows: u64, seed: u64) -> (Pipeline, Pipeline) {
+    use mapro_core::{ActionSem, Catalog, Table, Value};
+    let build = |reversed: bool| {
+        let mut c = Catalog::new();
+        let fs: Vec<_> = (0..fields).map(|i| c.field(format!("w{i}"), 16)).collect();
+        let out = c.action("out", ActionSem::Output);
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut rows: Vec<(Vec<Value>, Vec<Value>)> = (0..nrows)
+            .map(|r| {
+                let m: Vec<Value> = (0..fields).map(|_| Value::Int(rng() & 0xffff)).collect();
+                (m, vec![Value::sym(format!("p{r}"))])
+            })
+            .collect();
+        if reversed {
+            rows.reverse();
+        }
+        let mut table = Table::new("wide", fs, vec![out]);
+        for (m, a) in rows {
+            table.row(m, a);
+        }
+        Pipeline::single(c, table)
+    };
+    (build(false), build(true))
 }
 
 /// Extension experiment E17: the symbolic atom-based equivalence engine
@@ -1165,9 +1266,7 @@ pub struct SymScaleReport {
 /// column captures only deterministic results, so runs at different
 /// `--threads` must produce byte-identical digests (CI enforces this).
 pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
-    use mapro_core::{
-        ActionSem, Catalog, Domain, EquivConfig, EquivMode, EquivOutcome, Table, Value,
-    };
+    use mapro_core::{Domain, EquivConfig, EquivMode, EquivOutcome, Value};
     use mapro_sym::{compile, FieldSpace, SymConfig};
     use std::time::Instant;
 
@@ -1175,40 +1274,6 @@ pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
     let enum_cfg = EquivConfig {
         mode: EquivMode::Enumerate,
         ..EquivConfig::default()
-    };
-
-    // `wide{4,8}`: k disjoint exact rows over f wide fields, vs the same
-    // rows in reverse priority order. Every field sees k distinct values,
-    // so the derived domain has ~2k representatives per field and the
-    // product grows as (2k)^f while the covers stay near-linear in k·f:
-    // at f=4 the product is large-but-feasible (the enumerative engine
-    // pays it in full and symbolic wins big); at f=8 it passes 2^40 and
-    // only the symbolic engine can still *prove* equivalence.
-    let wide = |fields: usize, nrows: u64, reversed: bool| {
-        let mut c = Catalog::new();
-        let fs: Vec<_> = (0..fields).map(|i| c.field(format!("w{i}"), 16)).collect();
-        let out = c.action("out", ActionSem::Output);
-        let mut s = cfg.seed | 1;
-        let mut rng = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            s
-        };
-        let mut rows: Vec<(Vec<Value>, Vec<Value>)> = (0..nrows)
-            .map(|r| {
-                let m: Vec<Value> = (0..fields).map(|_| Value::Int(rng() & 0xffff)).collect();
-                (m, vec![Value::sym(format!("p{r}"))])
-            })
-            .collect();
-        if reversed {
-            rows.reverse();
-        }
-        let mut table = Table::new("wide", fs, vec![out]);
-        for (m, a) in rows {
-            table.row(m, a);
-        }
-        Pipeline::single(c, table)
     };
 
     // `gwlb`: the E15 equivalence pair, and its churn variant with one
@@ -1229,10 +1294,12 @@ pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
         }
     }
 
+    let (w4l, w4r) = wide_pair(4, 12, cfg.seed);
+    let (w8l, w8r) = wide_pair(8, 24, cfg.seed);
     let cases: Vec<(&str, Pipeline, Pipeline)> = vec![
         ("gwlb", g.universal.clone(), goto),
-        ("wide4", wide(4, 12, false), wide(4, 12, true)),
-        ("wide8", wide(8, 24, false), wide(8, 24, true)),
+        ("wide4", w4l, w4r),
+        ("wide8", w8l, w8r),
         ("churn", g.universal.clone(), churned),
     ];
 
@@ -1322,10 +1389,169 @@ pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
     }
 
     SymScaleReport {
+        meta: RunMeta::new("symscale", cfg.seed),
         host_cores: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
         seed: cfg.seed,
         rows,
+    }
+}
+
+// ---------------------------------------------------------------- E18 ---
+
+/// One attributed phase of an E18 workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseRow {
+    /// Logical span path, e.g. `check.symbolic.cross.chunk`.
+    pub path: String,
+    /// Spans recorded at this path.
+    pub count: u64,
+    /// Summed span durations \[ms\] (across threads — may exceed wall).
+    pub total_ms: f64,
+    /// Total minus direct children \[ms\] — the phase's own work.
+    pub self_ms: f64,
+    /// `self_ms` as a fraction of the workload's trace wall clock.
+    pub share: f64,
+}
+
+/// Phase attribution for one E18 workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseWorkload {
+    /// Workload label.
+    pub workload: String,
+    /// Wall clock of the run \[ms\].
+    pub wall_ms: f64,
+    /// Fraction of the trace wall clock covered by root spans.
+    pub coverage: f64,
+    /// Events recorded for this workload.
+    pub events: usize,
+    /// Ring-buffer overflow count (0 unless the run outgrew the buffers).
+    pub dropped: u64,
+    /// Per-path attribution, sorted by path.
+    pub phases: Vec<PhaseRow>,
+}
+
+/// The E18 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhasesReport {
+    /// Provenance header (seed, threads, version) for the regression gate.
+    pub meta: RunMeta,
+    /// One entry per traced workload.
+    pub workloads: Vec<PhaseWorkload>,
+}
+
+/// Extension experiment E18: where does the time go? Runs each
+/// instrumented hot path under a span-tracing session and attributes
+/// wall clock to logical phases via [`mapro_obs::trace::TraceSummary`].
+///
+/// Six workloads cover the three instrumented subsystems: the symbolic
+/// checker on the GWLB pair and the E17 `wide4`/`wide8` pairs (compile vs
+/// cross-intersection split), the enumerative checker on the same GWLB
+/// pair (chunked scan), the sharded packet replay (per-shard compile vs
+/// eval), and the E14 control driver (txn/bundle/reconcile lifecycle).
+///
+/// Composes with an ambient `repro --trace` session: when one is already
+/// active the workloads are attributed from [`drain`]ed increments and
+/// the session is left running (the final trace file still contains
+/// everything); otherwise a private session is started and stopped.
+///
+/// [`drain`]: mapro_obs::trace::drain
+pub fn phases(cfg: &BenchConfig) -> PhasesReport {
+    use mapro_core::{EquivConfig, EquivMode};
+    use mapro_obs::trace;
+    use mapro_sym::SymConfig;
+    use std::time::Instant;
+
+    let own_session = !trace::active();
+    if own_session {
+        assert!(
+            trace::start(&trace::TraceConfig::default()),
+            "phases: a trace session must be startable"
+        );
+    } else {
+        // Ambient `--trace` session: discard spans emitted by earlier
+        // experiments so each workload below is attributed in isolation.
+        let _ = trace::drain();
+    }
+
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+    let (w4l, w4r) = wide_pair(4, 12, cfg.seed);
+    let (w8l, w8r) = wide_pair(8, 24, cfg.seed);
+    let replay_trace = generate(
+        &g.universal.catalog,
+        &g.trace_spec(),
+        cfg.packets.min(20_000),
+        cfg.seed,
+    );
+    let sym_cfg = EquivConfig {
+        mode: EquivMode::Symbolic,
+        ..EquivConfig::default()
+    };
+    let enum_cfg = EquivConfig {
+        mode: EquivMode::Enumerate,
+        ..EquivConfig::default()
+    };
+
+    let mut workloads = Vec::new();
+    let mut run = |name: &str, f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        f();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let data = trace::drain();
+        let s = data.summary();
+        let trace_wall = s.wall_ns.max(1) as f64;
+        workloads.push(PhaseWorkload {
+            workload: name.to_owned(),
+            wall_ms,
+            coverage: s.coverage(),
+            events: data.events.len(),
+            dropped: s.dropped,
+            phases: s
+                .phases
+                .iter()
+                .map(|p| PhaseRow {
+                    path: p.path.clone(),
+                    count: p.count,
+                    total_ms: p.total_ns as f64 / 1e6,
+                    self_ms: p.self_ns as f64 / 1e6,
+                    share: p.self_ns as f64 / trace_wall,
+                })
+                .collect(),
+        });
+    };
+
+    run("check-sym-gwlb", &mut || {
+        let _ =
+            mapro_sym::check_equivalent_with(&g.universal, &goto, &sym_cfg, &SymConfig::default());
+    });
+    run("check-sym-wide4", &mut || {
+        let _ = mapro_sym::check_equivalent_with(&w4l, &w4r, &sym_cfg, &SymConfig::default());
+    });
+    run("check-sym-wide8", &mut || {
+        let _ = mapro_sym::check_equivalent_with(&w8l, &w8r, &sym_cfg, &SymConfig::default());
+    });
+    run("check-enum-gwlb", &mut || {
+        let _ = mapro_core::check_equivalent(&g.universal, &goto, &enum_cfg);
+    });
+    run("replay-gwlb", &mut || {
+        let _ = mapro_switch::run_modeled_parallel(
+            &|| Box::new(OvsSim::compile(&g.universal)) as Box<dyn Switch + Send>,
+            &replay_trace,
+            4,
+        );
+    });
+    run("control-faults", &mut || {
+        let _ = faults(cfg, &[0.2]);
+    });
+
+    if own_session {
+        let _ = trace::stop();
+    }
+
+    PhasesReport {
+        meta: RunMeta::new("phases", cfg.seed),
+        workloads,
     }
 }

@@ -232,16 +232,25 @@ impl<E: Endpoint> FaultyChannel<E> {
         if self.rng.gen_bool(self.plan.p_drop) {
             self.stats.dropped += 1;
             mapro_obs::counter!("control.channel.drops").inc();
+            if mapro_obs::trace::active() {
+                mapro_obs::trace::instant_kv("drop", vec![("txn", msg.txn.into())]);
+            }
             return;
         }
         if self.rng.gen_bool(self.plan.p_dup) {
             self.stats.duplicated += 1;
             mapro_obs::counter!("control.channel.dups").inc();
+            if mapro_obs::trace::active() {
+                mapro_obs::trace::instant_kv("dup", vec![("txn", msg.txn.into())]);
+            }
             self.outbox.push_back(msg.clone());
         }
         if self.rng.gen_bool(self.plan.p_reorder) && !self.outbox.is_empty() {
             self.stats.reordered += 1;
             mapro_obs::counter!("control.channel.reorders").inc();
+            if mapro_obs::trace::active() {
+                mapro_obs::trace::instant_kv("reorder", vec![("txn", msg.txn.into())]);
+            }
             self.outbox.push_front(msg);
         } else {
             self.outbox.push_back(msg);
@@ -265,6 +274,12 @@ impl<E: Endpoint> FaultyChannel<E> {
             {
                 self.stats.restarts += 1;
                 mapro_obs::counter!("control.channel.restarts").inc();
+                if mapro_obs::trace::active() {
+                    mapro_obs::trace::instant_kv(
+                        "restart",
+                        vec![("delivery", self.deliveries.into())],
+                    );
+                }
                 self.ep.restart();
             }
             if self.rng.gen_bool(self.plan.p_drop) {

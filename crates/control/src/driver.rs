@@ -187,11 +187,21 @@ impl Controller {
         txn: TxnId,
         op: FlowModOp,
     ) -> Result<AckOk, DriverError> {
+        let mut sp = mapro_obs::trace::span_kv(
+            "txn",
+            vec![("txn", txn.into()), ("op", op_label(&op).into())],
+        );
         let mut backoff = self.cfg.backoff_base_ns;
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
                 self.stats.retries += 1;
                 mapro_obs::counter!("control.driver.retries").inc();
+                if mapro_obs::trace::active() {
+                    mapro_obs::trace::instant_kv(
+                        "retry",
+                        vec![("txn", txn.into()), ("attempt", attempt.into())],
+                    );
+                }
                 ch.advance(backoff);
                 backoff = (backoff * 2).min(self.cfg.backoff_cap_ns);
             }
@@ -213,16 +223,22 @@ impl Controller {
                 None => ch.advance(self.cfg.ack_timeout_ns),
                 Some(Ack { result: Ok(ok), .. }) => {
                     self.stats.acks += 1;
+                    sp.set("attempts", attempt + 1);
+                    sp.set("outcome", "ack");
                     return Ok(ok);
                 }
                 Some(Ack {
                     result: Err(err), ..
                 }) => {
                     self.stats.nacks += 1;
+                    sp.set("attempts", attempt + 1);
+                    sp.set("outcome", "nack");
                     return Err(DriverError::Nack { txn, err });
                 }
             }
         }
+        sp.set("attempts", self.cfg.max_retries + 1);
+        sp.set("outcome", "unreachable");
         Err(DriverError::Unreachable {
             txn,
             attempts: self.cfg.max_retries + 1,
@@ -240,6 +256,13 @@ impl Controller {
         ch: &mut FaultyChannel<E>,
         plan: &UpdatePlan,
     ) -> Result<(), DriverError> {
+        let _sp = mapro_obs::trace::span_kv(
+            "plan",
+            vec![
+                ("updates", plan.updates.len().into()),
+                ("bundled", plan.needs_bundle().into()),
+            ],
+        );
         let mut next = self.intended.clone();
         updates::apply_plan(&mut next, plan).map_err(DriverError::PlanInvalid)?;
         let result = if plan.updates.is_empty() {
@@ -261,6 +284,10 @@ impl Controller {
     ) -> Result<(), DriverError> {
         let bundle = self.next_bundle;
         self.next_bundle += 1;
+        let _sp = mapro_obs::trace::span_kv(
+            "bundle",
+            vec![("bundle", bundle.into()), ("updates", updates.len().into())],
+        );
         let mut restages = 0;
         loop {
             self.rpc(
@@ -308,11 +335,14 @@ impl Controller {
         &mut self,
         ch: &mut FaultyChannel<E>,
     ) -> Result<ReconcileReport, DriverError> {
+        let _sp = mapro_obs::trace::span("reconcile");
         let start = ch.now_ns();
         let mut repairs_sent = 0usize;
         for round in 1..=self.cfg.max_reconcile_rounds {
+            let mut round_span = mapro_obs::trace::span_kv("round", vec![("round", round.into())]);
             let actual = self.read_state(ch)?;
             let repairs = diff_pipelines(&actual, &self.intended)?;
+            round_span.set("repairs", repairs.len());
             if repairs.is_empty() {
                 let dt = ch.now_ns().saturating_sub(start);
                 self.stats.reconciles += 1;
@@ -366,6 +396,16 @@ impl Controller {
         Err(DriverError::NotConverged {
             rounds: self.cfg.max_reconcile_rounds,
         })
+    }
+}
+
+fn op_label(op: &FlowModOp) -> &'static str {
+    match op {
+        FlowModOp::Apply(_) => "apply",
+        FlowModOp::Prepare { .. } => "prepare",
+        FlowModOp::Commit { .. } => "commit",
+        FlowModOp::Rollback { .. } => "rollback",
+        FlowModOp::ReadState => "read_state",
     }
 }
 

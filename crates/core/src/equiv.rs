@@ -259,6 +259,7 @@ pub fn check_equivalent(
     };
 
     mapro_obs::counter!("equiv.checks").inc();
+    let _sp = mapro_obs::trace::span("enumerate");
     let pool = Pool::current();
     let size = domain.product_size();
     if size <= cfg.max_exhaustive && size <= usize::MAX as u128 {
@@ -267,6 +268,7 @@ pub fn check_equivalent(
         let chunks = mapro_par::chunk_ranges(n, EQUIV_CHUNK);
         let hit = pool.find_first(chunks.len(), &CancelToken::new(), |ci, ctl| {
             let _t = mapro_obs::time!("equiv.chunk_ns");
+            let _c = mapro_obs::trace::span_kv("chunk", vec![("chunk", ci.into())]);
             let range = &chunks[ci];
             let mut scanned = 0usize;
             for pkt in domain.packets_range(&proto_l, range.start as u128, range.len()) {
@@ -311,6 +313,7 @@ pub fn check_equivalent(
         let chunks = mapro_par::chunk_ranges(pkts.len(), EQUIV_CHUNK);
         let hit = pool.find_first(chunks.len(), &CancelToken::new(), |ci, ctl| {
             let _t = mapro_obs::time!("equiv.chunk_ns");
+            let _c = mapro_obs::trace::span_kv("chunk", vec![("chunk", ci.into())]);
             for (off, pkt) in pkts[chunks[ci].clone()].iter().enumerate() {
                 if off % POLL_EVERY == POLL_EVERY - 1 && ctl.superseded(ci) {
                     return None;

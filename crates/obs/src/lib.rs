@@ -38,6 +38,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trace;
+
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
@@ -451,7 +453,10 @@ impl Registry {
             })
             .collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
-        MetricsReport { entries }
+        MetricsReport {
+            meta: Vec::new(),
+            entries,
+        }
     }
 
     /// Zero every registered metric (handles stay valid).
@@ -516,6 +521,11 @@ pub struct MetricEntry {
 /// as an aligned text table or JSON.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
+    /// Run metadata (`key`, `value`) pairs embedded in the JSON header
+    /// so an artifact is self-describing: seed, thread count, crate
+    /// version, experiment id. Empty by default; populate with
+    /// [`MetricsReport::with_meta`].
+    pub meta: Vec<(String, String)>,
     /// All metrics, sorted by name.
     pub entries: Vec<MetricEntry>,
 }
@@ -524,6 +534,12 @@ impl MetricsReport {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Append one metadata pair (builder-style) for the JSON header.
+    pub fn with_meta(mut self, key: &str, value: impl ToString) -> Self {
+        self.meta.push((key.to_owned(), value.to_string()));
+        self
     }
 
     /// Look up an entry by name.
@@ -562,7 +578,18 @@ impl MetricsReport {
     /// dependencies; see the `serde` feature of downstream crates for
     /// typed serialization).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"metrics\": {");
+        let mut out = String::from("{\n");
+        if !self.meta.is_empty() {
+            out.push_str("  \"meta\": {");
+            for (i, (k, v)) in self.meta.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n    {}: {}", json_str(k), json_str(v));
+            }
+            out.push_str("\n  },\n");
+        }
+        out.push_str("  \"metrics\": {");
         for (i, e) in self.entries.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -591,7 +618,7 @@ impl MetricsReport {
 }
 
 /// Escape a string as a JSON literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

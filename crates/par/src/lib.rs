@@ -152,6 +152,9 @@ impl TaskCtl<'_> {
     /// Record that `task` produced a hit (used by [`Pool::find_first`]).
     pub fn hit(&self, task: usize) {
         self.first_hit.fetch_min(task, Ordering::AcqRel);
+        if mapro_obs::trace::active() {
+            mapro_obs::trace::sched_instant("par.cancel", vec![("task", task.into())]);
+        }
     }
 
     /// A task should be skipped without running its body: the run was
@@ -252,6 +255,13 @@ impl Pool {
         }
 
         let workers = self.threads.min(ntasks);
+        // Logical trace parent for spans emitted inside task bodies:
+        // workers inherit the spawning thread's innermost span path so
+        // the span *tree* is identical at any thread count.
+        let trace_parent = mapro_obs::trace::current_path();
+        let mut run_span = mapro_obs::trace::sched_span("par.run");
+        run_span.set("tasks", ntasks);
+        run_span.set("workers", workers);
         // Contiguous block split: worker w starts on tasks
         // [w·n/W, (w+1)·n/W) so low indices (which first-hit search favors)
         // are attacked first by worker 0.
@@ -277,25 +287,34 @@ impl Pool {
                 let first_hit = &first_hit;
                 let init = &init;
                 let f = &f;
+                let trace_parent = &trace_parent;
                 scope.spawn(move || {
-                    let ctl = TaskCtl { cancel, first_hit };
-                    let mut state = init();
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    let mut ran = 0usize;
-                    let mut skipped = 0usize;
-                    while let Some(i) = next_task(deques, w, steals) {
-                        if ctl.skip(i) {
-                            skipped += 1;
-                            continue;
-                        }
-                        ran += 1;
-                        if let Some(r) = f(&mut state, i, &ctl) {
-                            local.push((i, r));
-                        }
+                    if mapro_obs::trace::active() {
+                        mapro_obs::trace::set_track_name(&format!("worker-{w}"));
                     }
-                    run_ctr.fetch_add(ran, Ordering::Relaxed);
-                    skip_ctr.fetch_add(skipped, Ordering::Relaxed);
-                    results.lock().expect("results lock").extend(local);
+                    mapro_obs::trace::ambient_scope(trace_parent.clone(), || {
+                        let mut worker_span = mapro_obs::trace::sched_span("par.worker");
+                        let ctl = TaskCtl { cancel, first_hit };
+                        let mut state = init();
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        let mut ran = 0usize;
+                        let mut skipped = 0usize;
+                        while let Some(i) = next_task(deques, w, steals) {
+                            if ctl.skip(i) {
+                                skipped += 1;
+                                continue;
+                            }
+                            ran += 1;
+                            if let Some(r) = f(&mut state, i, &ctl) {
+                                local.push((i, r));
+                            }
+                        }
+                        worker_span.set("ran", ran);
+                        worker_span.set("skipped", skipped);
+                        run_ctr.fetch_add(ran, Ordering::Relaxed);
+                        skip_ctr.fetch_add(skipped, Ordering::Relaxed);
+                        results.lock().expect("results lock").extend(local);
+                    });
                 });
             }
         });
@@ -417,6 +436,12 @@ fn next_task(deques: &[Mutex<VecDeque<usize>>], me: usize, steals: &AtomicU64) -
             v.split_off(len - len.div_ceil(2))
         };
         steals.fetch_add(1, Ordering::Relaxed);
+        if mapro_obs::trace::active() {
+            mapro_obs::trace::sched_instant(
+                "par.steal",
+                vec![("victim", victim.into()), ("count", stolen.len().into())],
+            );
+        }
         let mut mine = deques[me].lock().expect("deque lock");
         *mine = stolen;
         return mine.pop_front();

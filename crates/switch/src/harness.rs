@@ -51,6 +51,7 @@ impl RunReport {
 /// Replay `trace` through `switch`, computing modeled throughput/latency.
 pub fn run_modeled(switch: &mut dyn Switch, trace: &Trace) -> RunReport {
     assert!(!trace.is_empty(), "empty trace");
+    let _sp = mapro_obs::trace::span_kv("replay", vec![("packets", trace.len().into())]);
     let qf = switch.queue_factor();
     let mut total_service = 0.0f64;
     let mut lat: Vec<f64> = Vec::with_capacity(trace.len());
@@ -119,9 +120,17 @@ pub fn run_modeled_parallel(
     for (flow, pkt) in &trace.packets {
         shards[flow % workers].push(pkt);
     }
+    let _sp = mapro_obs::trace::span_kv(
+        "replay",
+        vec![("packets", trace.len().into()), ("shards", workers.into())],
+    );
     let pool = mapro_par::Pool::current();
-    let results: Vec<ShardStats> = pool.map_ordered(&shards, |_, shard| {
+    let results: Vec<ShardStats> = pool.map_ordered(&shards, |si, shard| {
         let _t = mapro_obs::time!("switch.replay.shard_ns");
+        let _shard_span = mapro_obs::trace::span_kv(
+            "shard",
+            vec![("shard", si.into()), ("packets", shard.len().into())],
+        );
         let mut stats = ShardStats {
             packets: shard.len(),
             service_ns: 0.0,
@@ -134,7 +143,10 @@ pub fn run_modeled_parallel(
             return stats;
         }
         // Per-shard classifier reuse: one compiled switch per shard.
-        let mut sw = factory();
+        let mut sw = {
+            let _c = mapro_obs::trace::span("compile_switch");
+            factory()
+        };
         let qf = sw.queue_factor();
         for pkt in shard {
             let r = sw.process(pkt);
@@ -198,6 +210,13 @@ pub fn run_with_updates(
         plans.windows(2).all(|w| w[0].0 <= w[1].0),
         "plans must be sorted by arrival time"
     );
+    let _sp = mapro_obs::trace::span_kv(
+        "replay_live",
+        vec![
+            ("packets", trace.len().into()),
+            ("plans", plans.len().into()),
+        ],
+    );
     let gap_ns = 1e9 / pps;
     let mut plan_idx = 0usize;
     let mut stall_until_ns = 0.0f64;
@@ -208,6 +227,8 @@ pub fn run_with_updates(
         let now_ns = i as f64 * gap_ns;
         while plan_idx < plans.len() && plans[plan_idx].0 * 1e9 <= now_ns {
             let start = now_ns.max(stall_until_ns);
+            let _plan_span =
+                mapro_obs::trace::span_kv("apply_plan", vec![("plan", plan_idx.into())]);
             let stall = sw.apply_plan(&plans[plan_idx].1)?;
             stall_until_ns = start + stall;
             stall_total_ns += stall;

@@ -126,6 +126,10 @@ impl LiveSwitch {
         mapro_control::apply_update(&mut self.pipeline, update).map_err(LiveError::Apply)?;
         let recompiled = {
             let _t = mapro_obs::time!("switch.live.recompile_ns");
+            let _sp = mapro_obs::trace::span_kv(
+                "recompile",
+                vec![("table", update.table().to_owned().into())],
+            );
             self.dp.recompile_table(&self.pipeline, update.table())
         };
         if let Err(e) = recompiled {

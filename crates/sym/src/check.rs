@@ -66,6 +66,8 @@ pub fn check_symbolic(
 fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivOutcome, SymFail> {
     mapro_obs::counter!("sym.checks").inc();
     let _t = mapro_obs::time!("sym.check_ns");
+    let _sp = mapro_obs::trace::span("symbolic");
+    let space_span = mapro_obs::trace::span("space");
     let space = FieldSpace::from_pipelines(&[left, right]);
     // The representative packets we construct assign values by attribute
     // id; both programs must agree on what each participating id denotes
@@ -83,6 +85,10 @@ fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivO
         }
     }
 
+    drop(space_span);
+
+    // Each side gets its own `compile` span (opened inside `compile`);
+    // they appear in left, right order on the timeline.
     let lc = compile(left, &space, sym).map_err(SymFail::Unsupported)?;
     let rc = compile(right, &space, sym).map_err(SymFail::Unsupported)?;
 
@@ -128,7 +134,16 @@ fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivO
     let pairs = AtomicUsize::new(0);
     let chunks = mapro_par::chunk_ranges(lc.atoms.len(), SYM_CHUNK);
     let pool = Pool::current();
+    let mut cross_span = mapro_obs::trace::span_kv(
+        "cross",
+        vec![
+            ("atoms_left", lc.atoms.len().into()),
+            ("atoms_right", rc.atoms.len().into()),
+            ("chunks", chunks.len().into()),
+        ],
+    );
     let hit = pool.find_first(chunks.len(), &CancelToken::new(), |ci, ctl| {
+        let mut chunk_span = mapro_obs::trace::span_kv("chunk", vec![("chunk", ci.into())]);
         let mut local_pairs = 0usize;
         for la in &lc.atoms[chunks[ci].clone()] {
             if ctl.superseded(ci) {
@@ -140,6 +155,7 @@ fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivO
                 };
                 local_pairs += 1;
                 if la.behavior != ra.behavior {
+                    let _c = mapro_obs::trace::span("concretize");
                     return Some(match concretize(&meet) {
                         Ok(cx) => ChunkEvent::Cx(Box::new(cx)),
                         Err(e) => ChunkEvent::Fail(e),
@@ -147,9 +163,12 @@ fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivO
                 }
             }
         }
+        chunk_span.set("pairs", local_pairs);
         pairs.fetch_add(local_pairs, Ordering::Relaxed);
         None
     });
+    cross_span.set("pairs", pairs.load(Ordering::Relaxed));
+    drop(cross_span);
     match hit {
         None => Ok(EquivOutcome::Equivalent {
             packets_checked: pairs.load(Ordering::Relaxed),
@@ -192,19 +211,54 @@ pub fn check_equivalent_with(
     cfg: &EquivConfig,
     sym: &SymConfig,
 ) -> Result<EquivOutcome, EquivError> {
+    check_equivalent_explain(left, right, cfg, sym).map(|(out, _)| out)
+}
+
+/// Why [`EquivMode::Auto`] abandoned the symbolic engine for this check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackInfo {
+    /// Stable cause label ([`Unsupported::label`]): `goto_cycle`,
+    /// `unknown_table`, `bad_action_param`, `atom_budget`, or
+    /// `partition_budget`.
+    pub cause: &'static str,
+    /// Human-readable detail of the unsupported construct.
+    pub detail: String,
+}
+
+/// [`check_equivalent_with`], additionally reporting *why* the verdict
+/// fell back to the enumerative engine (under [`EquivMode::Auto`] only;
+/// `None` means the symbolic engine decided, or another mode ran).
+///
+/// Every fallback increments both the aggregate `sym.fallbacks` counter
+/// and a per-cause `sym.fallback.<cause>` counter.
+pub fn check_equivalent_explain(
+    left: &Pipeline,
+    right: &Pipeline,
+    cfg: &EquivConfig,
+    sym: &SymConfig,
+) -> Result<(EquivOutcome, Option<FallbackInfo>), EquivError> {
+    let _sp = mapro_obs::trace::span("check");
     match cfg.mode {
-        EquivMode::Enumerate => mapro_core::check_equivalent(left, right, cfg),
-        EquivMode::Symbolic => check_symbolic(left, right, sym),
+        EquivMode::Enumerate => mapro_core::check_equivalent(left, right, cfg).map(|o| (o, None)),
+        EquivMode::Symbolic => check_symbolic(left, right, sym).map(|o| (o, None)),
         EquivMode::Auto => match symbolic(left, right, sym) {
-            Ok(out) => Ok(out),
+            Ok(out) => Ok((out, None)),
             Err(SymFail::Hard(e)) => Err(e),
-            Err(SymFail::Unsupported(_)) => {
+            Err(SymFail::Unsupported(u)) => {
+                let info = FallbackInfo {
+                    cause: u.label(),
+                    detail: u.to_string(),
+                };
                 mapro_obs::counter!("sym.fallbacks").inc();
+                mapro_obs::registry()
+                    .counter(&format!("sym.fallback.{}", info.cause))
+                    .inc();
+                mapro_obs::trace::instant_kv("fallback", vec![("cause", info.cause.into())]);
                 let cfg = EquivConfig {
                     mode: EquivMode::Enumerate,
                     ..cfg.clone()
                 };
-                mapro_core::check_equivalent(left, right, &cfg)
+                mapro_core::check_equivalent(left, right, &cfg).map(|o| (o, Some(info)))
             }
         },
     }

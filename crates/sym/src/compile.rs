@@ -188,6 +188,20 @@ impl std::fmt::Display for Unsupported {
     }
 }
 
+impl Unsupported {
+    /// Stable snake_case cause label, used as the `sym.fallback.<cause>`
+    /// counter suffix and in `mapro check` fallback notes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Unsupported::GotoCycle { .. } => "goto_cycle",
+            Unsupported::UnknownTable(_) => "unknown_table",
+            Unsupported::BadActionParam { .. } => "bad_action_param",
+            Unsupported::AtomBudget => "atom_budget",
+            Unsupported::PartitionBudget => "partition_budget",
+        }
+    }
+}
+
 impl std::error::Error for Unsupported {}
 
 /// A table's priority-resolved match partition over its own columns:
@@ -239,13 +253,19 @@ fn table_partition(
     rows: Vec<Option<Cube>>,
     cfg: &SymConfig,
 ) -> Result<Arc<TablePartition>, Unsupported> {
+    // One span per call whether the digest cache hits or misses, so the
+    // logical span tree is independent of cache warmth (and therefore of
+    // thread count and prior runs); the outcome is a field instead.
+    let mut span = mapro_obs::trace::span_kv("partition", vec![("rows", rows.len().into())]);
     let key = partition_key(widths, &rows);
     let cache = PART_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().expect("partition cache lock").get(&key) {
         mapro_obs::counter!("sym.cache.hits").inc();
+        span.set("cache_hit", true);
         return Ok(Arc::clone(hit));
     }
     mapro_obs::counter!("sym.cache.misses").inc();
+    span.set("cache_hit", false);
 
     let ncols = widths.len();
     let mut remaining = vec![Cube::any(ncols)];
@@ -539,6 +559,7 @@ pub fn compile(
     cfg: &SymConfig,
 ) -> Result<BehaviorCover, Unsupported> {
     let _t = mapro_obs::time!("sym.compile_ns");
+    let mut span = mapro_obs::trace::span_kv("compile", vec![("tables", p.tables.len().into())]);
     let c = Compiler::new(p, space, cfg)?;
     let start = c.resolve(&p.start)?;
     let root_branches = c.step(&c.initial_state(), start)?;
@@ -548,7 +569,8 @@ pub fn compile(
         let pool = mapro_par::Pool::current();
         let branches: Vec<(SymState, Next)> = root_branches;
         let results: Vec<Result<Vec<Atom>, Unsupported>> =
-            pool.map_ordered(&branches, |_, (s, next)| {
+            pool.map_ordered(&branches, |bi, (s, next)| {
+                let _b = mapro_obs::trace::span_kv("branch", vec![("branch", bi.into())]);
                 let mut part = Vec::new();
                 match next {
                     Next::Done(b) => part.push(Atom {
@@ -577,6 +599,7 @@ pub fn compile(
         }
     }
     mapro_obs::counter!("sym.atoms").add(atoms.len() as u64);
+    span.set("atoms", atoms.len());
     Ok(BehaviorCover {
         space: space.clone(),
         atoms,

@@ -32,5 +32,8 @@ pub mod check;
 pub mod compile;
 pub mod cube;
 
-pub use check::{assert_equivalent, check_equivalent, check_equivalent_with, check_symbolic};
+pub use check::{
+    assert_equivalent, check_equivalent, check_equivalent_explain, check_equivalent_with,
+    check_symbolic, FallbackInfo,
+};
 pub use compile::{compile, Atom, Behavior, BehaviorCover, FieldSpace, SymConfig, Unsupported};

@@ -24,9 +24,13 @@ for e in table1 fig4 fig4queue size control monitor theorem1 templates cache sca
         | sed '1,/############/d' > "$OUT/$e.json"
 done
 
-# The fault sweep runs on the channel's virtual clock under a fixed seed,
-# so its JSON is bit-reproducible — keep the committed reference in sync.
-cp "$OUT/faults.json" BENCH_faults.json
+echo "== phase attribution (E18) =="
+# Span-trace phase attribution across the six instrumented workloads,
+# plus the full-session Chrome trace (open in ui.perfetto.dev).
+cargo run --release -p mapro-bench --bin repro -- --experiment phases \
+    --trace "$OUT/phases-trace.json" > "$OUT/phases.txt"
+cargo run --release -p mapro-bench --bin repro -- --experiment phases --json \
+    | sed '1,/############/d' > "$OUT/phases.json"
 
 echo "== parallel executor scaling (E15) =="
 # Wall-clock scaling of the parallelized hot paths at 1/2/4/8 pool
@@ -35,7 +39,6 @@ echo "== parallel executor scaling (E15) =="
 # across thread counts.
 cargo run --release -p mapro-bench --bin repro -- --experiment parscale --json \
     | sed '1,/############/d' > "$OUT/parscale.json"
-cp "$OUT/parscale.json" BENCH_parallel.json
 
 echo "== symbolic equivalence engine (E17) =="
 # Symbolic vs enumerative equivalence across the feasibility boundary.
@@ -44,6 +47,17 @@ echo "== symbolic equivalence engine (E17) =="
 # diffs it across MAPRO_THREADS settings.
 cargo run --release -p mapro-bench --bin repro -- --experiment symscale --json \
     | sed '1,/############/d' > "$OUT/symscale.json"
+
+echo "== perf-regression diff (advisory) =="
+# Compare the fresh runs against the committed references *before*
+# refreshing them, so an unexpected drift is visible in the log. The
+# hard gate is CI's bench-regression job; here a diff only warns.
+python3 scripts/bench_diff.py "$OUT" \
+    || echo "bench_diff: fresh results differ from committed BENCH_*.json (references updated below)"
+# The fault sweep runs on the channel's virtual clock under a fixed seed,
+# so its JSON is bit-reproducible — keep the committed references in sync.
+cp "$OUT/faults.json" BENCH_faults.json
+cp "$OUT/parscale.json" BENCH_parallel.json
 cp "$OUT/symscale.json" BENCH_symbolic.json
 
 echo "== benches =="
