@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint|symscale|phases]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|phases]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--threads N]
 //!       [--json] [--metrics [out.json]] [--trace out.json]
 //! ```
@@ -18,7 +18,7 @@
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|parscale|lint|symscale|phases] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|phases] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -107,6 +107,7 @@ const EXPERIMENTS: &[&str] = &[
     "scaling",
     "joins",
     "faults",
+    "chaos",
     "parscale",
     "lint",
     "symscale",
@@ -414,6 +415,79 @@ fn main() {
                     if r.reconciled { "" } else { "  NOT-CONVERGED" }
                 );
             }
+        }
+    }
+    if want("chaos") {
+        println!(
+            "\n############ E19 — controller crash-recovery chaos sweep (extension) ############"
+        );
+        let rep = chaos_report(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+        } else {
+            println!(
+                "{:>6} {:>6} {:>5} {:>6} {:>8} {:>6} {:>6} {:>7} {:>6} {:>5} {:>8} {:>8} {:>5} {:>6}  verdict",
+                "crash",
+                "fault",
+                "ctls",
+                "acked",
+                "crashes",
+                "elect",
+                "fenced",
+                "shed",
+                "brk",
+                "wal",
+                "retries",
+                "repairs",
+                "epoch",
+                "doubt"
+            );
+            for r in &rep.rows {
+                println!(
+                    "{:>6.2} {:>6.2} {:>5} {:>3}/{:<2} {:>8} {:>6} {:>6} {:>7} {:>6} {:>5} {:>8} {:>8} {:>5} {:>6}  {}",
+                    r.crash_rate,
+                    r.fault_rate,
+                    r.controllers,
+                    r.acked,
+                    r.intents,
+                    r.crashes,
+                    r.elections,
+                    r.epoch_rejections,
+                    r.shed,
+                    r.breaker_opens,
+                    r.wal_records,
+                    r.retries,
+                    r.repairs,
+                    r.final_epoch,
+                    r.in_doubt,
+                    if r.verified {
+                        "verified"
+                    } else if r.reconciled {
+                        "RECONCILED-UNVERIFIED"
+                    } else {
+                        "NOT-CONVERGED"
+                    }
+                );
+            }
+            // The per-takeover recovery summaries the driver printed into
+            // each report, worst cell last.
+            println!("\nrecovery log (last cell):");
+            if let Some(r) = rep.rows.last() {
+                for line in &r.recovery_lines {
+                    println!("  {line}");
+                }
+            }
+            let failures: u64 = rep.rows.iter().map(|r| r.guardrail_failures).sum();
+            println!(
+                "guardrail: {} failure(s) across {} cells{}",
+                failures,
+                rep.rows.len(),
+                if failures == 0 {
+                    " — all recoveries verified"
+                } else {
+                    "  *** GATE FAILED ***"
+                }
+            );
         }
     }
     if want("parscale") {

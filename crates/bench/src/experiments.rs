@@ -7,7 +7,8 @@
 //! E12 = OVS cache sensitivity, E13 = flow state explosion,
 //! E14 = faults: churn under an unreliable control channel,
 //! E15 = thread scaling, E16 = static analysis, E17 = symbolic vs
-//! enumerative equivalence, E18 = phase attribution from span traces.
+//! enumerative equivalence, E18 = phase attribution from span traces,
+//! E19 = controller crash-recovery chaos sweep.
 
 use mapro_core::{display, Pipeline};
 use mapro_normalize::JoinKind;
@@ -851,11 +852,13 @@ pub fn faults(cfg: &BenchConfig, rates: &[f64]) -> Vec<FaultRow> {
                     row.intent_errors += 1;
                 }
                 match ctl.reconcile(&mut ch) {
-                    Ok(rep) => {
+                    Ok(mapro_control::ReconcileOutcome::Converged(rep)) => {
                         row.max_convergence_us =
                             row.max_convergence_us.max(rep.convergence_ns as f64 / 1e3)
                     }
-                    Err(_) => row.reconciled = false,
+                    Ok(mapro_control::ReconcileOutcome::Exhausted { .. }) | Err(_) => {
+                        row.reconciled = false
+                    }
                 }
             }
             // A restart can land right after the final verifying read;
@@ -876,6 +879,162 @@ pub fn faults(cfg: &BenchConfig, rates: &[f64]) -> Vec<FaultRow> {
             row.stall_fraction = (stall_ns / WINDOW_NS).min(1.0);
             row.goodput_mpps = line_mpps * (1.0 - row.stall_fraction);
             out.push(row);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- E19 ---
+
+/// One cell of the crash-rate × fault-rate × controller-count sweep.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosRow {
+    /// Per-injection-point crash probability for elected controllers.
+    pub crash_rate: f64,
+    /// Channel fault intensity (`p_drop`; dup/reorder run at half).
+    pub fault_rate: f64,
+    /// Controller slots racing for the lease.
+    pub controllers: usize,
+    /// Intents offered to the control plane.
+    pub intents: usize,
+    /// Intents synchronously acked (the rest arrive via reconciliation).
+    pub acked: usize,
+    /// Controller generations killed by the injector.
+    pub crashes: u64,
+    /// Leadership grants total.
+    pub elections: u64,
+    /// Leadership grants after the first.
+    pub failovers: u64,
+    /// Straggler flow-mods fenced by the switch's epoch check.
+    pub epoch_rejections: u64,
+    /// Churn intents refused by admission control.
+    pub shed: u64,
+    /// Circuit-breaker openings across generations.
+    pub breaker_opens: u64,
+    /// Flow-mod retransmissions across generations.
+    pub retries: u64,
+    /// Repair flow-mods emitted by reconciliation.
+    pub repairs: u64,
+    /// Switch restarts injected across channels.
+    pub switch_restarts: u64,
+    /// WAL records at the end of the run.
+    pub wal_records: usize,
+    /// Begun-but-unconfirmed intents left in the log (proved applied by
+    /// the final guardrail, not by `Commit` records).
+    pub in_doubt: usize,
+    /// Highest fencing epoch granted.
+    pub final_epoch: u64,
+    /// Whether the final drain reconciled the switch.
+    pub reconciled: bool,
+    /// Whether the final `mapro_sym` guardrail proved equivalence.
+    pub verified: bool,
+    /// Recoveries that reconciled but failed verification (gate: 0).
+    pub guardrail_failures: u64,
+    /// One summary line per takeover plus the final verified drain.
+    pub recovery_lines: Vec<String>,
+    /// Virtual time consumed (ms, max over channels).
+    pub elapsed_ms: f64,
+}
+
+/// The E19 artifact: chaos-sweep rows under a provenance header.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChaosSweepReport {
+    /// Provenance header (seed, threads, version) for the regression gate.
+    pub meta: RunMeta,
+    /// One row per crash rate × fault rate × controller count.
+    pub rows: Vec<ChaosRow>,
+}
+
+/// [`chaos_sweep`] wrapped in the artifact header `scripts/bench_diff.py`
+/// keys on. Rows are virtual-clock deterministic, so the gate compares
+/// them exactly when the metadata matches.
+pub fn chaos_report(cfg: &BenchConfig) -> ChaosSweepReport {
+    ChaosSweepReport {
+        meta: RunMeta::new("chaos", cfg.seed),
+        rows: chaos_sweep(cfg),
+    }
+}
+
+/// Extension experiment E19: controller crash-recovery under chaos.
+///
+/// A reduced GWLB (universal form, so every intent is a multi-flow-mod
+/// two-phase bundle) is driven through [`run_chaos`]: N controller slots
+/// race for a lease over per-slot [`FaultyChannel`]s to one shared
+/// `LiveSwitch`, every elected generation recovers from the shared WAL
+/// under a seeded [`CrashInjector`], and the run must end with the
+/// switch reconciled to the WAL-derived intended pipeline **and** proved
+/// equivalent by `mapro_sym`. The acceptance gate is the
+/// `guardrail_failures == 0` column across the whole
+/// crash-rate × fault-rate × controller-count sweep.
+///
+/// [`run_chaos`]: mapro_control::run_chaos
+/// [`FaultyChannel`]: mapro_control::FaultyChannel
+/// [`CrashInjector`]: mapro_control::CrashInjector
+pub fn chaos_sweep(cfg: &BenchConfig) -> Vec<ChaosRow> {
+    use mapro_control::{run_chaos, ChaosConfig};
+    use mapro_switch::LiveSwitch;
+
+    // Reduced workload: the sweep runs 18 cells and the guardrail proves
+    // full-pipeline equivalence per recovery, so keep each cell small.
+    const SERVICES: usize = 6;
+    const BACKENDS: usize = 4; // GWLB hashes backends; must be a power of two
+    const INTENTS: usize = 24;
+    let g = Gwlb::random(SERVICES, BACKENDS, cfg.seed);
+    let base = g.universal.clone();
+    // Compile the intent list once against a shadow of the evolving
+    // intended state; every cell replays the same list.
+    let mut shadow = base.clone();
+    let intents: Vec<_> = (0..INTENTS)
+        .map(|k| {
+            let plan = g.move_service_port(&shadow, k % SERVICES, 10_000 + k as u16);
+            mapro_control::apply_plan(&mut shadow, &plan).expect("intent applies to shadow");
+            plan
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for &crash_rate in &[0.0f64, 0.1, 0.25] {
+        for &fault_rate in &[0.0f64, 0.2] {
+            for controllers in 1..=3usize {
+                let seed = cfg.seed
+                    ^ crash_rate.to_bits().rotate_left(11)
+                    ^ fault_rate.to_bits().rotate_left(29)
+                    ^ (controllers as u64).rotate_left(47);
+                let ccfg = ChaosConfig {
+                    controllers,
+                    crash_rate,
+                    fault_rate,
+                    restart_every: 50,
+                    seed,
+                    ..ChaosConfig::default()
+                };
+                let sw = LiveSwitch::noviflow(base.clone()).expect("compiles");
+                let rep = run_chaos(sw, base.clone(), &intents, &ccfg);
+                out.push(ChaosRow {
+                    crash_rate,
+                    fault_rate,
+                    controllers,
+                    intents: rep.intents,
+                    acked: rep.acked,
+                    crashes: rep.crashes,
+                    elections: rep.elections,
+                    failovers: rep.failovers,
+                    epoch_rejections: rep.epoch_rejections,
+                    shed: rep.shed,
+                    breaker_opens: rep.breaker_opens,
+                    retries: rep.retries,
+                    repairs: rep.repairs,
+                    switch_restarts: rep.switch_restarts,
+                    wal_records: rep.wal_records,
+                    in_doubt: rep.in_doubt_final,
+                    final_epoch: rep.final_epoch,
+                    reconciled: rep.reconciled,
+                    verified: rep.verified,
+                    guardrail_failures: rep.guardrail_failures,
+                    recovery_lines: rep.recovery_lines,
+                    elapsed_ms: rep.elapsed_ns as f64 / 1e6,
+                });
+            }
         }
     }
     out

@@ -21,10 +21,20 @@ use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// Transaction id tagging a flow-mod; the unit of idempotence.
+///
+/// Transaction ids are scoped *per epoch*: a new controller generation
+/// may reuse ids, because the switch dedups on `(epoch, txn)` and the
+/// controller matches acks on both fields.
 pub type TxnId = u64;
 
 /// Identifier of a two-phase update bundle.
 pub type BundleId = u64;
+
+/// A controller generation. Epochs are handed out monotonically by the
+/// lease-based election (see `crate::election`); the switch remembers the
+/// highest epoch it has seen and fences everything older, so a deposed
+/// controller's stragglers can never clobber its successor's writes.
+pub type Epoch = u64;
 
 /// What a control message asks the switch to do.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,11 +74,14 @@ impl FlowModOp {
     }
 }
 
-/// A control message: transaction id plus operation.
+/// A control message: controller generation, transaction id, operation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlowMod {
     /// Idempotence tag; retransmissions reuse the id.
     pub txn: TxnId,
+    /// Generation of the controller that sent this message. The switch
+    /// rejects epochs below the highest it has seen ([`AckError::StaleEpoch`]).
+    pub epoch: Epoch,
     /// The requested operation.
     pub op: FlowModOp,
 }
@@ -88,6 +101,13 @@ pub enum AckError {
     /// Commit/rollback named a bundle the switch does not hold (e.g. a
     /// restart wiped the staging area).
     BundleUnknown,
+    /// The message's epoch is below the highest the switch has seen: the
+    /// sender was deposed by a newer controller generation. Nothing was
+    /// logged or applied — the fence precedes even the dedup log.
+    StaleEpoch {
+        /// The epoch the switch is currently fenced to.
+        current: Epoch,
+    },
     /// The operation was refused; the state is unchanged.
     Rejected(String),
 }
@@ -97,6 +117,10 @@ pub enum AckError {
 pub struct Ack {
     /// Transaction this ack answers.
     pub txn: TxnId,
+    /// Epoch echoed from the answered message, so a controller never
+    /// mistakes a predecessor's straggler ack (same txn id, older epoch)
+    /// for its own.
+    pub epoch: Epoch,
     /// Outcome.
     pub result: Result<AckOk, AckError>,
 }
@@ -111,6 +135,19 @@ pub trait Endpoint {
     /// the txn dedup log) is lost; the datapath reverts to the last
     /// committed state.
     fn restart(&mut self);
+}
+
+/// A switch shared by several control channels (one per controller in a
+/// multi-controller deployment): each channel holds a handle to the same
+/// underlying endpoint, so their deliveries interleave at one switch the
+/// way N controllers' connections terminate at one device.
+impl<E: Endpoint> Endpoint for std::rc::Rc<std::cell::RefCell<E>> {
+    fn deliver(&mut self, msg: &FlowMod) -> Ack {
+        self.borrow_mut().deliver(msg)
+    }
+    fn restart(&mut self) {
+        self.borrow_mut().restart()
+    }
 }
 
 /// Fault configuration for a [`FaultyChannel`]. All probabilities are
@@ -184,6 +221,10 @@ pub struct ChannelStats {
     pub ack_duplicated: u64,
     /// Switch restarts injected.
     pub restarts: u64,
+    /// Flow-mods flushed from the in-flight queue by a restart (a real
+    /// transport's connection dies with the switch; nothing queued before
+    /// the power-cycle is delivered after it).
+    pub flushed: u64,
 }
 
 /// A lossy, duplicating, reordering, restart-injecting control channel
@@ -281,6 +322,13 @@ impl<E: Endpoint> FaultyChannel<E> {
                     );
                 }
                 self.ep.restart();
+                // The power-cycle severs the transport: everything still
+                // queued toward the switch (reordered/delayed survivors)
+                // dies with the connection instead of being delivered to
+                // the rebooted switch.
+                self.stats.flushed += self.outbox.len() as u64;
+                mapro_obs::counter!("control.channel.flushed").add(self.outbox.len() as u64);
+                self.outbox.clear();
             }
             if self.rng.gen_bool(self.plan.p_drop) {
                 self.stats.ack_dropped += 1;
@@ -361,6 +409,7 @@ mod tests {
             self.seen.push(msg.txn);
             Ack {
                 txn: msg.txn,
+                epoch: msg.epoch,
                 result: Ok(AckOk::Done),
             }
         }
@@ -372,6 +421,7 @@ mod tests {
     fn msg(txn: TxnId) -> FlowMod {
         FlowMod {
             txn,
+            epoch: 0,
             op: FlowModOp::ReadState,
         }
     }
@@ -410,7 +460,7 @@ mod tests {
 
     #[test]
     fn faults_actually_fire() {
-        let mut ch = FaultyChannel::new(Recorder::new(), FaultPlan::uniform(0.5, 10, 42));
+        let mut ch = FaultyChannel::new(Recorder::new(), FaultPlan::uniform(0.5, 0, 42));
         for t in 0..200 {
             ch.send(msg(t));
         }
@@ -420,11 +470,67 @@ mod tests {
         assert!(s.duplicated > 0, "dups: {s:?}");
         assert!(s.reordered > 0, "reorders: {s:?}");
         assert!(s.ack_dropped > 0, "ack drops: {s:?}");
-        assert_eq!(s.restarts, s.delivered / 10);
-        assert_eq!(ch.endpoint().restarts, s.restarts);
         // Conservation: everything sent was delivered, dropped, or
-        // duplicated-then-delivered.
+        // duplicated-then-delivered (no restarts, so nothing flushed).
+        assert_eq!(s.flushed, 0);
         assert_eq!(s.delivered, s.sent - s.dropped + s.duplicated);
+    }
+
+    #[test]
+    fn restart_flushes_in_flight_messages() {
+        // Restart after the very first delivery: the four messages still
+        // queued behind it die with the connection and are never seen by
+        // the rebooted endpoint.
+        let mut ch = FaultyChannel::new(Recorder::new(), FaultPlan::lossless(3));
+        ch.plan.restart_every = 1;
+        for t in 0..5 {
+            ch.send(msg(t));
+        }
+        ch.pump();
+        assert_eq!(ch.endpoint().seen, vec![0], "pre-restart survivors leaked");
+        assert_eq!(ch.endpoint().restarts, 1);
+        let s = ch.stats().clone();
+        assert_eq!(s.restarts, 1);
+        assert_eq!(s.flushed, 4);
+        assert_eq!(s.delivered, s.sent - s.dropped + s.duplicated - s.flushed);
+        // Messages sent after the restart flow normally again.
+        ch.plan.restart_every = 0;
+        ch.send(msg(9));
+        ch.pump();
+        assert_eq!(ch.endpoint().seen, vec![0, 9]);
+    }
+
+    #[test]
+    fn restart_flush_conserves_under_faults() {
+        let mut ch = FaultyChannel::new(Recorder::new(), FaultPlan::uniform(0.5, 10, 42));
+        for t in 0..200 {
+            ch.send(msg(t));
+        }
+        ch.pump();
+        let s = ch.stats();
+        assert!(s.restarts > 0, "restarts must fire: {s:?}");
+        assert!(
+            s.flushed > 0,
+            "a restart with a deep queue must flush: {s:?}"
+        );
+        assert_eq!(ch.endpoint().restarts, s.restarts);
+        assert_eq!(s.delivered, s.sent - s.dropped + s.duplicated - s.flushed);
+    }
+
+    #[test]
+    fn shared_endpoint_interleaves_two_channels() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let sw = Rc::new(RefCell::new(Recorder::new()));
+        let mut a = FaultyChannel::new(sw.clone(), FaultPlan::lossless(1));
+        let mut b = FaultyChannel::new(sw.clone(), FaultPlan::lossless(2));
+        a.send(msg(1));
+        a.pump();
+        b.send(msg(2));
+        b.pump();
+        assert_eq!(sw.borrow().seen, vec![1, 2]);
+        assert_eq!(a.recv().unwrap().txn, 1);
+        assert_eq!(b.recv().unwrap().txn, 2);
     }
 
     #[test]

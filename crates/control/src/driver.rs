@@ -1,6 +1,7 @@
 //! The resilient controller: idempotent flow-mod RPCs with retry and
-//! backoff, two-phase update bundles, and controller–switch
-//! reconciliation.
+//! backoff, two-phase update bundles, controller–switch reconciliation —
+//! and, since the crash-recovery PR, a write-ahead log, epoch fencing,
+//! crash injection, overload shedding and a circuit breaker.
 //!
 //! The driver turns the §2 consistency argument into machinery. Every
 //! flow-mod carries a [`TxnId`]; retransmissions reuse the id, and the
@@ -12,12 +13,32 @@
 //! periodically [`reconcile`](Controller::reconcile)s: read back the
 //! switch's authoritative pipeline, diff it against the intended state,
 //! and emit repair flow-mods until the two agree.
+//!
+//! Crash recovery extends the same story to the controller's own death:
+//!
+//! * every admitted intent is logged to a [`Wal`] *before* the first
+//!   send, so a successor ([`Controller::recover`]) replays the log to
+//!   the exact intended pipeline the predecessor died with;
+//! * every message carries the controller's [`Epoch`]; the switch fences
+//!   stale generations, and a fenced controller surfaces
+//!   [`DriverError::Deposed`] instead of corrupting its successor's
+//!   writes;
+//! * a [`CrashInjector`] can kill the controller at any
+//!   [`CrashPoint`] — the chaos harness uses this to prove recovery at
+//!   every injection point;
+//! * overload shedding ([`DriverError::Overloaded`]) refuses churn-class
+//!   intents once too many admitted intents are still undelivered, and a
+//!   circuit breaker stops per-txn retry storms after K consecutive
+//!   timeouts, deferring to bulk read-diff-repair instead.
 
 use crate::channel::{
-    Ack, AckError, AckOk, BundleId, Endpoint, FaultyChannel, FlowMod, FlowModOp, TxnId,
+    Ack, AckError, AckOk, BundleId, Endpoint, Epoch, FaultyChannel, FlowMod, FlowModOp, TxnId,
 };
 use crate::updates::{self, ApplyError, RuleUpdate, UpdatePlan};
-use mapro_core::Pipeline;
+use crate::wal::{SharedWal, Wal, WalRecord};
+use mapro_core::{EquivConfig, EquivOutcome, Pipeline};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -34,6 +55,19 @@ pub struct DriverConfig {
     pub backoff_cap_ns: u64,
     /// Read–diff–repair rounds before a reconcile pass gives up.
     pub max_reconcile_rounds: u32,
+    /// Virtual-time budget for one reconcile pass; exceeding it returns
+    /// [`ReconcileOutcome::Exhausted`] instead of spinning.
+    pub reconcile_deadline_ns: u64,
+    /// In-flight window: once this many admitted intents are still
+    /// undelivered, churn-class intents are shed
+    /// ([`DriverError::Overloaded`]); reconciliation always gets through.
+    /// Also bounds the repair batch per reconcile round (backpressure).
+    pub window: usize,
+    /// Consecutive RPC timeouts before the circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker skips per-txn delivery before probing
+    /// again (ns, virtual).
+    pub breaker_cooldown_ns: u64,
 }
 
 impl Default for DriverConfig {
@@ -44,6 +78,119 @@ impl Default for DriverConfig {
             backoff_base_ns: 100_000,
             backoff_cap_ns: 10_000_000,
             max_reconcile_rounds: 32,
+            reconcile_deadline_ns: 10_000_000_000,
+            window: 16,
+            breaker_threshold: 4,
+            breaker_cooldown_ns: 50_000_000,
+        }
+    }
+}
+
+/// Somewhere the controller can be killed mid-protocol. The chaos
+/// harness proves recovery from every one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// After the WAL `Begin` append, before anything reaches the wire.
+    Begin,
+    /// After a flow-mod was handed to the channel, before it was pumped —
+    /// the message survives the controller in the network.
+    InFlight,
+    /// Inside the retry loop, before a retransmission.
+    MidRetry,
+    /// Between a bundle's prepare ack and its commit send: the switch
+    /// holds a staged bundle its owner will never commit.
+    AfterPrepare,
+    /// After the commit ack, before the WAL `Commit` append: the switch
+    /// applied the bundle but the log still carries it as in-doubt.
+    AfterCommit,
+    /// At the top of a reconcile round.
+    Reconcile,
+}
+
+impl CrashPoint {
+    /// Every injection point, for exhaustive kill-at-each-point sweeps.
+    pub const ALL: [CrashPoint; 6] = [
+        CrashPoint::Begin,
+        CrashPoint::InFlight,
+        CrashPoint::MidRetry,
+        CrashPoint::AfterPrepare,
+        CrashPoint::AfterCommit,
+        CrashPoint::Reconcile,
+    ];
+
+    /// Stable label for traces and counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashPoint::Begin => "begin",
+            CrashPoint::InFlight => "in_flight",
+            CrashPoint::MidRetry => "mid_retry",
+            CrashPoint::AfterPrepare => "after_prepare",
+            CrashPoint::AfterCommit => "after_commit",
+            CrashPoint::Reconcile => "reconcile",
+        }
+    }
+}
+
+/// Deterministic controller-crash fault injection.
+#[derive(Debug, Clone)]
+pub enum CrashInjector {
+    /// Production mode: never crash.
+    Never,
+    /// Crash with probability `rate` at every injection point, from a
+    /// seeded stream (the chaos sweep's knob).
+    Random {
+        /// Per-point crash probability.
+        rate: f64,
+        /// Seeded roll stream.
+        rng: SmallRng,
+    },
+    /// Crash exactly at the `nth` occurrence of `point` (the proptest
+    /// knob: enumerate every point deterministically).
+    AtNth {
+        /// The targeted injection point.
+        point: CrashPoint,
+        /// Which occurrence to kill at (1-based).
+        nth: u32,
+        /// Occurrences seen so far.
+        seen: u32,
+    },
+}
+
+impl CrashInjector {
+    /// Crash with probability `rate` at every point, deterministically
+    /// under `seed`.
+    pub fn random(rate: f64, seed: u64) -> CrashInjector {
+        assert!((0.0..=1.0).contains(&rate), "crash rate out of range");
+        CrashInjector::Random {
+            rate,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Crash at the `nth` time execution reaches `point`.
+    pub fn at_nth(point: CrashPoint, nth: u32) -> CrashInjector {
+        CrashInjector::AtNth {
+            point,
+            nth,
+            seen: 0,
+        }
+    }
+
+    fn fires(&mut self, point: CrashPoint) -> bool {
+        match self {
+            CrashInjector::Never => false,
+            CrashInjector::Random { rate, rng } => *rate > 0.0 && rng.gen_bool(*rate),
+            CrashInjector::AtNth {
+                point: p,
+                nth,
+                seen,
+            } => {
+                if *p != point {
+                    return false;
+                }
+                *seen += 1;
+                *seen == *nth
+            }
         }
     }
 }
@@ -73,11 +220,23 @@ pub enum DriverError {
     /// The switch's schema (table names/columns) no longer matches the
     /// intended pipeline; entry-level repair cannot help.
     SchemaDrift,
-    /// Reconciliation did not converge within the round budget.
-    NotConverged {
-        /// Rounds attempted.
-        rounds: u32,
+    /// The switch is fenced to a newer epoch: this controller generation
+    /// lost leadership and must stop writing.
+    Deposed {
+        /// The epoch the switch is fenced to.
+        current: Epoch,
     },
+    /// Admission control shed the intent: too many admitted intents are
+    /// still undelivered. The intent was *not* adopted — retry after
+    /// reconciliation drains the window.
+    Overloaded {
+        /// Undelivered admitted intents at the time of shedding.
+        deferred: u64,
+    },
+    /// The crash injector killed the controller at this point. The
+    /// controller object must be discarded; a successor recovers from
+    /// the WAL.
+    Crashed(CrashPoint),
 }
 
 impl fmt::Display for DriverError {
@@ -89,18 +248,36 @@ impl fmt::Display for DriverError {
             }
             DriverError::Nack { txn, err } => match err {
                 AckError::BundleUnknown => write!(f, "txn {txn}: switch does not hold the bundle"),
+                AckError::StaleEpoch { current } => {
+                    write!(f, "txn {txn}: fenced by epoch {current}")
+                }
                 AckError::Rejected(r) => write!(f, "txn {txn}: rejected: {r}"),
             },
             DriverError::Protocol(s) => write!(f, "protocol violation: {s}"),
             DriverError::SchemaDrift => write!(f, "switch schema drifted from intended pipeline"),
-            DriverError::NotConverged { rounds } => {
-                write!(f, "reconciliation did not converge in {rounds} rounds")
+            DriverError::Deposed { current } => {
+                write!(f, "deposed: switch is fenced to epoch {current}")
             }
+            DriverError::Overloaded { deferred } => {
+                write!(f, "overloaded: {deferred} intents already in flight")
+            }
+            DriverError::Crashed(p) => write!(f, "controller crashed at {}", p.label()),
         }
     }
 }
 
 impl std::error::Error for DriverError {}
+
+/// Priority class of an intent, for overload shedding. Reconciliation
+/// repairs outrank churn: shedding churn under load converges the system,
+/// shedding repairs would wedge it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnClass {
+    /// Repair traffic; never shed.
+    Reconcile,
+    /// Ordinary intent churn; shed once the window fills.
+    Churn,
+}
 
 /// Per-controller accounting (per-run, unlike the global obs counters).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -117,6 +294,10 @@ pub struct DriverStats {
     pub repairs: u64,
     /// Reconcile passes that converged.
     pub reconciles: u64,
+    /// Churn intents refused by admission control.
+    pub shed: u64,
+    /// Times the circuit breaker opened.
+    pub breaker_opens: u64,
 }
 
 /// Outcome of one converged reconcile pass.
@@ -130,32 +311,166 @@ pub struct ReconcileReport {
     pub convergence_ns: u64,
 }
 
+/// How a reconcile pass ended. `Exhausted` is an outcome, not an error:
+/// the switch is (still) divergent, the budget ran out, and the caller
+/// decides whether to re-run, alert, or shed load — the old behavior of
+/// spinning inside the pass until an error is gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconcileOutcome {
+    /// A read round found no difference.
+    Converged(ReconcileReport),
+    /// The round or deadline budget ran out (or the switch stopped
+    /// answering reads) before convergence.
+    Exhausted {
+        /// Rounds attempted.
+        rounds: u32,
+        /// Repair flow-mods emitted before giving up.
+        repairs: usize,
+        /// Virtual time burned (ns).
+        elapsed_ns: u64,
+    },
+}
+
+/// What [`Controller::recover_switch`] did, for the one-line recovery
+/// summary and the chaos report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The recovering generation's epoch.
+    pub epoch: Epoch,
+    /// WAL records replayed to rebuild the intended state.
+    pub wal_records: usize,
+    /// Begun-but-unconfirmed intents inherited from the predecessor.
+    pub in_doubt: usize,
+    /// Whether reconciliation converged.
+    pub reconciled: bool,
+    /// Whether the post-recovery `mapro_sym` guardrail proved the switch
+    /// equivalent to the WAL-derived intended pipeline.
+    pub verified: bool,
+    /// Reconcile rounds used.
+    pub rounds: u32,
+    /// Repair flow-mods emitted.
+    pub repairs: usize,
+    /// Virtual time from takeover to verified recovery (ns).
+    pub elapsed_ns: u64,
+}
+
+impl RecoveryReport {
+    /// The one-line recovery summary (deterministic: virtual-clock only).
+    pub fn summary(&self) -> String {
+        format!(
+            "recovery: epoch {} replayed {} WAL records ({} in doubt), \
+             {} rounds / {} repairs in {} us, reconciled={} verified={}",
+            self.epoch,
+            self.wal_records,
+            self.in_doubt,
+            self.rounds,
+            self.repairs,
+            self.elapsed_ns / 1_000,
+            self.reconciled,
+            self.verified,
+        )
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum BreakerState {
+    Closed,
+    Open { until_ns: u64 },
+}
+
 /// The controller: owns the intended pipeline and drives a switch toward
 /// it across a [`FaultyChannel`].
 pub struct Controller {
     intended: Pipeline,
     cfg: DriverConfig,
+    epoch: Epoch,
     next_txn: TxnId,
     next_bundle: BundleId,
+    wal: SharedWal,
+    crash: CrashInjector,
+    breaker: BreakerState,
+    consecutive_timeouts: u32,
+    /// Admitted intents not confirmed delivered (WAL `Begin` without
+    /// `Commit` under this generation). Reset by a converged reconcile.
+    deferred: u64,
+    in_doubt_at_recovery: usize,
+    wal_records_at_recovery: usize,
     stats: DriverStats,
 }
 
 impl Controller {
-    /// A controller whose intended state starts at `intended` (normally
-    /// the pipeline the switch booted with).
+    /// A first-generation controller (epoch 0) whose intended state
+    /// starts at `intended` (normally the pipeline the switch booted
+    /// with), over a fresh private WAL.
     pub fn new(intended: Pipeline, cfg: DriverConfig) -> Controller {
+        Controller::with_wal(Wal::shared(intended.clone()), intended, cfg, 0)
+    }
+
+    fn with_wal(wal: SharedWal, intended: Pipeline, cfg: DriverConfig, epoch: Epoch) -> Controller {
+        // Declare up front so `--metrics` shows the shed counter even
+        // for a run that never overloads.
+        mapro_obs::counter!("control.shed");
         Controller {
             intended,
             cfg,
+            epoch,
             next_txn: 1,
             next_bundle: 1,
+            wal,
+            crash: CrashInjector::Never,
+            breaker: BreakerState::Closed,
+            consecutive_timeouts: 0,
+            deferred: 0,
+            in_doubt_at_recovery: 0,
+            wal_records_at_recovery: 0,
             stats: DriverStats::default(),
         }
+    }
+
+    /// A successor generation: replay `wal` to the predecessor's intended
+    /// state and take over under `epoch` (which the election guarantees
+    /// is fresher than anything the dead generation sent).
+    pub fn recover(
+        wal: SharedWal,
+        cfg: DriverConfig,
+        epoch: Epoch,
+        crash: CrashInjector,
+    ) -> Controller {
+        let replay = wal.borrow().replay();
+        let mut ctl = Controller::with_wal(wal, replay.intended, cfg, epoch);
+        ctl.next_txn = replay.next_txn;
+        // Predecessor bundles are fenced by epoch; ids may restart.
+        ctl.next_bundle = 1;
+        ctl.crash = crash;
+        ctl.deferred = replay.in_doubt.len() as u64;
+        ctl.in_doubt_at_recovery = replay.in_doubt.len();
+        ctl.wal_records_at_recovery = replay.records;
+        ctl
+    }
+
+    /// Install a crash injector (chaos harness / tests).
+    pub fn set_crash_injector(&mut self, crash: CrashInjector) {
+        self.crash = crash;
     }
 
     /// The state the controller is driving the switch toward.
     pub fn intended(&self) -> &Pipeline {
         &self.intended
+    }
+
+    /// This generation's fencing epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// Admitted intents not yet confirmed delivered.
+    pub fn deferred(&self) -> u64 {
+        self.deferred
+    }
+
+    /// The shared write-ahead log.
+    pub fn wal(&self) -> SharedWal {
+        self.wal.clone()
     }
 
     /// Per-run accounting.
@@ -167,6 +482,43 @@ impl Controller {
         let t = self.next_txn;
         self.next_txn += 1;
         t
+    }
+
+    fn check_crash(&mut self, point: CrashPoint) -> Result<(), DriverError> {
+        if self.crash.fires(point) {
+            mapro_obs::counter!("control.crashes").inc();
+            if mapro_obs::trace::active() {
+                mapro_obs::trace::instant_kv("crash", vec![("point", point.label().into())]);
+            }
+            return Err(DriverError::Crashed(point));
+        }
+        Ok(())
+    }
+
+    fn breaker_open(&self, now_ns: u64) -> bool {
+        matches!(self.breaker, BreakerState::Open { until_ns } if now_ns < until_ns)
+    }
+
+    fn note_timeout(&mut self, now_ns: u64) {
+        self.consecutive_timeouts += 1;
+        if self.consecutive_timeouts >= self.cfg.breaker_threshold && !self.breaker_open(now_ns) {
+            self.breaker = BreakerState::Open {
+                until_ns: now_ns + self.cfg.breaker_cooldown_ns,
+            };
+            self.stats.breaker_opens += 1;
+            mapro_obs::counter!("control.breaker.opens").inc();
+            if mapro_obs::trace::active() {
+                mapro_obs::trace::instant_kv(
+                    "breaker_open",
+                    vec![("timeouts", self.consecutive_timeouts.into())],
+                );
+            }
+        }
+    }
+
+    fn note_ack(&mut self) {
+        self.consecutive_timeouts = 0;
+        self.breaker = BreakerState::Closed;
     }
 
     /// One reliable-ish RPC: send, await ack, retransmit with exponential
@@ -194,6 +546,7 @@ impl Controller {
         let mut backoff = self.cfg.backoff_base_ns;
         for attempt in 0..=self.cfg.max_retries {
             if attempt > 0 {
+                self.check_crash(CrashPoint::MidRetry)?;
                 self.stats.retries += 1;
                 mapro_obs::counter!("control.driver.retries").inc();
                 if mapro_obs::trace::active() {
@@ -208,14 +561,20 @@ impl Controller {
             self.stats.sent += 1;
             ch.send(FlowMod {
                 txn,
+                epoch: self.epoch,
                 op: op.clone(),
             });
+            // The message is in the network but not yet delivered: a
+            // crash here leaves it to arrive after this generation died.
+            self.check_crash(CrashPoint::InFlight)?;
             ch.pump();
             // All in-flight acks surface at pump time; scan for ours and
-            // drain stale ones (duplicates, previous batches).
+            // drain stale ones (duplicates, previous batches, and any
+            // predecessor stragglers on a reused channel — the epoch
+            // match keeps those from being mistaken for our ack).
             let mut got = None;
             while let Some(ack) = ch.recv() {
-                if ack.txn == txn && got.is_none() {
+                if ack.txn == txn && ack.epoch == self.epoch && got.is_none() {
                     got = Some(ack);
                 }
             }
@@ -223,14 +582,25 @@ impl Controller {
                 None => ch.advance(self.cfg.ack_timeout_ns),
                 Some(Ack { result: Ok(ok), .. }) => {
                     self.stats.acks += 1;
+                    self.note_ack();
                     sp.set("attempts", attempt + 1);
                     sp.set("outcome", "ack");
                     return Ok(ok);
                 }
                 Some(Ack {
+                    result: Err(AckError::StaleEpoch { current }),
+                    ..
+                }) => {
+                    self.stats.nacks += 1;
+                    sp.set("attempts", attempt + 1);
+                    sp.set("outcome", "deposed");
+                    return Err(DriverError::Deposed { current });
+                }
+                Some(Ack {
                     result: Err(err), ..
                 }) => {
                     self.stats.nacks += 1;
+                    self.note_ack();
                     sp.set("attempts", attempt + 1);
                     sp.set("outcome", "nack");
                     return Err(DriverError::Nack { txn, err });
@@ -239,10 +609,21 @@ impl Controller {
         }
         sp.set("attempts", self.cfg.max_retries + 1);
         sp.set("outcome", "unreachable");
+        self.note_timeout(ch.now_ns());
         Err(DriverError::Unreachable {
             txn,
             attempts: self.cfg.max_retries + 1,
         })
+    }
+
+    /// Drive one churn-class intent to the switch; see
+    /// [`apply_plan_with`](Controller::apply_plan_with).
+    pub fn apply_plan<E: Endpoint>(
+        &mut self,
+        ch: &mut FaultyChannel<E>,
+        plan: &UpdatePlan,
+    ) -> Result<(), DriverError> {
+        self.apply_plan_with(ch, plan, TxnClass::Churn)
     }
 
     /// Drive one intent to the switch. Single-update plans go as one
@@ -250,11 +631,20 @@ impl Controller {
     /// (prepare → commit, rollback on failure). The intended state adopts
     /// the plan *regardless of delivery outcome* — an undelivered intent
     /// is a divergence for [`reconcile`](Controller::reconcile) to repair,
-    /// not a lost wish.
-    pub fn apply_plan<E: Endpoint>(
+    /// not a lost wish — and the adoption is durable: a WAL `Begin` is
+    /// appended before the first send, a `Commit` only after the switch
+    /// acknowledged.
+    ///
+    /// Admission control: churn-class intents are shed
+    /// ([`DriverError::Overloaded`], *not* adopted) while more than
+    /// [`DriverConfig::window`] admitted intents are undelivered.
+    /// While the circuit breaker is open, delivery is skipped entirely
+    /// (the intent is adopted and logged; bulk reconciliation repairs).
+    pub fn apply_plan_with<E: Endpoint>(
         &mut self,
         ch: &mut FaultyChannel<E>,
         plan: &UpdatePlan,
+        class: TxnClass,
     ) -> Result<(), DriverError> {
         let _sp = mapro_obs::trace::span_kv(
             "plan",
@@ -263,8 +653,34 @@ impl Controller {
                 ("bundled", plan.needs_bundle().into()),
             ],
         );
+        if class == TxnClass::Churn && self.deferred >= self.cfg.window as u64 {
+            self.stats.shed += 1;
+            mapro_obs::counter!("control.shed").inc();
+            if mapro_obs::trace::active() {
+                mapro_obs::trace::instant_kv("shed", vec![("deferred", self.deferred.into())]);
+            }
+            return Err(DriverError::Overloaded {
+                deferred: self.deferred,
+            });
+        }
         let mut next = self.intended.clone();
         updates::apply_plan(&mut next, plan).map_err(DriverError::PlanInvalid)?;
+        // Intent admitted: log it before anything reaches the wire, then
+        // adopt it. From here on the plan survives this controller.
+        let txn_base = self.next_txn;
+        self.wal.borrow_mut().append(WalRecord::Begin {
+            txn: txn_base,
+            epoch: self.epoch,
+            plan: plan.clone(),
+        });
+        self.intended = next;
+        self.deferred += 1;
+        self.check_crash(CrashPoint::Begin)?;
+        if self.breaker_open(ch.now_ns()) {
+            // Fast-fail: no per-txn retry storm against a switch that
+            // stopped answering; the next reconcile repairs in bulk.
+            return Ok(());
+        }
         let result = if plan.updates.is_empty() {
             Ok(())
         } else if !plan.needs_bundle() {
@@ -273,8 +689,19 @@ impl Controller {
         } else {
             self.commit_bundle(ch, &plan.updates)
         };
-        self.intended = next;
-        result
+        match result {
+            Ok(()) => {
+                self.wal
+                    .borrow_mut()
+                    .append(WalRecord::Commit { txn: txn_base });
+                self.deferred = self.deferred.saturating_sub(1);
+                Ok(())
+            }
+            // The controller is dead; nothing more to account.
+            Err(e @ DriverError::Crashed(_)) => Err(e),
+            // Delivery failed; the intent stays adopted and in doubt.
+            Err(e) => Err(e),
+        }
     }
 
     fn commit_bundle<E: Endpoint>(
@@ -297,8 +724,12 @@ impl Controller {
                     updates: updates.to_vec(),
                 },
             )?;
+            self.check_crash(CrashPoint::AfterPrepare)?;
             match self.rpc(ch, FlowModOp::Commit { bundle }) {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    self.check_crash(CrashPoint::AfterCommit)?;
+                    return Ok(());
+                }
                 // A restart between prepare and commit wiped the staging
                 // area; stage again (bounded — repeated wipes mean the
                 // switch is flapping and reconciliation should take over).
@@ -328,30 +759,61 @@ impl Controller {
     }
 
     /// One reconcile pass: read the switch state, diff against intended,
-    /// emit repairs, repeat until a read round shows no difference (or the
-    /// round budget runs out). Returns how long convergence took on the
-    /// virtual clock.
+    /// emit repairs, repeat until a read round shows no difference or the
+    /// round/deadline budget runs out ([`ReconcileOutcome::Exhausted`] —
+    /// an outcome, not an error: the caller re-runs or alerts).
+    ///
+    /// Repair batches are bounded to [`DriverConfig::window`] per round
+    /// (backpressure); an unanswerable switch exhausts the pass instead
+    /// of erroring, because reconciliation is the recovery path and must
+    /// not itself wedge on the fault it is repairing.
     pub fn reconcile<E: Endpoint>(
         &mut self,
         ch: &mut FaultyChannel<E>,
-    ) -> Result<ReconcileReport, DriverError> {
+    ) -> Result<ReconcileOutcome, DriverError> {
         let _sp = mapro_obs::trace::span("reconcile");
         let start = ch.now_ns();
         let mut repairs_sent = 0usize;
+        let exhausted = |rounds: u32, repairs: usize, now: u64| {
+            mapro_obs::counter!("control.driver.reconcile_exhausted").inc();
+            Ok(ReconcileOutcome::Exhausted {
+                rounds,
+                repairs,
+                elapsed_ns: now.saturating_sub(start),
+            })
+        };
         for round in 1..=self.cfg.max_reconcile_rounds {
+            self.check_crash(CrashPoint::Reconcile)?;
+            if ch.now_ns().saturating_sub(start) > self.cfg.reconcile_deadline_ns {
+                return exhausted(round - 1, repairs_sent, ch.now_ns());
+            }
             let mut round_span = mapro_obs::trace::span_kv("round", vec![("round", round.into())]);
-            let actual = self.read_state(ch)?;
-            let repairs = diff_pipelines(&actual, &self.intended)?;
+            let actual = match self.read_state(ch) {
+                Ok(p) => p,
+                Err(DriverError::Unreachable { .. }) => {
+                    return exhausted(round, repairs_sent, ch.now_ns())
+                }
+                Err(e) => return Err(e),
+            };
+            let mut repairs = diff_pipelines(&actual, &self.intended)?;
             round_span.set("repairs", repairs.len());
             if repairs.is_empty() {
                 let dt = ch.now_ns().saturating_sub(start);
                 self.stats.reconciles += 1;
+                self.deferred = 0;
                 mapro_obs::histogram!("control.driver.convergence_ns").record(dt);
-                return Ok(ReconcileReport {
+                return Ok(ReconcileOutcome::Converged(ReconcileReport {
                     rounds: round,
                     repairs: repairs_sent,
                     convergence_ns: dt,
-                });
+                }));
+            }
+            // Backpressure: cap the in-flight repair batch at the window;
+            // the next round's fresh diff picks up the remainder.
+            if repairs.len() > self.cfg.window {
+                mapro_obs::counter!("control.driver.backpressure")
+                    .add((repairs.len() - self.cfg.window) as u64);
+                repairs.truncate(self.cfg.window);
             }
             repairs_sent += repairs.len();
             self.stats.repairs += repairs.len() as u64;
@@ -367,15 +829,25 @@ impl Controller {
                 self.stats.sent += 1;
                 ch.send(FlowMod {
                     txn: *txn,
+                    epoch: self.epoch,
                     op: op.clone(),
                 });
             }
             ch.pump();
             let mut acked: HashSet<TxnId> = HashSet::new();
             while let Some(a) = ch.recv() {
-                if a.result.is_ok() {
-                    self.stats.acks += 1;
-                    acked.insert(a.txn);
+                if a.epoch != self.epoch {
+                    continue;
+                }
+                match &a.result {
+                    Ok(_) => {
+                        self.stats.acks += 1;
+                        acked.insert(a.txn);
+                    }
+                    Err(AckError::StaleEpoch { current }) => {
+                        return Err(DriverError::Deposed { current: *current })
+                    }
+                    Err(_) => {}
                 }
             }
             for (txn, op) in batch {
@@ -389,13 +861,103 @@ impl Controller {
                     // repair already rewrote); the next round's fresh diff
                     // self-corrects.
                     Err(DriverError::Nack { .. }) => {}
+                    Err(DriverError::Unreachable { .. }) => {
+                        return exhausted(round, repairs_sent, ch.now_ns())
+                    }
                     Err(e) => return Err(e),
                 }
             }
         }
-        Err(DriverError::NotConverged {
-            rounds: self.cfg.max_reconcile_rounds,
-        })
+        exhausted(self.cfg.max_reconcile_rounds, repairs_sent, ch.now_ns())
+    }
+
+    /// Post-failover takeover: reconcile the switch toward the WAL-derived
+    /// intended state, then run the `mapro_sym` equivalence guardrail
+    /// between what the switch actually holds and what the log says it
+    /// should — a KATch-style runtime verification that recovery did not
+    /// silently corrupt the pipeline.
+    pub fn recover_switch<E: Endpoint>(
+        &mut self,
+        ch: &mut FaultyChannel<E>,
+    ) -> Result<RecoveryReport, DriverError> {
+        let mut sp = mapro_obs::trace::span_kv("recover", vec![("epoch", self.epoch.into())]);
+        let started = ch.now_ns();
+        let mut reconciled = false;
+        let mut verified = false;
+        let mut rounds = 0u32;
+        let mut repairs = 0usize;
+        // The guardrail read can race an injected switch restart (which
+        // reverts volatile applies), so a failed check re-converges and
+        // re-checks: only a divergence that *survives* reconciliation is
+        // a real recovery failure.
+        for _ in 0..3 {
+            match self.reconcile(ch)? {
+                ReconcileOutcome::Converged(r) => {
+                    reconciled = true;
+                    rounds += r.rounds;
+                    repairs += r.repairs;
+                }
+                ReconcileOutcome::Exhausted {
+                    rounds: r,
+                    repairs: p,
+                    ..
+                } => {
+                    reconciled = false;
+                    rounds += r;
+                    repairs += p;
+                    break;
+                }
+            }
+            match self.read_state(ch) {
+                Ok(actual) => {
+                    if self.guardrail(&actual) {
+                        verified = true;
+                        break;
+                    }
+                }
+                Err(e @ DriverError::Crashed(_)) | Err(e @ DriverError::Deposed { .. }) => {
+                    return Err(e)
+                }
+                Err(_) => {}
+            }
+        }
+        sp.set("reconciled", reconciled);
+        sp.set("verified", verified);
+        let report = RecoveryReport {
+            epoch: self.epoch,
+            wal_records: self.wal_records_at_recovery,
+            in_doubt: self.in_doubt_at_recovery,
+            reconciled,
+            verified,
+            rounds,
+            repairs,
+            elapsed_ns: ch.now_ns().saturating_sub(started),
+        };
+        Ok(report)
+    }
+
+    /// The post-recovery equivalence guardrail: prove (symbolically, with
+    /// enumerative fallback) that the switch's pipeline and the intended
+    /// one are observationally equivalent.
+    pub fn guardrail(&self, actual: &Pipeline) -> bool {
+        let mut sp = mapro_obs::trace::span_kv("guardrail", vec![("epoch", self.epoch.into())]);
+        let ok = matches!(
+            mapro_sym::check_equivalent(actual, &self.intended, &EquivConfig::default()),
+            Ok(EquivOutcome::Equivalent { .. })
+        );
+        sp.set("verified", ok);
+        if ok {
+            mapro_obs::counter!("control.guardrail.proofs").inc();
+        } else {
+            mapro_obs::counter!("control.guardrail.failures").inc();
+            if mapro_obs::trace::active() {
+                mapro_obs::trace::instant_kv(
+                    "guardrail_failure",
+                    vec![("epoch", self.epoch.into())],
+                );
+            }
+        }
+        ok
     }
 }
 
@@ -476,6 +1038,8 @@ mod tests {
     use super::*;
     use crate::channel::FaultPlan;
     use mapro_core::{ActionSem, AttrId, Catalog, Entry, Table, Value};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn pipeline() -> (Pipeline, AttrId, AttrId) {
         let mut c = Catalog::new();
@@ -487,14 +1051,17 @@ mod tests {
         (Pipeline::single(c, t), f, out)
     }
 
-    /// A faithful in-memory switch: applies updates to a pipeline, keeps a
-    /// txn dedup log, stages bundles, and loses volatile state on restart.
+    /// A faithful in-memory switch: applies updates to a pipeline, keeps
+    /// an epoch-scoped txn dedup log, fences stale epochs, stages bundles,
+    /// and loses volatile state (but not the fence) on restart.
     struct MiniSwitch {
         pipeline: Pipeline,
         committed: Pipeline,
+        epoch: Epoch,
         staged: std::collections::HashMap<BundleId, Vec<RuleUpdate>>,
-        log: std::collections::HashMap<TxnId, Ack>,
+        log: std::collections::HashMap<(Epoch, TxnId), Ack>,
         applies: u64,
+        epoch_rejections: u64,
     }
 
     impl MiniSwitch {
@@ -502,16 +1069,32 @@ mod tests {
             MiniSwitch {
                 committed: p.clone(),
                 pipeline: p,
+                epoch: 0,
                 staged: Default::default(),
                 log: Default::default(),
                 applies: 0,
+                epoch_rejections: 0,
             }
         }
     }
 
     impl Endpoint for MiniSwitch {
         fn deliver(&mut self, msg: &FlowMod) -> Ack {
-            if let Some(prev) = self.log.get(&msg.txn) {
+            if msg.epoch < self.epoch {
+                self.epoch_rejections += 1;
+                return Ack {
+                    txn: msg.txn,
+                    epoch: msg.epoch,
+                    result: Err(AckError::StaleEpoch {
+                        current: self.epoch,
+                    }),
+                };
+            }
+            if msg.epoch > self.epoch {
+                self.epoch = msg.epoch;
+                self.staged.clear();
+            }
+            if let Some(prev) = self.log.get(&(msg.epoch, msg.txn)) {
                 return prev.clone();
             }
             let result = match &msg.op {
@@ -553,9 +1136,10 @@ mod tests {
             };
             let ack = Ack {
                 txn: msg.txn,
+                epoch: msg.epoch,
                 result,
             };
-            self.log.insert(msg.txn, ack.clone());
+            self.log.insert((msg.epoch, msg.txn), ack.clone());
             ack
         }
 
@@ -563,6 +1147,8 @@ mod tests {
             self.pipeline = self.committed.clone();
             self.staged.clear();
             self.log.clear();
+            // The epoch fence is durable: forgetting it would let a dead
+            // generation write after any power-cycle.
         }
     }
 
@@ -577,17 +1163,30 @@ mod tests {
         }
     }
 
+    fn converged(out: &ReconcileOutcome) -> &ReconcileReport {
+        match out {
+            ReconcileOutcome::Converged(r) => r,
+            other => panic!("expected convergence, got {other:?}"),
+        }
+    }
+
     #[test]
     fn lossless_apply_and_reconcile_noop() {
         let (p, f, _) = pipeline();
         let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
         let mut ctl = Controller::new(p, DriverConfig::default());
         ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)).unwrap();
-        let rep = ctl.reconcile(&mut ch).unwrap();
+        let out = ctl.reconcile(&mut ch).unwrap();
+        let rep = converged(&out);
         assert_eq!(rep.rounds, 1);
         assert_eq!(rep.repairs, 0);
         assert_eq!(ch.endpoint().pipeline, *ctl.intended());
         assert_eq!(ctl.stats().retries, 0);
+        // One delivered intent: Begin + Commit in the WAL, nothing in
+        // doubt.
+        let wal = ctl.wal();
+        assert_eq!(wal.borrow().len(), 2);
+        assert!(wal.borrow().replay().in_doubt.is_empty());
     }
 
     #[test]
@@ -659,6 +1258,10 @@ mod tests {
         ));
         assert_eq!(ch.stats().sent, 0, "nothing must reach the wire");
         assert_eq!(*ctl.intended(), p, "intended state unchanged");
+        assert!(
+            ctl.wal().borrow().is_empty(),
+            "invalid plans are not logged"
+        );
     }
 
     #[test]
@@ -706,12 +1309,14 @@ mod tests {
             t.entries.pop();
         }
         assert_ne!(ch.endpoint().pipeline, *ctl.intended());
-        let rep = ctl.reconcile(&mut ch).unwrap();
+        let out = ctl.reconcile(&mut ch).unwrap();
+        let rep = converged(&out).clone();
         assert!(rep.repairs >= 2, "drift must have required repairs");
         assert!(rep.rounds >= 2, "a repair round precedes the verify round");
         assert_eq!(ch.endpoint().pipeline, *ctl.intended());
         // A second pass finds nothing to do.
-        let rep2 = ctl.reconcile(&mut ch).unwrap();
+        let out2 = ctl.reconcile(&mut ch).unwrap();
+        let rep2 = converged(&out2);
         assert_eq!(rep2.repairs, 0);
         assert_eq!(rep2.rounds, 1);
     }
@@ -736,6 +1341,174 @@ mod tests {
         // The intent still moved the intended state; a later reconcile
         // (over a healed channel) would repair the switch.
         assert_ne!(ch.endpoint().pipeline, *ctl.intended());
+        // And the WAL carries it in doubt.
+        assert_eq!(ctl.wal().borrow().replay().in_doubt.len(), 1);
+        assert_eq!(ctl.deferred(), 1);
+    }
+
+    #[test]
+    fn reconcile_exhausts_instead_of_erroring_when_unanswerable() {
+        let (p, _, _) = pipeline();
+        // Diverge the switch, then cut the channel entirely: every read
+        // times out and the pass must end in Exhausted, not an error.
+        let plan = FaultPlan {
+            p_drop: 1.0,
+            ..FaultPlan::lossless(6)
+        };
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), plan);
+        let cfg = DriverConfig {
+            max_retries: 2,
+            ..Default::default()
+        };
+        let mut ctl = Controller::new(p, cfg);
+        match ctl.reconcile(&mut ch).unwrap() {
+            ReconcileOutcome::Exhausted { rounds, .. } => assert!(rounds >= 1),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_sheds_churn_but_admits_reconcile_class() {
+        let (p, f, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
+        // A zero window sheds every churn intent immediately.
+        let cfg = DriverConfig {
+            window: 0,
+            ..Default::default()
+        };
+        let mut ctl = Controller::new(p.clone(), cfg);
+        match ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)) {
+            Err(DriverError::Overloaded { .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(ctl.stats().shed, 1);
+        assert_eq!(*ctl.intended(), p, "shed intents are not adopted");
+        assert!(ctl.wal().borrow().is_empty(), "shed intents are not logged");
+        // Reconcile-class traffic outranks churn and still goes through.
+        ctl.apply_plan_with(&mut ch, &move_plan(f, 1, 7), TxnClass::Reconcile)
+            .unwrap();
+        assert_eq!(ch.endpoint().pipeline, *ctl.intended());
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_timeouts_and_skips_delivery() {
+        let (p, _, _) = pipeline();
+        let plan = FaultPlan {
+            p_drop: 1.0,
+            ..FaultPlan::lossless(8)
+        };
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), plan);
+        let cfg = DriverConfig {
+            max_retries: 0,
+            breaker_threshold: 2,
+            ..Default::default()
+        };
+        let mut ctl = Controller::new(p, cfg);
+        let ins = |k: u64| UpdatePlan {
+            intent: format!("insert {k}"),
+            updates: vec![RuleUpdate::Insert {
+                table: "t".into(),
+                entry: Entry::new(vec![Value::Int(100 + k)], vec![Value::sym("a")]),
+            }],
+        };
+        assert!(ctl.apply_plan(&mut ch, &ins(0)).is_err());
+        assert!(ctl.apply_plan(&mut ch, &ins(1)).is_err());
+        assert_eq!(ctl.stats().breaker_opens, 1);
+        let sent_before = ctl.stats().sent;
+        // Breaker open: the next intent is adopted + logged but nothing
+        // reaches the wire (no retry storm against a dead switch).
+        ctl.apply_plan(&mut ch, &ins(2)).unwrap();
+        assert_eq!(ctl.stats().sent, sent_before);
+        assert_eq!(ctl.wal().borrow().len(), 3, "all three Begins logged");
+        assert_eq!(ctl.deferred(), 3);
+    }
+
+    #[test]
+    fn crash_at_begin_recovers_via_wal_replay() {
+        let (p, f, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
+        let mut ctl = Controller::new(p.clone(), DriverConfig::default());
+        ctl.set_crash_injector(CrashInjector::at_nth(CrashPoint::Begin, 1));
+        match ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)) {
+            Err(DriverError::Crashed(CrashPoint::Begin)) => {}
+            other => panic!("expected crash, got {other:?}"),
+        }
+        let wal = ctl.wal();
+        drop(ctl); // the dead generation
+        let mut heir = Controller::recover(wal, DriverConfig::default(), 1, CrashInjector::Never);
+        // The heir's intended state includes the begun-but-undelivered
+        // plan, and recovery reconciles the switch to it — verified by
+        // the symbolic guardrail.
+        let report = heir.recover_switch(&mut ch).unwrap();
+        assert!(report.reconciled);
+        assert!(report.verified);
+        assert_eq!(report.in_doubt, 1);
+        assert_eq!(ch.endpoint().pipeline, *heir.intended());
+        assert!(report.summary().contains("verified=true"));
+    }
+
+    #[test]
+    fn crash_after_commit_leaves_consistent_in_doubt() {
+        let (p, f, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
+        let mut ctl = Controller::new(p.clone(), DriverConfig::default());
+        ctl.set_crash_injector(CrashInjector::at_nth(CrashPoint::AfterCommit, 1));
+        let plan = UpdatePlan {
+            intent: "renumber both".into(),
+            updates: vec![
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(1)],
+                    set: vec![(f, Value::Int(11))],
+                },
+                RuleUpdate::Modify {
+                    table: "t".into(),
+                    matches: vec![Value::Int(2)],
+                    set: vec![(f, Value::Int(12))],
+                },
+            ],
+        };
+        match ctl.apply_plan(&mut ch, &plan) {
+            Err(DriverError::Crashed(CrashPoint::AfterCommit)) => {}
+            other => panic!("expected crash, got {other:?}"),
+        }
+        // The switch applied the bundle, but the WAL Commit was never
+        // appended: the heir sees the intent in doubt, and reconciliation
+        // finds nothing to repair.
+        let wal = ctl.wal();
+        drop(ctl);
+        let mut heir = Controller::recover(wal, DriverConfig::default(), 1, CrashInjector::Never);
+        let report = heir.recover_switch(&mut ch).unwrap();
+        assert_eq!(report.in_doubt, 1);
+        assert!(report.reconciled && report.verified);
+        assert_eq!(ch.endpoint().pipeline, *heir.intended());
+    }
+
+    #[test]
+    fn stale_epoch_deposes_old_controller() {
+        let (p, f, _) = pipeline();
+        let sw = Rc::new(RefCell::new(MiniSwitch::new(p.clone())));
+        let mut ch_old = FaultyChannel::new(sw.clone(), FaultPlan::lossless(1));
+        let mut ch_new = FaultyChannel::new(sw.clone(), FaultPlan::lossless(2));
+        let mut old = Controller::new(p.clone(), DriverConfig::default()); // epoch 0
+        old.apply_plan(&mut ch_old, &move_plan(f, 1, 7)).unwrap();
+        // A successor takes over under epoch 1 and writes; the switch
+        // advances its fence.
+        let mut heir =
+            Controller::recover(old.wal(), DriverConfig::default(), 1, CrashInjector::Never);
+        heir.apply_plan(&mut ch_new, &move_plan(f, 7, 8)).unwrap();
+        assert_eq!(sw.borrow().epoch, 1);
+        // The deposed generation's next write is fenced, not applied.
+        match old.apply_plan(&mut ch_old, &move_plan(f, 2, 9)) {
+            Err(DriverError::Deposed { current: 1 }) => {}
+            other => panic!("expected Deposed, got {other:?}"),
+        }
+        assert_eq!(sw.borrow().epoch_rejections, 1);
+        assert_eq!(
+            sw.borrow().pipeline,
+            *heir.intended(),
+            "the fenced write must not have landed"
+        );
     }
 
     #[test]

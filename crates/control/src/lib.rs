@@ -15,8 +15,15 @@
 //!   channel (drop/duplicate/reorder/delay flow-mods and acks, inject
 //!   switch restarts) between controller and switch.
 //! * [`driver`] — the resilient controller: idempotent txn-tagged
-//!   flow-mods with retry/backoff, two-phase bundles, and read-diff-repair
-//!   reconciliation toward the intended pipeline.
+//!   flow-mods with retry/backoff, two-phase bundles, read-diff-repair
+//!   reconciliation toward the intended pipeline, WAL-backed crash
+//!   recovery, overload shedding and a circuit breaker.
+//! * [`wal`] — the deterministic write-ahead log a successor controller
+//!   replays to the predecessor's exact intended state.
+//! * [`election`] — seeded lease-based leader election handing out the
+//!   monotonically increasing fencing epochs switches enforce.
+//! * [`chaos`] — the crash × fault × controller-count harness driving
+//!   all of the above to a verified-recovery verdict (bench E19).
 //!
 //! Workload-specific intent compilers (e.g. "move tenant 1's service to
 //! HTTPS" against a given GWLB representation) live next to the workload
@@ -26,20 +33,27 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod chaos;
 pub mod churn;
 pub mod consistency;
 pub mod driver;
+pub mod election;
 pub mod monitor;
 pub mod updates;
+pub mod wal;
 
 pub use channel::{
-    Ack, AckError, AckOk, BundleId, ChannelStats, Endpoint, FaultPlan, FaultyChannel, FlowMod,
-    FlowModOp, TxnId,
+    Ack, AckError, AckOk, BundleId, ChannelStats, Endpoint, Epoch, FaultPlan, FaultyChannel,
+    FlowMod, FlowModOp, TxnId,
 };
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use churn::{poisson_stream, summarize, ChurnEvent, ChurnSummary};
 pub use consistency::{exposure, ExposureReport, Invariant};
 pub use driver::{
-    diff_pipelines, Controller, DriverConfig, DriverError, DriverStats, ReconcileReport,
+    diff_pipelines, Controller, CrashInjector, CrashPoint, DriverConfig, DriverError, DriverStats,
+    ReconcileOutcome, ReconcileReport, RecoveryReport, TxnClass,
 };
+pub use election::{Election, Lease, LeaseConfig, NodeId};
 pub use monitor::{rules_where, CounterSet};
 pub use updates::{apply_plan, apply_prefix, apply_update, ApplyError, RuleUpdate, UpdatePlan};
+pub use wal::{Replay, SharedWal, Wal, WalRecord};

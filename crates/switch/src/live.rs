@@ -12,7 +12,7 @@
 use crate::cost::{ControlStall, CostParams};
 use crate::datapath::{CompileError, Datapath, ProcessOut, TemplatePolicy};
 use crate::Switch;
-use mapro_control::{Ack, AckError, AckOk, BundleId, Endpoint, FlowMod, FlowModOp, TxnId};
+use mapro_control::{Ack, AckError, AckOk, BundleId, Endpoint, Epoch, FlowMod, FlowModOp, TxnId};
 use mapro_core::{Packet, Pipeline};
 use std::collections::HashMap;
 
@@ -43,9 +43,17 @@ pub struct LiveSwitch {
     committed: Pipeline,
     /// Bundles staged by `Prepare`, awaiting `Commit`/`Rollback`.
     staged: HashMap<BundleId, Vec<mapro_control::RuleUpdate>>,
-    /// Transaction dedup log: acks already emitted, replayed verbatim on
-    /// redelivery so duplicated flow-mods have a single effect.
-    acked: HashMap<TxnId, Ack>,
+    /// Transaction dedup log, scoped per epoch: acks already emitted,
+    /// replayed verbatim on redelivery so duplicated flow-mods have a
+    /// single effect. Epoch scoping makes txn-id reuse across controller
+    /// generations safe.
+    acked: HashMap<(Epoch, TxnId), Ack>,
+    /// The fence: highest controller epoch ever seen. Anything older is
+    /// a dead generation's straggler and is refused before it can touch
+    /// state — even before the dedup log. Survives restarts (a fence a
+    /// power-cycle could reset would let a deposed controller write
+    /// again).
+    current_epoch: Epoch,
     /// Restarts simulated so far.
     pub restarts: u64,
     /// Cumulative modeled stall (ns) since construction.
@@ -62,6 +70,9 @@ impl LiveSwitch {
         stall: ControlStall,
     ) -> Result<LiveSwitch, CompileError> {
         let dp = Datapath::compile(&pipeline, policy, params.clone())?;
+        // Declare up front so `--metrics` shows the fence counter even
+        // for a run that never sees a stale epoch.
+        mapro_obs::counter!("control.epoch.rejections");
         Ok(LiveSwitch {
             committed: pipeline.clone(),
             pipeline,
@@ -72,9 +83,15 @@ impl LiveSwitch {
             name,
             staged: HashMap::new(),
             acked: HashMap::new(),
+            current_epoch: 0,
             restarts: 0,
             total_stall_ns: 0.0,
         })
+    }
+
+    /// The fencing epoch the switch currently enforces.
+    pub fn epoch(&self) -> Epoch {
+        self.current_epoch
     }
 
     /// A NoviFlow-flavoured live switch (TCAM templates, hardware stall
@@ -204,7 +221,39 @@ impl LiveSwitch {
 impl Endpoint for LiveSwitch {
     fn deliver(&mut self, msg: &FlowMod) -> Ack {
         mapro_obs::counter!("switch.live.flowmods").inc();
-        if let Some(prev) = self.acked.get(&msg.txn) {
+        // The fence comes before everything, including the dedup log: a
+        // stale generation's message must not even replay a cached ack,
+        // because its sender has no business learning anything but "you
+        // are deposed".
+        if msg.epoch < self.current_epoch {
+            mapro_obs::counter!("control.epoch.rejections").inc();
+            if mapro_obs::trace::active() {
+                mapro_obs::trace::instant_kv(
+                    "epoch_reject",
+                    vec![
+                        ("stale", msg.epoch.into()),
+                        ("current", self.current_epoch.into()),
+                    ],
+                );
+            }
+            return Ack {
+                txn: msg.txn,
+                epoch: msg.epoch,
+                result: Err(AckError::StaleEpoch {
+                    current: self.current_epoch,
+                }),
+            };
+        }
+        if msg.epoch > self.current_epoch {
+            // A new generation took over. Its predecessor's staged-but-
+            // uncommitted bundles die here: the only controller that knew
+            // how to commit them is fenced, and committing them later
+            // would tear state the successor already reconciled.
+            self.current_epoch = msg.epoch;
+            self.staged.clear();
+            self.acked.clear();
+        }
+        if let Some(prev) = self.acked.get(&(msg.epoch, msg.txn)) {
             // Redelivery: the switch still parses and re-stages the
             // message before the dedup log short-circuits it, so the
             // control CPU pays per carried flow-mod. This is the term
@@ -254,9 +303,10 @@ impl Endpoint for LiveSwitch {
         };
         let ack = Ack {
             txn: msg.txn,
+            epoch: msg.epoch,
             result,
         };
-        self.acked.insert(msg.txn, ack.clone());
+        self.acked.insert((msg.epoch, msg.txn), ack.clone());
         ack
     }
 
@@ -266,6 +316,7 @@ impl Endpoint for LiveSwitch {
         self.pipeline = self.committed.clone();
         self.staged.clear();
         self.acked.clear();
+        // `current_epoch` deliberately survives: the fence is durable.
         self.dp = Datapath::compile(&self.pipeline, self.policy, self.params.clone())
             .expect("committed state compiled when it was committed");
     }
@@ -460,6 +511,7 @@ mod tests {
         let mut sw = LiveSwitch::noviflow(p).unwrap();
         let msg = FlowMod {
             txn: 7,
+            epoch: 0,
             op: FlowModOp::Apply(RuleUpdate::Modify {
                 table: "t".into(),
                 matches: vec![Value::Int(1)],
@@ -500,6 +552,7 @@ mod tests {
         assert!(sw
             .deliver(&FlowMod {
                 txn: 1,
+                epoch: 0,
                 op: FlowModOp::Prepare {
                     bundle: 9,
                     updates: bundle_updates
@@ -510,6 +563,7 @@ mod tests {
         assert!(sw
             .deliver(&FlowMod {
                 txn: 2,
+                epoch: 0,
                 op: FlowModOp::Commit { bundle: 9 }
             })
             .result
@@ -519,6 +573,7 @@ mod tests {
         assert!(sw
             .deliver(&FlowMod {
                 txn: 3,
+                epoch: 0,
                 op: FlowModOp::Apply(RuleUpdate::Modify {
                     table: "t".into(),
                     matches: vec![Value::Int(11)],
@@ -539,6 +594,7 @@ mod tests {
         assert!(sw
             .deliver(&FlowMod {
                 txn: 3,
+                epoch: 0,
                 op: FlowModOp::Apply(RuleUpdate::Modify {
                     table: "t".into(),
                     matches: vec![Value::Int(11)],
@@ -558,12 +614,14 @@ mod tests {
         let mut sw = LiveSwitch::noviflow(p).unwrap();
         let ack = sw.deliver(&FlowMod {
             txn: 1,
+            epoch: 0,
             op: FlowModOp::Commit { bundle: 404 },
         });
         assert_eq!(ack.result, Err(AckError::BundleUnknown));
         // Rollback of an unknown bundle is a harmless no-op.
         let ack = sw.deliver(&FlowMod {
             txn: 2,
+            epoch: 0,
             op: FlowModOp::Rollback { bundle: 404 },
         });
         assert!(ack.result.is_ok());
@@ -625,5 +683,85 @@ mod tests {
             norm_sw.process(&pkt).output.as_deref()
         );
         assert_eq!(uni_sw.process(&pkt).output.as_deref(), Some("vm1"));
+    }
+
+    #[test]
+    fn stale_epoch_fenced_before_dedup_and_fence_survives_restart() {
+        use mapro_control::{AckError, Endpoint, FlowMod, FlowModOp};
+        let (p, _, out) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p).unwrap();
+        let modify = |txn, epoch, val: &str| FlowMod {
+            txn,
+            epoch,
+            op: FlowModOp::Apply(RuleUpdate::Modify {
+                table: "t".into(),
+                matches: vec![Value::Int(1)],
+                set: vec![(out, Value::sym(val))],
+            }),
+        };
+        // Epoch 0 writes, then a successor at epoch 2 takes over.
+        assert!(sw.deliver(&modify(1, 0, "x")).result.is_ok());
+        assert!(sw.deliver(&modify(1, 2, "y")).result.is_ok());
+        assert_eq!(sw.epoch(), 2);
+        // The deposed generation is fenced — even a txn id its successor
+        // already used must NOT replay the cached ack across epochs.
+        let ack = sw.deliver(&modify(1, 0, "z"));
+        assert_eq!(ack.result, Err(AckError::StaleEpoch { current: 2 }));
+        assert_eq!(ack.epoch, 0, "the ack echoes the sender's epoch");
+        let pkt = Packet::from_fields(&sw.pipeline().catalog, &[("f", 1)]);
+        assert_eq!(sw.process(&pkt).output.as_deref(), Some("y"));
+        // The fence survives a power-cycle; the dedup log does not.
+        sw.restart();
+        assert_eq!(sw.epoch(), 2);
+        let ack = sw.deliver(&modify(9, 1, "z"));
+        assert_eq!(ack.result, Err(AckError::StaleEpoch { current: 2 }));
+    }
+
+    #[test]
+    fn epoch_advance_purges_predecessor_staged_bundles() {
+        use mapro_control::{AckError, Endpoint, FlowMod, FlowModOp};
+        let (p, f, _) = pipeline();
+        let mut sw = LiveSwitch::noviflow(p.clone()).unwrap();
+        // Epoch 1 stages a bundle, then dies without committing.
+        assert!(sw
+            .deliver(&FlowMod {
+                txn: 1,
+                epoch: 1,
+                op: FlowModOp::Prepare {
+                    bundle: 5,
+                    updates: vec![RuleUpdate::Modify {
+                        table: "t".into(),
+                        matches: vec![Value::Int(1)],
+                        set: vec![(f, Value::Int(77))],
+                    }],
+                },
+            })
+            .result
+            .is_ok());
+        // Epoch 2 appears; the orphaned staging dies with its owner.
+        assert!(sw
+            .deliver(&FlowMod {
+                txn: 1,
+                epoch: 2,
+                op: FlowModOp::ReadState,
+            })
+            .result
+            .is_ok());
+        // Even the new generation cannot commit the orphan (it is gone),
+        // and the old generation cannot either (it is fenced): no torn
+        // bundle can ever land.
+        let ack = sw.deliver(&FlowMod {
+            txn: 2,
+            epoch: 2,
+            op: FlowModOp::Commit { bundle: 5 },
+        });
+        assert_eq!(ack.result, Err(AckError::BundleUnknown));
+        let ack = sw.deliver(&FlowMod {
+            txn: 2,
+            epoch: 1,
+            op: FlowModOp::Commit { bundle: 5 },
+        });
+        assert_eq!(ack.result, Err(AckError::StaleEpoch { current: 2 }));
+        assert_eq!(*sw.pipeline(), p, "no torn bundle applied");
     }
 }

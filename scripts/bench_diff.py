@@ -1,13 +1,13 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: diff fresh E14/E15/E17 runs against the committed
-BENCH_*.json references.
+"""Perf-regression gate: diff fresh E14/E15/E17/E19 runs against the
+committed BENCH_*.json references.
 
 usage: bench_diff.py FRESH_DIR [--repo DIR] [--timing-tolerance X]
 
-FRESH_DIR must contain faults.json, parscale.json and symscale.json as
-written by scripts/reproduce.sh (or the CI job). They are compared
-against BENCH_faults.json, BENCH_parallel.json and BENCH_symbolic.json
-in the repo root:
+FRESH_DIR must contain faults.json, parscale.json, symscale.json and
+chaos.json as written by scripts/reproduce.sh (or the CI job). They are
+compared against BENCH_faults.json, BENCH_parallel.json,
+BENCH_symbolic.json and BENCH_chaos.json in the repo root:
 
   * run metadata (`meta`) must be compatible — same schema, experiment
     and seed. A mismatch means the two runs measured different things;
@@ -15,9 +15,9 @@ in the repo root:
     verdict. Thread count, crate version and host cores may differ (they
     are reported, and absorbed by the timing tolerance).
   * deterministic columns are compared EXACTLY: every E14 fault-sweep
-    field (the channel runs on a virtual clock), and E15/E17 digests,
-    verdicts, methods and size columns. Any difference is a functional
-    regression (exit 1).
+    and E19 chaos-sweep field (both run on a virtual clock), and E15/E17
+    digests, verdicts, methods and size columns. Any difference is a
+    functional regression (exit 1).
   * timing columns (E15 wall_ms, E17 sym_ms/enum_ms) must agree within
     --timing-tolerance (default 5.0): fresh <= committed * X and
     fresh >= committed / X. The default is deliberately loose — CI
@@ -151,6 +151,29 @@ def main():
         timings=[],
         tol=tol,
     )
+
+    # E19: crash-recovery chaos sweep. Virtual clock + derived seeds =>
+    # every field exact, including the per-recovery summary lines. On top
+    # of the diff, the fresh run must itself be green: a non-zero
+    # guardrail_failures cell is a regression even if it matches the
+    # committed reference (the reference must never go red silently).
+    fresh = load(os.path.join(args.fresh_dir, "chaos.json"))
+    committed = load(os.path.join(repo, "BENCH_chaos.json"))
+    check_meta("chaos", meta_of(fresh, "chaos.json"), meta_of(committed, "BENCH_chaos.json"))
+    chaos_cols = sorted({k for r in committed["rows"] for k in r})
+    check_rows(
+        "chaos",
+        fresh["rows"],
+        committed["rows"],
+        lambda r: (r["crash_rate"], r["fault_rate"], r["controllers"]),
+        exact=chaos_cols,
+        timings=[],
+        tol=tol,
+    )
+    for r in fresh["rows"]:
+        cell = (r["crash_rate"], r["fault_rate"], r["controllers"])
+        if r.get("guardrail_failures", 0) != 0 or not r.get("verified", False):
+            fail(f"chaos {cell}: recovery not verified ({r.get('guardrail_failures')} guardrail failure(s))")
 
     # E15: parallel scaling. Digests machine-independent; wall clock not.
     fresh = load(os.path.join(args.fresh_dir, "parscale.json"))

@@ -19,7 +19,7 @@ cargo run --release -p mapro-bench --bin repro -- --metrics "$OUT/metrics.json" 
     | tee "$OUT/experiments.txt" | grep '############'
 
 echo "== experiments (json) =="
-for e in table1 fig4 fig4queue size control monitor theorem1 templates cache scaling joins faults; do
+for e in table1 fig4 fig4queue size control monitor theorem1 templates cache scaling joins faults chaos; do
     cargo run --release -p mapro-bench --bin repro -- --experiment "$e" --json \
         | sed '1,/############/d' > "$OUT/$e.json"
 done
@@ -57,6 +57,7 @@ python3 scripts/bench_diff.py "$OUT" \
 # The fault sweep runs on the channel's virtual clock under a fixed seed,
 # so its JSON is bit-reproducible — keep the committed references in sync.
 cp "$OUT/faults.json" BENCH_faults.json
+cp "$OUT/chaos.json" BENCH_chaos.json
 cp "$OUT/parscale.json" BENCH_parallel.json
 cp "$OUT/symscale.json" BENCH_symbolic.json
 
