@@ -14,6 +14,7 @@
 //! mapro check <a.json> <b.json> [--mode auto|symbolic|enumerate]
 //! mapro replay <prog.json> [--packets N --flows F --seed S --shards N]
 //!              [--switch ovs|eswitch|lagopus|noviflow]
+//!              [--engine interp|compiled|cached]
 //! mapro export <prog.json> --format openflow|p4   # data-plane program text
 //! ```
 //!
@@ -412,51 +413,91 @@ fn main() {
                 .collect();
             let spec = mapro_packet::TraceSpec::uniform(flow_specs);
             let trace = mapro_packet::generate(&p.catalog, &spec, packets, seed);
-            let kind = flag("--switch").unwrap_or_else(|| "ovs".to_owned());
+            // Execution tier: `interp` walks the `--switch` model's boxed
+            // classifiers per packet; `compiled` runs the specialized
+            // engine (ESwitch policy — same verdicts and modeled costs,
+            // Mpps-scale wall clock); `cached` fronts it with the
+            // cube-keyed megaflow cache. The tiers fix the ESwitch cost
+            // model, so `--switch` only combines with `--engine interp`.
+            let engine = flag("--engine").unwrap_or_else(|| "interp".to_owned());
+            if engine != "interp" && has("--switch") {
+                usage_error(format_args!(
+                    "--engine {engine} fixes the eswitch model; drop --switch or use --engine interp"
+                ));
+            }
+            let kind = match engine.as_str() {
+                "interp" => flag("--switch").unwrap_or_else(|| "ovs".to_owned()),
+                "compiled" | "cached" => engine.clone(),
+                other => usage_error(format_args!(
+                    "unknown engine {other:?} (interp|compiled|cached)"
+                )),
+            };
             // Compile once up front so a model rejection is a clean error,
             // then recompile per shard inside the factory (each modeled
             // datapath thread owns its classifiers).
-            let factory: Box<dyn Fn() -> Box<dyn mapro_switch::Switch + Send> + Sync> =
-                match kind.as_str() {
-                    "ovs" => {
-                        let p = p.clone();
-                        Box::new(move || Box::new(mapro_switch::OvsSim::compile(&p)))
+            let factory: Box<dyn Fn() -> Box<dyn mapro_switch::Switch + Send> + Sync> = match kind
+                .as_str()
+            {
+                "ovs" => {
+                    let p = p.clone();
+                    Box::new(move || Box::new(mapro_switch::OvsSim::compile(&p)))
+                }
+                "eswitch" => {
+                    if let Err(e) = mapro_switch::EswitchSim::compile(&p) {
+                        eprintln!("eswitch cannot model {path}: {e}");
+                        exit(1)
                     }
-                    "eswitch" => {
-                        if let Err(e) = mapro_switch::EswitchSim::compile(&p) {
-                            eprintln!("eswitch cannot model {path}: {e}");
-                            exit(1)
-                        }
-                        let p = p.clone();
-                        Box::new(move || {
-                            Box::new(mapro_switch::EswitchSim::compile(&p).expect("checked above"))
-                        })
+                    let p = p.clone();
+                    Box::new(move || {
+                        Box::new(mapro_switch::EswitchSim::compile(&p).expect("checked above"))
+                    })
+                }
+                "lagopus" => {
+                    if let Err(e) = mapro_switch::LagopusSim::compile(&p) {
+                        eprintln!("lagopus cannot model {path}: {e}");
+                        exit(1)
                     }
-                    "lagopus" => {
-                        if let Err(e) = mapro_switch::LagopusSim::compile(&p) {
-                            eprintln!("lagopus cannot model {path}: {e}");
-                            exit(1)
-                        }
-                        let p = p.clone();
-                        Box::new(move || {
-                            Box::new(mapro_switch::LagopusSim::compile(&p).expect("checked above"))
-                        })
+                    let p = p.clone();
+                    Box::new(move || {
+                        Box::new(mapro_switch::LagopusSim::compile(&p).expect("checked above"))
+                    })
+                }
+                "noviflow" => {
+                    if let Err(e) = mapro_switch::NoviflowSim::compile(&p) {
+                        eprintln!("noviflow cannot model {path}: {e}");
+                        exit(1)
                     }
-                    "noviflow" => {
-                        if let Err(e) = mapro_switch::NoviflowSim::compile(&p) {
-                            eprintln!("noviflow cannot model {path}: {e}");
-                            exit(1)
-                        }
-                        let p = p.clone();
-                        Box::new(move || {
-                            Box::new(mapro_switch::NoviflowSim::compile(&p).expect("checked above"))
-                        })
+                    let p = p.clone();
+                    Box::new(move || {
+                        Box::new(mapro_switch::NoviflowSim::compile(&p).expect("checked above"))
+                    })
+                }
+                "compiled" => {
+                    if let Err(e) = mapro_switch::CompiledEngine::eswitch(&p) {
+                        eprintln!("compiled tier cannot model {path}: {e}");
+                        exit(1)
                     }
-                    other => usage_error(format_args!(
-                        "unknown switch {other:?} (ovs|eswitch|lagopus|noviflow)"
-                    )),
-                };
+                    let p = p.clone();
+                    Box::new(move || {
+                        Box::new(mapro_switch::CompiledEngine::eswitch(&p).expect("checked above"))
+                    })
+                }
+                "cached" => {
+                    if let Err(e) = mapro_switch::CachedEngine::eswitch(&p) {
+                        eprintln!("cached tier cannot model {path}: {e}");
+                        exit(1)
+                    }
+                    let p = p.clone();
+                    Box::new(move || {
+                        Box::new(mapro_switch::CachedEngine::eswitch(&p).expect("checked above"))
+                    })
+                }
+                other => usage_error(format_args!(
+                    "unknown switch {other:?} (ovs|eswitch|lagopus|noviflow)"
+                )),
+            };
             let rep = mapro_switch::run_modeled_parallel(&*factory, &trace, shards);
+            let digest = mapro_switch::replay_digest(&*factory, &trace, shards);
             println!(
                 "replayed {} packets ({} flows, {} shards, {kind} model)",
                 rep.packets,
@@ -472,6 +513,11 @@ fn main() {
                 "  avg lookups: {:.2}   dropped: {}   slow path: {}",
                 rep.avg_lookups, rep.dropped, rep.slow_path
             );
+            if kind == "cached" {
+                let hit_rate = 1.0 - rep.slow_path as f64 / rep.packets as f64;
+                println!("  megaflow:    {:.4} hit rate", hit_rate);
+            }
+            println!("  digest:      {digest:016x}");
         }
         "export" => {
             let p = load(args.get(1).unwrap_or_else(|| usage()));

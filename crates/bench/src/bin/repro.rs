@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|phases]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|phases|mpps]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--threads N]
 //!       [--json] [--metrics [out.json]] [--trace out.json]
 //! ```
@@ -18,7 +18,7 @@
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|phases] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|phases|mpps] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -112,6 +112,7 @@ const EXPERIMENTS: &[&str] = &[
     "lint",
     "symscale",
     "phases",
+    "mpps",
 ];
 
 /// Report a usage error on one line and exit 2 (the contract
@@ -148,10 +149,12 @@ fn main() {
             "want({name:?}) not in EXPERIMENTS — add it to the list"
         );
         // parscale repeats every hot path at 4 pool sizes, symscale
-        // repeats the equivalence workloads per engine, and phases
-        // re-runs the instrumented hot paths under tracing; they are
-        // machine benchmarks, not paper artifacts, so `all` skips them.
-        (all && !matches!(name, "parscale" | "symscale" | "phases")) || args.experiment == name
+        // repeats the equivalence workloads per engine, phases re-runs
+        // the instrumented hot paths under tracing, and mpps wall-clocks
+        // three engines over million-flow traces; they are machine
+        // benchmarks, not paper artifacts, so `all` skips them.
+        (all && !matches!(name, "parscale" | "symscale" | "phases" | "mpps"))
+            || args.experiment == name
     };
 
     if want("fig1") {
@@ -593,6 +596,45 @@ fn main() {
                         p.share * 100.0
                     );
                 }
+            }
+        }
+    }
+    if want("mpps") {
+        println!(
+            "\n############ E20 — Mpps-scale replay: interp vs compiled vs cached (extension) ############"
+        );
+        let rep = mpps(&args.cfg, &[1_024, 65_536, 1_048_576]);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+        } else {
+            println!(
+                "packets/run: {}   zipf: {}   workers: {}",
+                rep.packets, rep.zipf, rep.workers
+            );
+            println!(
+                "{:<10} {:>9} {:<9} {:>9} {:>11} {:>13} {:>9} {:>7}  digest",
+                "repr",
+                "flows",
+                "engine",
+                "distinct",
+                "wall Mpps",
+                "modeled Mpps",
+                "hit rate",
+                "drops"
+            );
+            for r in &rep.rows {
+                println!(
+                    "{:<10} {:>9} {:<9} {:>9} {:>11.2} {:>13.2} {:>9.4} {:>7}  {}",
+                    r.repr,
+                    r.flows,
+                    r.engine,
+                    r.distinct_flows,
+                    r.wall_mpps,
+                    r.modeled_mpps,
+                    r.hit_rate,
+                    r.dropped,
+                    r.digest
+                );
             }
         }
     }

@@ -8,7 +8,8 @@
 //! E14 = faults: churn under an unreliable control channel,
 //! E15 = thread scaling, E16 = static analysis, E17 = symbolic vs
 //! enumerative equivalence, E18 = phase attribution from span traces,
-//! E19 = controller crash-recovery chaos sweep.
+//! E19 = controller crash-recovery chaos sweep, E20 = Mpps-scale replay
+//! engine comparison (interpreter vs compiled tier vs megaflow cache).
 
 use mapro_core::{display, Pipeline};
 use mapro_normalize::JoinKind;
@@ -1218,6 +1219,184 @@ pub fn parscale(cfg: &BenchConfig, threads: &[usize]) -> ParScaleReport {
             .unwrap_or(1),
         seed: cfg.seed,
         packets: trace.len(),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------- E20 ---
+
+/// One row of the Mpps-scale engine comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct MppsRow {
+    /// Representation (`universal` / `goto`).
+    pub repr: String,
+    /// Requested flow-population size.
+    pub flows: usize,
+    /// Execution tier (`interp` / `compiled` / `cached`).
+    pub engine: String,
+    /// Flows that actually appear in the Zipf trace.
+    pub distinct_flows: usize,
+    /// Wall-clock replay rate of the real data structures \[Mpps\],
+    /// best-of-reps on a warm engine.
+    pub wall_mpps: f64,
+    /// Modeled throughput at the sweep's worker count \[Mpps\].
+    pub modeled_mpps: f64,
+    /// Megaflow fast-path hit rate (0 for the uncached engines).
+    pub hit_rate: f64,
+    /// Packets dropped — identical across engines by construction.
+    pub dropped: usize,
+    /// Hex verdict digest at the sweep's worker count — identical across
+    /// engines by construction.
+    pub digest: String,
+}
+
+/// The E20 artifact: engine-comparison rows under a provenance header.
+#[derive(Debug, Clone, Serialize)]
+pub struct MppsReport {
+    /// Provenance header (seed, threads, version) for the regression gate.
+    pub meta: RunMeta,
+    /// Packets per measured trace.
+    pub packets: usize,
+    /// Zipf exponent of flow popularity.
+    pub zipf: f64,
+    /// Modeled datapath workers (sharding for modeled rate and digest).
+    pub workers: usize,
+    /// One row per representation × flow count × engine.
+    pub rows: Vec<MppsRow>,
+}
+
+/// Extension experiment E20: the compiled datapath tier and the
+/// cube-keyed megaflow cache against the interpreter, at flow populations
+/// up to the millions.
+///
+/// The flow population cycles the (service, backend) pairs of the §5 GWLB
+/// workload and varies the low `ip_src` bits inside each backend prefix —
+/// so the population grows into the millions while the *cube* population
+/// (the forwarding equivalence classes `mapro_sym` partitions the space
+/// into) stays fixed at a few hundred. That separation is the megaflow
+/// story: the cache's hit rate tracks cubes, not flows, so `cached`
+/// stays in the fast path at any flow count, while both per-packet
+/// engines pay the classifier walk. Verdict digests are asserted
+/// identical across all three engines per configuration — the sweep
+/// doubles as an engine-differential check.
+///
+/// # Panics
+/// Panics if any engine's verdict digest or drop count diverges — that is
+/// a compiler or cache-soundness bug, never an acceptable outcome.
+pub fn mpps(cfg: &BenchConfig, flow_counts: &[usize]) -> MppsReport {
+    use mapro_packet::{FlowSpec, Popularity, TraceSpec};
+    use mapro_switch::{replay_digest, run_modeled_parallel, run_wallclock};
+
+    type EngineFactory<'a> = Box<dyn Fn() -> Box<dyn Switch + Send> + Sync + 'a>;
+
+    const ZIPF: f64 = 1.1;
+    const WORKERS: usize = 4;
+    const WALL_REPS: usize = 2;
+    let packets = cfg.packets.max(100_000);
+    let g = Gwlb::random(cfg.services, cfg.backends, cfg.seed);
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+
+    // (ip_src prefix base, ip_dst, tcp_dst) per (service, backend) pair.
+    let pairs: Vec<(u64, u64, u64)> = g
+        .services
+        .iter()
+        .flat_map(|s| {
+            s.backends.iter().map(move |(pfx, _)| {
+                let base = match *pfx {
+                    mapro_core::Value::Prefix { bits, .. } => bits,
+                    mapro_core::Value::Int(v) => v,
+                    _ => 0,
+                };
+                (base, s.ip as u64, s.port as u64)
+            })
+        })
+        .collect();
+    let population = |f: usize| -> Vec<FlowSpec> {
+        (0..f)
+            .map(|k| {
+                let (base, ip, port) = pairs[k % pairs.len()];
+                // Low 16 bits stay inside every backend prefix, so flow k
+                // hits the same table entry as its pair's canonical flow.
+                let low = (k / pairs.len()) as u64 & 0xffff;
+                FlowSpec {
+                    fields: vec![(g.ip_src, base | low), (g.ip_dst, ip), (g.tcp_dst, port)],
+                    weight: 1,
+                }
+            })
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    for (repr_name, repr) in [("universal", &g.universal), ("goto", &goto)] {
+        for &flows in flow_counts {
+            let spec = TraceSpec {
+                flows: population(flows),
+                popularity: Popularity::Zipf(ZIPF),
+            };
+            let trace = generate(&repr.catalog, &spec, packets, cfg.seed);
+            let engines: Vec<(&str, EngineFactory<'_>)> = vec![
+                ("interp", {
+                    Box::new(move || Box::new(EswitchSim::compile(repr).expect("gwlb compiles")))
+                }),
+                ("compiled", {
+                    Box::new(move || {
+                        Box::new(
+                            mapro_switch::CompiledEngine::eswitch(repr).expect("gwlb compiles"),
+                        )
+                    })
+                }),
+                ("cached", {
+                    Box::new(move || {
+                        Box::new(mapro_switch::CachedEngine::eswitch(repr).expect("gwlb compiles"))
+                    })
+                }),
+            ];
+            let mut cell_digest: Option<(String, usize)> = None;
+            for (engine, factory) in &engines {
+                let rep = run_modeled_parallel(&**factory, &trace, WORKERS);
+                let digest = format!("{:016x}", replay_digest(&**factory, &trace, WORKERS));
+                match &cell_digest {
+                    None => cell_digest = Some((digest.clone(), rep.dropped)),
+                    Some((d, dr)) => {
+                        assert_eq!(
+                            (d.as_str(), *dr),
+                            (digest.as_str(), rep.dropped),
+                            "mpps: {engine} diverged on {repr_name}/{flows} — engine bug"
+                        );
+                    }
+                }
+                // Wall clock on one warm engine: the first pass pays
+                // compilation and (for `cached`) cold megaflow installs.
+                let mut sw = factory();
+                let _ = run_wallclock(sw.as_mut(), &trace, 1);
+                let mut wall = 0.0f64;
+                for _ in 0..WALL_REPS {
+                    wall = wall.max(run_wallclock(sw.as_mut(), &trace, 1));
+                }
+                rows.push(MppsRow {
+                    repr: repr_name.to_owned(),
+                    flows,
+                    engine: (*engine).to_owned(),
+                    distinct_flows: trace.distinct_flows(),
+                    wall_mpps: wall,
+                    modeled_mpps: rep.mpps,
+                    hit_rate: if *engine == "cached" {
+                        1.0 - rep.slow_path as f64 / rep.packets as f64
+                    } else {
+                        0.0
+                    },
+                    dropped: rep.dropped,
+                    digest,
+                });
+            }
+        }
+    }
+
+    MppsReport {
+        meta: RunMeta::new("mpps", cfg.seed),
+        packets,
+        zipf: ZIPF,
+        workers: WORKERS,
         rows,
     }
 }

@@ -114,6 +114,88 @@ fn repro_chaos_emits_recovery_counters_and_summary() {
 }
 
 #[test]
+fn replay_cached_pre_registers_megaflow_and_compile_metrics() {
+    let dir = std::env::temp_dir().join(format!("mapro-megaflow-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("fig1.json");
+    let path = dir.join("metrics.json");
+
+    let demo = Command::new(env!("CARGO_BIN_EXE_mapro"))
+        .args(["demo", "fig1"])
+        .output()
+        .expect("demo runs");
+    assert!(demo.status.success());
+    std::fs::write(&prog, &demo.stdout).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mapro"))
+        .args([
+            "replay",
+            prog.to_str().unwrap(),
+            "--engine",
+            "cached",
+            "--packets",
+            "2000",
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("replay runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let doc = serde_json::parse(&text).expect("metrics JSON parses");
+    let Some(Content::Map(metrics)) = doc.get("metrics") else {
+        panic!("no metrics object in {text}");
+    };
+
+    if cfg!(feature = "obs") {
+        // The megaflow counters are registered when the cache is
+        // constructed, not lazily on first event — `evictions` and
+        // `invalidations` must be present even though this replay never
+        // evicts or receives a flow-mod.
+        let count = |name: &str| -> u64 {
+            let v = metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "missing counter {name}; got: {:?}",
+                        metrics.iter().map(|(k, _)| k).collect::<Vec<_>>()
+                    )
+                })
+                .1
+                .get("value");
+            match v {
+                Some(Content::U64(n)) => *n,
+                other => panic!("counter {name} has no u64 value: {other:?}"),
+            }
+        };
+        assert!(
+            count("switch.megaflow.hits") > 0,
+            "Zipf-free uniform trace still repeats flows"
+        );
+        assert!(
+            count("switch.megaflow.misses") > 0,
+            "first packet of each cube must miss"
+        );
+        let _ = count("switch.megaflow.evictions");
+        let _ = count("switch.megaflow.invalidations");
+        // The compiled tier's compile time is a histogram keyed by phase.
+        assert!(
+            metrics.iter().any(|(k, _)| k == "switch.compile.ns"),
+            "expected compile-time histogram, got: {:?}",
+            metrics.iter().map(|(k, _)| k).collect::<Vec<_>>()
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn repro_rejects_unknown_arguments() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .arg("--definitely-not-a-flag")

@@ -53,6 +53,21 @@ impl TableView {
             .collect()
     }
 
+    /// Canonical ternary form of every row, flattened row-major as
+    /// `(bits, mask)` pairs (`rows × cols` entries). `None` when any cell
+    /// is symbolic (no ternary form). A compiled scan over this flat
+    /// array is equivalent to [`TableView::linear_lookup`]: a cell
+    /// matches `v` iff `(v ^ bits) & mask == 0`.
+    pub fn ternary_rows(&self) -> Option<Vec<(u64, u64)>> {
+        let mut cells = Vec::with_capacity(self.len() * self.cols());
+        for row in &self.rows {
+            for (c, v) in row.iter().enumerate() {
+                cells.push(v.as_ternary(self.widths[c])?);
+            }
+        }
+        Some(cells)
+    }
+
     /// Reference lookup: first (highest-priority) matching row. All
     /// template implementations must agree with this.
     pub fn linear_lookup(&self, key: &[u64]) -> Option<usize> {

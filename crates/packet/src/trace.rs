@@ -104,10 +104,11 @@ pub fn generate(catalog: &Catalog, spec: &TraceSpec, n: usize, seed: u64) -> Tra
     let mut packets = Vec::with_capacity(n);
     for _ in 0..n {
         let x: f64 = rng.gen();
-        let idx = match cum.iter().position(|&c| x < c) {
-            Some(i) => i,
-            None => cum.len() - 1,
-        };
+        // First index with cum[idx] > x — `cum` is nondecreasing, so the
+        // binary search picks the same flow the former linear scan did
+        // (Mpps-scale traces draw from millions of flows; O(flows) per
+        // packet made generation the bottleneck, not the datapath).
+        let idx = cum.partition_point(|&c| c <= x).min(cum.len() - 1);
         let mut p = Packet::zero(catalog);
         for &(a, v) in &spec.flows[idx].fields {
             p.set(a, v);
@@ -191,6 +192,28 @@ mod tests {
         for (f, p) in &t.packets {
             assert_eq!(p.get(ids[0]), *f as u64);
             assert_eq!(p.get(ids[1]), 80);
+        }
+    }
+
+    /// The binary-search flow draw must pick exactly the flow the linear
+    /// scan (`first i with x < cum[i]`) used to — committed BENCH digests
+    /// depend on the draw sequence staying byte-identical.
+    #[test]
+    fn binary_search_draw_matches_linear_scan() {
+        let mut rng = SmallRng::seed_from_u64(2019);
+        let weights: Vec<f64> = (0..257).map(|_| rng.gen::<f64>()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cum.push(acc);
+        }
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            let linear = cum.iter().position(|&c| x < c).unwrap_or(cum.len() - 1);
+            let binary = cum.partition_point(|&c| c <= x).min(cum.len() - 1);
+            assert_eq!(linear, binary, "x={x}");
         }
     }
 

@@ -1,0 +1,599 @@
+//! The compiled execution tier: a pipeline specialized into monomorphic
+//! classifier programs driven by a tight dispatch loop.
+//!
+//! [`crate::Datapath`] interprets: every table visit clones cost math,
+//! rebuilds a scratch key, and calls a boxed classifier through a vtable
+//! that additionally ticks per-lookup observability counters. That is
+//! the right shape for *modeling* (the counters and templates are the
+//! experiment), but it makes the wall-clock replay numbers measure the
+//! interpreter, not the representation. [`CompiledEngine`] compiles the
+//! same pipeline down to data:
+//!
+//! * one shared register file holding every attribute any table matches
+//!   (loaded once per packet; `SetField` writes that can never be
+//!   re-matched are dropped at compile time — they are unobservable);
+//! * per table a monomorphic classifier — a direct `u64` hash probe for
+//!   all-exact shapes, a flat `(bits, mask)` ternary scan for the rest —
+//!   dispatched by one `match`, no boxing, no per-lookup counters;
+//! * per entry a pre-resolved program: the winning `Output`, the register
+//!   stores, and the successor table index (`goto.or(next)` folded in).
+//!
+//! Verdicts, lookup counts and modeled costs are byte-identical to the
+//! interpreter under the same template policy and cost parameters (the
+//! per-visit cost is the same `CostParams::lookup_ns` of the same
+//! template stats, pre-evaluated at compile time; the classifier
+//! decisions agree because every template agrees with first-match
+//! semantics). Only wall-clock speed differs. Batched processing
+//! ([`Switch::process_batch`]) amortizes the remaining per-packet dyn
+//! dispatch over [`BATCH`]-packet chunks.
+
+use crate::cost::CostParams;
+use crate::datapath::{CompileError, ProcessOut, TemplatePolicy};
+use crate::Switch;
+use mapro_classifier::{
+    build_generic, build_specialized, table_shape, Classifier, TableShape, TableView,
+};
+use mapro_core::AttrId;
+use mapro_core::{ActionSem, AttrKind, MissPolicy, Packet, Pipeline, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Batch size of the compiled tier's dispatch loop (also used by the
+/// harness when chunking traces). 128 keeps a chunk of keys and results
+/// comfortably inside L1/L2 while amortizing per-batch overheads.
+pub const BATCH: usize = 128;
+
+/// A table's monomorphic classifier over the engine's register file.
+enum Cls {
+    /// Single active exact column: one `u64` hash probe.
+    Exact1 { reg: usize, map: HashMap<u64, u32> },
+    /// All-exact shape over `regs` (possibly empty: a table whose rows
+    /// constrain nothing maps the empty key to its first row).
+    Exact {
+        regs: Vec<usize>,
+        map: HashMap<Vec<u64>, u32>,
+    },
+    /// First-match scan over the flat canonical ternary cells
+    /// ([`TableView::ternary_rows`]), row-major.
+    Scan {
+        regs: Vec<usize>,
+        cells: Vec<(u64, u64)>,
+        ncols: usize,
+    },
+}
+
+impl Cls {
+    #[inline]
+    fn lookup(&self, regs: &[u64], key_buf: &mut Vec<u64>) -> Option<u32> {
+        match self {
+            Cls::Exact1 { reg, map } => map.get(&regs[*reg]).copied(),
+            Cls::Exact { regs: cols, map } => {
+                key_buf.clear();
+                key_buf.extend(cols.iter().map(|&r| regs[r]));
+                map.get(key_buf.as_slice()).copied()
+            }
+            Cls::Scan {
+                regs: cols,
+                cells,
+                ncols,
+            } => {
+                // Zero-column tables are AllExact-shaped and take the
+                // hash path, so `ncols >= 1` here.
+                'row: for (i, row) in cells.chunks_exact(*ncols).enumerate() {
+                    for (c, &(bits, mask)) in row.iter().enumerate() {
+                        if (regs[cols[c]] ^ bits) & mask != 0 {
+                            continue 'row;
+                        }
+                    }
+                    return Some(i as u32);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// One entry's pre-resolved action program.
+struct EntryProg {
+    /// Register stores in action order (`SetField` targets that some
+    /// table matches; unmatchable targets are compiled away).
+    sets: Vec<(usize, u64)>,
+    /// The last `Output` parameter, if any.
+    output: Option<Arc<str>>,
+    /// Successor: last `Goto` folded with the table's `next`.
+    next: Option<u32>,
+}
+
+/// A table's compiled miss continuation.
+#[derive(Clone, Copy)]
+enum MissProg {
+    Drop,
+    Controller,
+    Fall(u32),
+}
+
+struct CTable {
+    cls: Cls,
+    /// `CostParams::lookup_ns` of the policy's template stats,
+    /// pre-evaluated (the interpreter computes the same value per visit).
+    cost_ns: f64,
+    entries: Vec<EntryProg>,
+    miss: MissProg,
+}
+
+/// A pipeline compiled for Mpps-scale replay. Same observable results as
+/// [`crate::Datapath`] under the same policy and cost model.
+pub struct CompiledEngine {
+    tables: Vec<CTable>,
+    start: usize,
+    /// Attribute per register, load order.
+    reg_attrs: Vec<AttrId>,
+    params: CostParams,
+    stages: usize,
+    regs: Vec<u64>,
+    key: Vec<u64>,
+}
+
+/// Position of `name` in the pipeline's table list.
+fn table_index(p: &Pipeline, name: &str) -> Result<u32, CompileError> {
+    p.tables
+        .iter()
+        .position(|t| t.name == name)
+        .map(|i| i as u32)
+        .ok_or_else(|| CompileError::UnknownTable(name.to_owned()))
+}
+
+impl CompiledEngine {
+    /// Compile `p` under a template policy (for cost fidelity with the
+    /// interpreter running the same policy) and cost model. Compilation
+    /// time lands in the `switch.compile.ns` timer.
+    pub fn compile(
+        p: &Pipeline,
+        policy: TemplatePolicy,
+        params: CostParams,
+    ) -> Result<CompiledEngine, CompileError> {
+        mapro_obs::counter!("switch.compiled.compiles").inc();
+        let _t = mapro_obs::time!("switch.compile.ns");
+
+        // Register file: every attribute any table matches on, in first
+        // appearance order. SetField targets outside this set can never
+        // influence a later lookup and are dropped below.
+        let mut reg_attrs: Vec<AttrId> = Vec::new();
+        for t in &p.tables {
+            for &a in &t.match_attrs {
+                if !reg_attrs.contains(&a) {
+                    reg_attrs.push(a);
+                }
+            }
+        }
+        let reg_of = |a: AttrId| reg_attrs.iter().position(|&x| x == a);
+
+        let mut tables = Vec::with_capacity(p.tables.len());
+        for t in &p.tables {
+            let view = TableView::of(t, &p.catalog);
+            for row in &view.rows {
+                if row.iter().any(|v| matches!(v, Value::Sym(_))) {
+                    return Err(CompileError::BadMatchCell {
+                        table: t.name.clone(),
+                    });
+                }
+            }
+            // The policy's real classifier is built once, solely for its
+            // template stats: the modeled per-visit cost must be the very
+            // f64 the interpreter would add.
+            let stats = match policy {
+                TemplatePolicy::Specialize { generic } => build_specialized(&view, generic).stats(),
+                TemplatePolicy::Uniform(kind) => build_generic(&view, kind).stats(),
+                TemplatePolicy::Tcam => mapro_classifier::TcamModel::build(&view, usize::MAX)
+                    .expect("unbounded capacity")
+                    .stats(),
+            };
+            let cost_ns = params.lookup_ns(&stats);
+
+            // The monomorphic classifier depends only on the table shape:
+            // every template agrees with first-match semantics, so a hash
+            // probe (all-exact) or flat ternary scan (everything else)
+            // reproduces any policy's decisions.
+            let cls = match table_shape(&view) {
+                TableShape::AllExact { cols } if cols.len() == 1 => {
+                    let col = cols[0];
+                    let reg = reg_of(t.match_attrs[col]).expect("matched attr has a register");
+                    let mut map = HashMap::with_capacity(view.len());
+                    for (i, row) in view.rows.iter().enumerate() {
+                        let Value::Int(v) = row[col] else {
+                            unreachable!("all-exact shape guarantees Int cells")
+                        };
+                        // Duplicate keys: first (highest-priority) row wins.
+                        map.entry(v).or_insert(i as u32);
+                    }
+                    Cls::Exact1 { reg, map }
+                }
+                TableShape::AllExact { cols } => {
+                    let regs: Vec<usize> = cols
+                        .iter()
+                        .map(|&c| reg_of(t.match_attrs[c]).expect("matched attr has a register"))
+                        .collect();
+                    let mut map = HashMap::with_capacity(view.len());
+                    if cols.is_empty() {
+                        // Active-column-free rows match every packet.
+                        if !view.is_empty() {
+                            map.insert(Vec::new(), 0u32);
+                        }
+                    } else {
+                        for (i, row) in view.rows.iter().enumerate() {
+                            let key: Vec<u64> = cols
+                                .iter()
+                                .map(|&c| match row[c] {
+                                    Value::Int(v) => v,
+                                    _ => unreachable!("all-exact shape guarantees Int cells"),
+                                })
+                                .collect();
+                            map.entry(key).or_insert(i as u32);
+                        }
+                    }
+                    Cls::Exact { regs, map }
+                }
+                TableShape::SinglePrefix { .. } | TableShape::General => {
+                    let regs: Vec<usize> = t
+                        .match_attrs
+                        .iter()
+                        .map(|&a| reg_of(a).expect("matched attr has a register"))
+                        .collect();
+                    let cells = view
+                        .ternary_rows()
+                        .expect("symbolic match cells rejected above");
+                    Cls::Scan {
+                        regs,
+                        cells,
+                        ncols: view.cols(),
+                    }
+                }
+            };
+
+            let table_next = match &t.next {
+                Some(n) => Some(table_index(p, n)?),
+                None => None,
+            };
+            let mut entries = Vec::with_capacity(t.len());
+            for e in &t.entries {
+                let mut prog = EntryProg {
+                    sets: Vec::new(),
+                    output: None,
+                    next: table_next,
+                };
+                for (col, &attr) in t.action_attrs.iter().enumerate() {
+                    let param = &e.actions[col];
+                    if matches!(param, Value::Any) {
+                        continue;
+                    }
+                    let sem = match &p.catalog.attr(attr).kind {
+                        AttrKind::Action(s) => s,
+                        _ => unreachable!("action column"),
+                    };
+                    match (sem, param) {
+                        (ActionSem::Output, Value::Sym(s)) => prog.output = Some(s.clone()),
+                        (ActionSem::Goto, Value::Sym(s)) => {
+                            prog.next = Some(table_index(p, s)?);
+                        }
+                        (ActionSem::SetField(target), Value::Int(v)) => {
+                            if let Some(r) = reg_of(*target) {
+                                prog.sets.push((r, *v));
+                            }
+                        }
+                        (ActionSem::Opaque, _) => {}
+                        _ => {
+                            return Err(CompileError::BadActionParam {
+                                table: t.name.clone(),
+                            })
+                        }
+                    }
+                }
+                entries.push(prog);
+            }
+            let miss = match &t.miss {
+                MissPolicy::Drop => MissProg::Drop,
+                MissPolicy::Controller => MissProg::Controller,
+                MissPolicy::Fall(n) => MissProg::Fall(table_index(p, n)?),
+            };
+            tables.push(CTable {
+                cls,
+                cost_ns,
+                entries,
+                miss,
+            });
+        }
+        let start = table_index(p, &p.start)? as usize;
+        let nregs = reg_attrs.len();
+        let mut engine = CompiledEngine {
+            tables,
+            start,
+            reg_attrs,
+            params,
+            stages: 0,
+            regs: vec![0; nregs],
+            key: Vec::new(),
+        };
+        engine.stages = engine.max_stages();
+        Ok(engine)
+    }
+
+    /// Compile with the ESwitch policy and cost model — the compiled twin
+    /// of [`crate::EswitchSim`], byte-identical in every `ProcessOut`.
+    pub fn eswitch(p: &Pipeline) -> Result<CompiledEngine, CompileError> {
+        CompiledEngine::compile(
+            p,
+            TemplatePolicy::Specialize {
+                generic: mapro_classifier::TemplateKind::Linear,
+            },
+            CostParams::eswitch(),
+        )
+    }
+
+    /// Cost parameters in use.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// Longest start-to-end chain (same walk as `Datapath::max_stages`).
+    fn max_stages(&self) -> usize {
+        fn depth(tables: &[CTable], i: usize, seen: &mut Vec<bool>) -> usize {
+            if seen[i] {
+                return 0;
+            }
+            seen[i] = true;
+            let mut best = 0usize;
+            if let MissProg::Fall(n) = tables[i].miss {
+                best = best.max(depth(tables, n as usize, seen));
+            }
+            for e in &tables[i].entries {
+                if let Some(n) = e.next {
+                    best = best.max(depth(tables, n as usize, seen));
+                }
+            }
+            seen[i] = false;
+            1 + best
+        }
+        if self.tables.is_empty() {
+            return 0;
+        }
+        let mut seen = vec![false; self.tables.len()];
+        depth(&self.tables, self.start, &mut seen)
+    }
+
+    /// The dispatch loop: a faithful transcription of
+    /// `Datapath::process`, over registers instead of a cloned packet.
+    #[inline]
+    fn run_one(&mut self, pkt: &Packet) -> ProcessOut {
+        for (i, &a) in self.reg_attrs.iter().enumerate() {
+            self.regs[i] = pkt.get(a);
+        }
+        let mut cur = Some(self.start);
+        let mut out = ProcessOut {
+            output: None,
+            dropped: false,
+            lookups: 0,
+            service_ns: self.params.per_packet_ns,
+            latency_ns: self.params.per_packet_ns,
+            slow_path: false,
+        };
+        let limit = self.tables.len() * 2 + 8;
+        let mut steps = 0;
+        while let Some(ti) = cur {
+            steps += 1;
+            if steps > limit {
+                break; // cycle guard, mirroring the interpreter
+            }
+            let t = &self.tables[ti];
+            out.lookups += 1;
+            out.service_ns += t.cost_ns;
+            out.latency_ns += t.cost_ns;
+            match t.cls.lookup(&self.regs, &mut self.key) {
+                None => match t.miss {
+                    MissProg::Drop => {
+                        out.dropped = true;
+                        cur = None;
+                    }
+                    MissProg::Controller => cur = None,
+                    MissProg::Fall(n) => cur = Some(n as usize),
+                },
+                Some(row) => {
+                    let e = &t.entries[row as usize];
+                    for &(r, v) in &e.sets {
+                        self.regs[r] = v;
+                    }
+                    if let Some(o) = &e.output {
+                        out.output = Some(o.clone());
+                    }
+                    cur = e.next.map(|n| n as usize);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Switch for CompiledEngine {
+    fn name(&self) -> &'static str {
+        "compiled"
+    }
+
+    fn process(&mut self, pkt: &Packet) -> ProcessOut {
+        self.run_one(pkt)
+    }
+
+    fn process_batch(&mut self, pkts: &[&Packet], out: &mut Vec<ProcessOut>) {
+        out.clear();
+        out.reserve(pkts.len());
+        for pkt in pkts {
+            let r = self.run_one(pkt);
+            out.push(r);
+        }
+    }
+
+    fn queue_factor(&self) -> f64 {
+        self.params.queue_factor
+    }
+
+    fn stages(&self) -> usize {
+        self.stages
+    }
+}
+
+impl fmt::Debug for CompiledEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledEngine")
+            .field("tables", &self.tables.len())
+            .field("regs", &self.reg_attrs.len())
+            .field("start", &self.start)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datapath::Datapath;
+    use mapro_classifier::TemplateKind;
+    use mapro_core::{ActionSem, Catalog, Table};
+
+    fn two_stage() -> Pipeline {
+        let mut c = Catalog::new();
+        let dst = c.field("dst", 16);
+        let src = c.field("src", 32);
+        let m = c.meta("m", 32);
+        let set_m = c.action("set_m", ActionSem::SetField(m));
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![dst], vec![set_m]);
+        t0.row(vec![Value::Int(1)], vec![Value::Int(10)]);
+        t0.row(vec![Value::Int(2)], vec![Value::Int(20)]);
+        t0.next = Some("t1".into());
+        let mut t1 = Table::new("t1", vec![m, src], vec![out]);
+        t1.row(
+            vec![Value::Int(10), Value::prefix(0, 1, 32)],
+            vec![Value::sym("a")],
+        );
+        t1.row(
+            vec![Value::Int(10), Value::prefix(0x8000_0000, 1, 32)],
+            vec![Value::sym("b")],
+        );
+        t1.row(vec![Value::Int(20), Value::Any], vec![Value::sym("c")]);
+        Pipeline::new(c, vec![t0, t1], "t0")
+    }
+
+    /// Every field of ProcessOut must match the interpreter under the
+    /// same policy — including the accumulated f64 costs, bit for bit.
+    #[test]
+    fn byte_identical_to_interpreter() {
+        let p = two_stage();
+        for policy in [
+            TemplatePolicy::Specialize {
+                generic: TemplateKind::Linear,
+            },
+            TemplatePolicy::Uniform(TemplateKind::Tss),
+            TemplatePolicy::Uniform(TemplateKind::Linear),
+            TemplatePolicy::Tcam,
+        ] {
+            let mut dp = Datapath::compile(&p, policy, CostParams::eswitch()).unwrap();
+            let mut ce = CompiledEngine::compile(&p, policy, CostParams::eswitch()).unwrap();
+            for (dst, src) in [(1u64, 0u64), (1, u32::MAX as u64), (2, 5), (3, 5)] {
+                let pkt = Packet::from_fields(&p.catalog, &[("dst", dst), ("src", src)]);
+                let want = dp.process(&pkt);
+                let got = ce.process(&pkt);
+                assert_eq!(got, want, "{policy:?} dst={dst} src={src}");
+            }
+        }
+    }
+
+    #[test]
+    fn fall_and_controller_miss_policies_agree() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![out]);
+        t0.row(vec![Value::Int(1)], vec![Value::sym("fast")]);
+        t0.miss = MissPolicy::Fall("t1".into());
+        let mut t1 = Table::new("t1", vec![f], vec![out]);
+        t1.row(vec![Value::Int(2)], vec![Value::sym("slow")]);
+        t1.miss = MissPolicy::Controller;
+        let p = Pipeline::new(c, vec![t0, t1], "t0");
+        let mut dp = Datapath::compile(
+            &p,
+            TemplatePolicy::Uniform(TemplateKind::Linear),
+            CostParams::eswitch(),
+        )
+        .unwrap();
+        let mut ce = CompiledEngine::compile(
+            &p,
+            TemplatePolicy::Uniform(TemplateKind::Linear),
+            CostParams::eswitch(),
+        )
+        .unwrap();
+        for f in 0..4u64 {
+            let pkt = Packet::from_fields(&p.catalog, &[("f", f)]);
+            assert_eq!(ce.process(&pkt), dp.process(&pkt), "f={f}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let p = two_stage();
+        let mut ce = CompiledEngine::eswitch(&p).unwrap();
+        let pkts: Vec<Packet> = (0..10u64)
+            .map(|i| Packet::from_fields(&p.catalog, &[("dst", i % 3), ("src", i * 977)]))
+            .collect();
+        let singles: Vec<ProcessOut> = pkts.iter().map(|pk| ce.process(pk)).collect();
+        let refs: Vec<&Packet> = pkts.iter().collect();
+        let mut batched = Vec::new();
+        ce.process_batch(&refs, &mut batched);
+        assert_eq!(batched, singles);
+    }
+
+    #[test]
+    fn cycle_guard_matches_interpreter() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let goto = c.action("goto", ActionSem::Goto);
+        let mut t0 = Table::new("t0", vec![f], vec![goto]);
+        t0.row(vec![Value::Any], vec![Value::sym("t0")]);
+        let p = Pipeline::single(c, t0);
+        let mut dp = Datapath::compile(
+            &p,
+            TemplatePolicy::Uniform(TemplateKind::Linear),
+            CostParams::eswitch(),
+        )
+        .unwrap();
+        let mut ce = CompiledEngine::compile(
+            &p,
+            TemplatePolicy::Uniform(TemplateKind::Linear),
+            CostParams::eswitch(),
+        )
+        .unwrap();
+        let pkt = Packet::from_fields(&p.catalog, &[("f", 1)]);
+        assert_eq!(ce.process(&pkt), dp.process(&pkt));
+    }
+
+    #[test]
+    fn bad_programs_rejected_like_interpreter() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let g = c.action("g", ActionSem::Goto);
+        let mut t = Table::new("t", vec![f], vec![g]);
+        t.row(vec![Value::Int(1)], vec![Value::sym("zzz")]);
+        let p = Pipeline::new(c, vec![t], "t");
+        assert!(matches!(
+            CompiledEngine::eswitch(&p),
+            Err(CompileError::UnknownTable(_))
+        ));
+
+        let mut c = Catalog::new();
+        let f = c.field("f", 8);
+        let mut t = Table::new("t", vec![f], vec![]);
+        t.row(vec![Value::sym("oops")], vec![]);
+        let p = Pipeline::single(c, t);
+        assert!(matches!(
+            CompiledEngine::eswitch(&p),
+            Err(CompileError::BadMatchCell { .. })
+        ));
+    }
+}

@@ -6,9 +6,32 @@
 //! mode, reproducible bit-for-bit) and *wall-clock* (time the real data
 //! structures; used by the Criterion benches to corroborate orderings).
 
+use crate::compile::BATCH;
 use crate::Switch;
 use mapro_packet::Trace;
 use std::time::Instant;
+
+/// Replay `pkts` through `switch` in [`BATCH`]-packet chunks, feeding each
+/// result to `sink` in arrival order. One virtual call per chunk instead of
+/// per packet; accounting order (and thus every report) is unchanged.
+#[inline]
+fn replay_batched<'a>(
+    switch: &mut dyn Switch,
+    pkts: impl Iterator<Item = &'a mapro_core::Packet>,
+    mut sink: impl FnMut(&crate::ProcessOut),
+) {
+    let mut chunk: Vec<&mapro_core::Packet> = Vec::with_capacity(BATCH);
+    let mut out: Vec<crate::ProcessOut> = Vec::with_capacity(BATCH);
+    let mut pkts = pkts.peekable();
+    while pkts.peek().is_some() {
+        chunk.clear();
+        chunk.extend(pkts.by_ref().take(BATCH));
+        switch.process_batch(&chunk, &mut out);
+        for r in &out {
+            sink(r);
+        }
+    }
+}
 
 /// Sort latencies in place and return the [Q1, median, Q3] quartiles
 /// (nearest-rank). Shared by every report builder so the quantile
@@ -58,8 +81,7 @@ pub fn run_modeled(switch: &mut dyn Switch, trace: &Trace) -> RunReport {
     let mut dropped = 0usize;
     let mut lookups = 0usize;
     let mut slow = 0usize;
-    for (_, pkt) in &trace.packets {
-        let r = switch.process(pkt);
+    replay_batched(switch, trace.packets.iter().map(|(_, p)| p), |r| {
         total_service += r.service_ns;
         lat.push(r.latency_ns * qf / 1000.0);
         if r.dropped {
@@ -69,7 +91,7 @@ pub fn run_modeled(switch: &mut dyn Switch, trace: &Trace) -> RunReport {
         if r.slow_path {
             slow += 1;
         }
-    }
+    });
     let latency_us = quartiles(&mut lat);
     RunReport {
         packets: trace.len(),
@@ -148,8 +170,7 @@ pub fn run_modeled_parallel(
             factory()
         };
         let qf = sw.queue_factor();
-        for pkt in shard {
-            let r = sw.process(pkt);
+        replay_batched(sw.as_mut(), shard.iter().copied(), |r| {
             stats.service_ns += r.service_ns;
             stats.latencies_us.push(r.latency_ns * qf / 1000.0);
             if r.dropped {
@@ -159,7 +180,7 @@ pub fn run_modeled_parallel(
             if r.slow_path {
                 stats.slow_path += 1;
             }
-        }
+        });
         stats
     });
 
@@ -267,14 +288,59 @@ pub fn run_wallclock(switch: &mut dyn Switch, trace: &Trace, repeats: usize) -> 
     let start = Instant::now();
     let mut sink = 0usize;
     for _ in 0..repeats {
-        for (_, pkt) in &trace.packets {
-            let r = switch.process(pkt);
+        replay_batched(switch, trace.packets.iter().map(|(_, p)| p), |r| {
             sink += r.lookups;
-        }
+        });
     }
     let elapsed = start.elapsed().as_secs_f64();
     std::hint::black_box(sink);
     (trace.len() * repeats) as f64 / elapsed / 1e6
+}
+
+/// A replay's verdict digest: FNV-1a over every packet's `(output,
+/// dropped)` verdict, sharded exactly like [`run_modeled_parallel`]
+/// (per-shard digests over the shard's packets in arrival order, combined
+/// in shard order). Independent of the executing thread count by the same
+/// ordered-reduction argument; `workers = 1` digests the plain arrival
+/// order. Engine equivalence checks compare this across
+/// interp/compiled/cached.
+pub fn replay_digest(
+    factory: &(dyn Fn() -> Box<dyn Switch + Send> + Sync),
+    trace: &Trace,
+    workers: usize,
+) -> u64 {
+    assert!(workers >= 1 && !trace.is_empty());
+    let mut shards: Vec<Vec<&mapro_core::Packet>> = vec![Vec::new(); workers];
+    for (flow, pkt) in &trace.packets {
+        shards[flow % workers].push(pkt);
+    }
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1_0000_0000_01b3;
+    let pool = mapro_par::Pool::current();
+    let shard_digests: Vec<u64> = pool.map_ordered(&shards, |_, shard| {
+        let mut h = FNV_OFFSET;
+        if shard.is_empty() {
+            return h;
+        }
+        let mut sw = factory();
+        replay_batched(sw.as_mut(), shard.iter().copied(), |r| {
+            let mut byte = |b: u8| h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            match &r.output {
+                Some(o) => o.as_bytes().iter().copied().for_each(&mut byte),
+                None => byte(0xfe),
+            }
+            byte(r.dropped as u8);
+            byte(0xff);
+        });
+        h
+    });
+    let mut h = FNV_OFFSET;
+    for d in shard_digests {
+        for b in d.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 #[cfg(test)]

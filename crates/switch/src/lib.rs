@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod compile;
 pub mod cost;
 pub mod datapath;
 pub mod harness;
 pub mod live;
+pub mod megaflow;
 pub mod ovs;
 pub mod sims;
 
@@ -32,12 +34,15 @@ pub use churn::{
     churn_point, churn_sweep, queue_timeline, simulate_churn_timeline, ChurnPoint, ChurnSpec,
     QueueConfig, QueueReport,
 };
+pub use compile::CompiledEngine;
 pub use cost::{ControlStall, CostParams, HwLatency};
 pub use datapath::{CompileError, Datapath, ProcessOut, TemplatePolicy};
 pub use harness::{
-    run_modeled, run_modeled_parallel, run_wallclock, run_with_updates, ClosedLoopReport, RunReport,
+    replay_digest, run_modeled, run_modeled_parallel, run_wallclock, run_with_updates,
+    ClosedLoopReport, RunReport,
 };
 pub use live::{LiveError, LiveSwitch, UpdateReceipt};
+pub use megaflow::{CacheUpdateError, CachedEngine, MegaflowStats};
 pub use ovs::OvsSim;
 pub use sims::{EswitchSim, LagopusSim, NoviflowSim};
 
@@ -49,6 +54,19 @@ pub trait Switch {
     fn name(&self) -> &'static str;
     /// Process one packet.
     fn process(&mut self, pkt: &Packet) -> ProcessOut;
+    /// Process a batch of packets into `out` (cleared first). The default
+    /// forwards to [`Switch::process`]; the harness replays traces in
+    /// [`compile::BATCH`]-packet chunks through this entry point, so one
+    /// virtual call is paid per chunk instead of per packet and compiled
+    /// engines keep their dispatch loop hot.
+    fn process_batch(&mut self, pkts: &[&Packet], out: &mut Vec<ProcessOut>) {
+        out.clear();
+        out.reserve(pkts.len());
+        for pkt in pkts {
+            let r = self.process(pkt);
+            out.push(r);
+        }
+    }
     /// Reporting scale from service time to measured latency (testbed
     /// queueing/batching; 1.0 for hardware).
     fn queue_factor(&self) -> f64;

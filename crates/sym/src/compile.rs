@@ -28,8 +28,8 @@
 //! workloads that modify actions or re-verify the same tables pay the
 //! subtraction fan-out once (`sym.cache.hits` / `sym.cache.misses`).
 
-use crate::cube::Cube;
-use mapro_core::{ActionSem, AttrId, AttrKind, MissPolicy, Pipeline, Value};
+use crate::cube::{Cube, Tern};
+use mapro_core::{ActionSem, AttrId, AttrKind, MissPolicy, Packet, Pipeline, Value};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -72,6 +72,23 @@ impl FieldSpace {
     /// The all-wildcard cube over this space.
     pub fn universe(&self) -> Cube {
         Cube::any(self.coords.len())
+    }
+
+    /// The concrete coordinate point of a packet: its value in every
+    /// space column, in column order. This is the megaflow-cache key —
+    /// [`Cube::contains`] on an atom cube tests exactly "would this
+    /// packet land in that atom".
+    pub fn key_of(&self, pkt: &Packet) -> Vec<u64> {
+        self.coords.iter().map(|&(a, _)| pkt.get(a)).collect()
+    }
+
+    /// Like [`FieldSpace::key_of`] but reusing `buf` (cleared first) so
+    /// per-packet key extraction on the datapath fast path allocates
+    /// nothing.
+    #[inline]
+    pub fn key_into(&self, pkt: &Packet, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend(self.coords.iter().map(|&(a, _)| pkt.get(a)));
     }
 }
 
@@ -117,6 +134,81 @@ pub struct BehaviorCover {
     pub space: FieldSpace,
     /// The atoms, pairwise disjoint, union = universe.
     pub atoms: Vec<Atom>,
+}
+
+impl BehaviorCover {
+    /// Index of the (unique, by the partition invariant) atom containing
+    /// the coordinate point `key`. `None` only if `key` has the wrong
+    /// arity for the space — a well-formed key always lands in exactly
+    /// one atom because the atoms tile the universe.
+    pub fn atom_of(&self, key: &[u64]) -> Option<usize> {
+        if key.len() != self.space.coords.len() {
+            return None;
+        }
+        self.atoms.iter().position(|a| a.cube.contains(key))
+    }
+}
+
+/// Every attribute some reachable-or-not action column of `p` may write:
+/// the `SetField` targets of action attributes used by any table. These
+/// are the *unstable* coordinates for flow-mod invalidation — a cached
+/// verdict keyed on the input packet cannot be constrained on them,
+/// because the value a table sees may differ from the input value.
+pub fn written_attrs(p: &Pipeline) -> Vec<AttrId> {
+    let mut out: Vec<AttrId> = Vec::new();
+    for t in &p.tables {
+        for &a in &t.action_attrs {
+            if let AttrKind::Action(ActionSem::SetField(target)) = p.catalog.attr(a).kind {
+                if !out.contains(&target) {
+                    out.push(target);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The input-space region a flow-mod against `(table, matches)` can
+/// affect, as a cube over `space` — the megaflow invalidation key.
+///
+/// A cached verdict must be dropped iff its atom cube intersects this
+/// cube. The cube constrains only the *stable* columns of the entry's
+/// match row: match attributes that are space coordinates and are never
+/// a `SetField` target anywhere in the pipeline ([`written_attrs`]). For
+/// those, the value the table compares is the input value, so any packet
+/// whose path can reach the entry carries an input key inside the cube.
+/// Unstable or non-space match columns are left wildcard (conservative:
+/// the rewritten value a table sees is not a function of the input
+/// coordinate, so no input constraint is sound).
+///
+/// Returns `None` when the flow-mod cannot change any packet's behavior:
+/// the entry's match row is unsatisfiable (a symbolic match cell) or the
+/// table does not exist in `p`.
+pub fn invalidation_cube(
+    p: &Pipeline,
+    space: &FieldSpace,
+    table: &str,
+    matches: &[Value],
+) -> Option<Cube> {
+    let t = p.tables.iter().find(|t| t.name == table)?;
+    debug_assert_eq!(matches.len(), t.match_attrs.len());
+    let written = written_attrs(p);
+    let mut cube = space.universe();
+    for (cell, &attr) in matches.iter().zip(&t.match_attrs) {
+        let w = p.catalog.attr(attr).width;
+        // An unsatisfiable cell means the entry matches no packet at all:
+        // inserting/deleting it is behavior-invisible.
+        let (bits, mask) = cell.as_ternary(w)?;
+        if written.contains(&attr) {
+            continue;
+        }
+        let Some(k) = space.coord_of(attr) else {
+            continue;
+        };
+        cube.0[k] = cube.0[k].intersect(Tern { bits, mask })?;
+    }
+    Some(cube)
 }
 
 /// Budgets for the symbolic compiler. Exhaustion is reported as

@@ -154,6 +154,15 @@ impl Cube {
     pub fn representative(&self) -> Vec<u64> {
         self.0.iter().map(|t| t.bits).collect()
     }
+
+    /// Does the concrete point `key` (one value per column) lie in this
+    /// cube? This is the megaflow-cache membership test: a packet's field
+    /// key is checked against the atom cubes of a behavior cover.
+    #[inline]
+    pub fn contains(&self, key: &[u64]) -> bool {
+        debug_assert_eq!(self.0.len(), key.len());
+        self.0.iter().zip(key).all(|(t, &v)| t.matches(v))
+    }
 }
 
 /// Is `cube` entirely covered by the union of `cover`?

@@ -36,4 +36,8 @@ pub use check::{
     assert_equivalent, check_equivalent, check_equivalent_explain, check_equivalent_with,
     check_symbolic, FallbackInfo,
 };
-pub use compile::{compile, Atom, Behavior, BehaviorCover, FieldSpace, SymConfig, Unsupported};
+pub use compile::{
+    compile, invalidation_cube, written_attrs, Atom, Behavior, BehaviorCover, FieldSpace,
+    SymConfig, Unsupported,
+};
+pub use cube::{Cube, Tern};

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: diff fresh E14/E15/E17/E19 runs against the
+"""Perf-regression gate: diff fresh E14/E15/E17/E19/E20 runs against the
 committed BENCH_*.json references.
 
 usage: bench_diff.py FRESH_DIR [--repo DIR] [--timing-tolerance X]
 
-FRESH_DIR must contain faults.json, parscale.json, symscale.json and
-chaos.json as written by scripts/reproduce.sh (or the CI job). They are
-compared against BENCH_faults.json, BENCH_parallel.json,
-BENCH_symbolic.json and BENCH_chaos.json in the repo root:
+FRESH_DIR must contain faults.json, parscale.json, symscale.json,
+chaos.json and mpps.json as written by scripts/reproduce.sh (or the CI
+job). They are compared against BENCH_faults.json, BENCH_parallel.json,
+BENCH_symbolic.json, BENCH_chaos.json and BENCH_mpps.json in the repo
+root:
 
   * run metadata (`meta`) must be compatible — same schema, experiment
     and seed. A mismatch means the two runs measured different things;
@@ -18,7 +19,8 @@ BENCH_symbolic.json and BENCH_chaos.json in the repo root:
     and E19 chaos-sweep field (both run on a virtual clock), and E15/E17
     digests, verdicts, methods and size columns. Any difference is a
     functional regression (exit 1).
-  * timing columns (E15 wall_ms, E17 sym_ms/enum_ms) must agree within
+  * timing columns (E15 wall_ms, E17 sym_ms/enum_ms, E20 wall_mpps)
+    must agree within
     --timing-tolerance (default 5.0): fresh <= committed * X and
     fresh >= committed / X. The default is deliberately loose — CI
     machines differ from the machine that produced the reference — but
@@ -221,6 +223,44 @@ def main():
         timings=["sym_ms", "enum_ms"],
         tol=tol,
     )
+
+    # E20: Mpps-scale replay. Verdict digests, drop counts, distinct-flow
+    # counts and megaflow hit rates are seed-determined and machine
+    # independent => exact. Wall-clock Mpps is a rate, gated by the same
+    # multiplicative envelope as the other timing columns. A digest
+    # mismatch here means an engine tier changed observable behavior —
+    # the one thing the compiled/cached tiers must never do.
+    fresh = load(os.path.join(args.fresh_dir, "mpps.json"))
+    committed = load(os.path.join(repo, "BENCH_mpps.json"))
+    check_meta("mpps", meta_of(fresh, "mpps.json"), meta_of(committed, "BENCH_mpps.json"))
+    for key in ("packets", "zipf", "workers"):
+        if fresh.get(key) != committed.get(key):
+            refuse(
+                f"mpps: {key} differs (fresh {fresh.get(key)!r} "
+                f"vs committed {committed.get(key)!r})"
+            )
+    check_rows(
+        "mpps",
+        fresh["rows"],
+        committed["rows"],
+        lambda r: (r["repr"], r["flows"], r["engine"]),
+        exact=["digest", "dropped", "distinct_flows", "hit_rate"],
+        timings=["wall_mpps"],
+        tol=tol,
+    )
+    # The fresh run must also uphold the headline claim: on the skewed
+    # (Zipf) traces the cached tier serves almost everything from
+    # installed cubes, and every engine agrees on the digest per cell.
+    by_cell = {}
+    for r in fresh["rows"]:
+        by_cell.setdefault((r["repr"], r["flows"]), {})[r["engine"]] = r
+    for cell, engines in sorted(by_cell.items()):
+        digests = {e: r["digest"] for e, r in engines.items()}
+        if len(set(digests.values())) != 1:
+            fail(f"mpps {cell}: engines disagree on digest ({digests})")
+        cached = engines.get("cached")
+        if cached is not None and cached["hit_rate"] < 0.9:
+            fail(f"mpps {cell}: megaflow hit rate {cached['hit_rate']:.4f} < 0.9")
 
     if FAILURES:
         print(f"bench_diff: {len(FAILURES)} regression(s)")

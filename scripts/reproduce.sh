@@ -48,6 +48,14 @@ echo "== symbolic equivalence engine (E17) =="
 cargo run --release -p mapro-bench --bin repro -- --experiment symscale --json \
     | sed '1,/############/d' > "$OUT/symscale.json"
 
+echo "== Mpps-scale replay engines (E20) =="
+# Interpreter vs compiled tier vs megaflow cache over Zipf traces with up
+# to a million-flow population. Wall-clock Mpps is machine-dependent; the
+# digest, drop and hit-rate columns are seed-determined — the sweep
+# asserts all three engines agree per cell before reporting.
+cargo run --release -p mapro-bench --bin repro -- --experiment mpps --json \
+    | sed '1,/############/d' > "$OUT/mpps.json"
+
 echo "== perf-regression diff (advisory) =="
 # Compare the fresh runs against the committed references *before*
 # refreshing them, so an unexpected drift is visible in the log. The
@@ -60,6 +68,7 @@ cp "$OUT/faults.json" BENCH_faults.json
 cp "$OUT/chaos.json" BENCH_chaos.json
 cp "$OUT/parscale.json" BENCH_parallel.json
 cp "$OUT/symscale.json" BENCH_symbolic.json
+cp "$OUT/mpps.json" BENCH_mpps.json
 
 echo "== benches =="
 cargo bench --workspace 2>&1 | tee "$OUT/bench_output.txt" | grep -E "^(table1|fig4|encoding|classifier|normalize)/" || true

@@ -1,0 +1,162 @@
+//! Differential harness for the three replay engines: the interpreter
+//! (`EswitchSim`), the compiled tier (`CompiledEngine`), and the
+//! megaflow-cached tier (`CachedEngine`) must produce *identical*
+//! per-packet verdicts — output port and drop bit — and identical replay
+//! digests on every pipeline and every trace, at any worker count.
+//!
+//! The cost model is allowed to differ (that is the whole point of the
+//! cache: hits are cheaper), so only observable behavior is compared.
+//!
+//! CI runs this file at `MAPRO_THREADS=1` and `=4` and diffs the output,
+//! so everything asserted here must be thread-count independent.
+
+use mapro::prelude::*;
+use mapro_packet::{generate, FlowSpec, Popularity, Trace, TraceSpec};
+use mapro_switch::{replay_digest, CachedEngine, CompiledEngine};
+use mapro_workloads::{random_table, RandomSpec};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+type Factory = Box<dyn Fn() -> Box<dyn Switch + Send> + Sync>;
+
+/// One factory per engine tier, all over the same pipeline.
+fn engine_factories(p: &Pipeline) -> Vec<(&'static str, Factory)> {
+    let (a, b, c) = (p.clone(), p.clone(), p.clone());
+    vec![
+        (
+            "interp",
+            Box::new(move || {
+                Box::new(EswitchSim::compile(&a).expect("interp compiles"))
+                    as Box<dyn Switch + Send>
+            }) as Factory,
+        ),
+        (
+            "compiled",
+            Box::new(move || {
+                Box::new(CompiledEngine::eswitch(&b).expect("compiled tier compiles"))
+                    as Box<dyn Switch + Send>
+            }),
+        ),
+        (
+            "cached",
+            Box::new(move || {
+                Box::new(CachedEngine::eswitch(&c).expect("cached tier compiles"))
+                    as Box<dyn Switch + Send>
+            }),
+        ),
+    ]
+}
+
+/// Assert all three engines agree packet-by-packet on (output, dropped),
+/// and that their replay digests match at 1 and 4 workers.
+fn engines_identical(p: &Pipeline, trace: &Trace, ctx: &str) {
+    let engines = engine_factories(p);
+
+    // Per-packet verdicts, serial: every packet in order through all
+    // three tiers, compared pairwise against the interpreter.
+    let mut sims: Vec<(&str, Box<dyn Switch + Send>)> =
+        engines.iter().map(|(n, f)| (*n, f())).collect();
+    for (i, (_, pkt)) in trace.packets.iter().enumerate() {
+        let mut verdicts = sims.iter_mut().map(|(n, s)| {
+            let r = s.process(pkt);
+            (*n, r.output, r.dropped)
+        });
+        let (_, out0, drop0) = verdicts.next().expect("at least one engine");
+        for (name, out, dropped) in verdicts {
+            assert_eq!(
+                (&out0, drop0),
+                (&out, dropped),
+                "{ctx}: {name} diverged from interp on packet {i}"
+            );
+        }
+    }
+
+    // Replay digests: identical across engines at every worker count.
+    for workers in [1usize, 4] {
+        let digests: Vec<(&str, u64)> = engines
+            .iter()
+            .map(|(n, f)| (*n, replay_digest(&**f, trace, workers)))
+            .collect();
+        for (name, d) in &digests[1..] {
+            assert_eq!(
+                digests[0].1, *d,
+                "{ctx}: {name} digest differs from interp at {workers} workers"
+            );
+        }
+    }
+}
+
+/// Trace over a random table's field space: values land in
+/// `0..domain + 2`, so a slice of packets miss every row and exercise the
+/// drop path (and the cache's dropped-atom cubes) alongside the hits.
+fn random_trace(
+    rt: &mapro_workloads::RandomTable,
+    spec: &RandomSpec,
+    popularity: Popularity,
+    nflows: usize,
+    packets: usize,
+    seed: u64,
+) -> Trace {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let flows = (0..nflows)
+        .map(|_| FlowSpec {
+            fields: rt
+                .field_ids
+                .iter()
+                .map(|&id| (id, rng.gen::<u64>() % (spec.domain + 2)))
+                .collect(),
+            weight: 1 + rng.gen::<u64>() % 4,
+        })
+        .collect();
+    let tspec = TraceSpec { flows, popularity };
+    generate(&rt.pipeline.catalog, &tspec, packets, seed)
+}
+
+#[test]
+fn gwlb_representations_identical_across_engines() {
+    let g = Gwlb::fig1();
+    let goto = g.normalized(JoinKind::Goto).expect("decomposes");
+    let spec = TraceSpec {
+        flows: g.trace_spec().flows,
+        popularity: Popularity::Zipf(1.1),
+    };
+    for (name, repr) in [("universal", &g.universal), ("goto", &goto)] {
+        let trace = generate(&repr.catalog, &spec, 4_000, 2019);
+        engines_identical(repr, &trace, &format!("gwlb {name}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random single-table pipelines under uniform traffic: all three
+    /// tiers byte-identical, including on flows that miss every row.
+    #[test]
+    fn random_tables_identical_uniform(
+        seed in 0u64..1000,
+        fields in 2usize..4,
+        rows in 4usize..12,
+        nflows in 8usize..40,
+    ) {
+        let spec = RandomSpec { fields, rows, domain: 6, planted: vec![] };
+        let rt = random_table(&spec, seed);
+        let trace = random_trace(&rt, &spec, Popularity::Weighted, nflows, 2_000, seed);
+        engines_identical(&rt.pipeline, &trace, "random uniform");
+    }
+
+    /// Same, under Zipf-skewed traffic — the regime where the megaflow
+    /// cache serves almost everything from installed cubes.
+    #[test]
+    fn random_tables_identical_zipf(
+        seed in 1000u64..2000,
+        fields in 2usize..4,
+        rows in 4usize..12,
+        nflows in 8usize..40,
+    ) {
+        let spec = RandomSpec { fields, rows, domain: 6, planted: vec![] };
+        let rt = random_table(&spec, seed);
+        let trace = random_trace(&rt, &spec, Popularity::Zipf(1.2), nflows, 2_000, seed);
+        engines_identical(&rt.pipeline, &trace, "random zipf");
+    }
+}
