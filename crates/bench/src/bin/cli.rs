@@ -4,14 +4,15 @@
 //! with `mapro demo`). Subcommands:
 //!
 //! ```text
-//! mapro demo <fig1|gwlb|l3|vlan|sdx|enterprise> [--services N --backends M --seed S] [--mat]
+//! mapro demo <fig1|gwlb|l3|vlan|sdx|enterprise|deep> [--services N --backends M --seed S] [--mat]
 //! mapro convert <prog.json|prog.mat> [--mat]     # JSON ↔ text format
 //! mapro show <prog.json>                          # paper-figure rendering
 //! mapro analyze <prog.json>                       # per-table NF report
-//! mapro lint <prog.json> [--format text|json] [--deny warn] [-A|-W|-D <lint-id>]...
+//! mapro lint <prog.json> [--format text|json] [--backend cube|dd|auto]
+//!            [--deny warn] [-A|-W|-D <lint-id>]...
 //! mapro normalize <prog.json> [--join goto|metadata|rematch] [--target 2nf|3nf|bcnf] [--verify]
 //! mapro flatten <prog.json>                       # denormalize to one table
-//! mapro check <a.json> <b.json> [--mode auto|symbolic|enumerate]
+//! mapro check <a.json> <b.json> [--mode auto|symbolic|enumerate] [--backend cube|dd|auto]
 //! mapro replay <prog.json> [--packets N --flows F --seed S --shards N]
 //!              [--switch ovs|eswitch|lagopus|noviflow]
 //!              [--engine interp|compiled|cached]
@@ -62,6 +63,14 @@ fn usage() -> ! {
 fn usage_error(msg: impl std::fmt::Display) -> ! {
     eprintln!("mapro: {msg}");
     exit(2)
+}
+
+fn parse_backend(flag: &Option<String>) -> mapro_sym::CoverBackend {
+    match flag.as_deref() {
+        None => mapro_sym::CoverBackend::default(),
+        Some(s) => mapro_sym::CoverBackend::parse(s)
+            .unwrap_or_else(|| usage_error(format_args!("unknown backend {s:?} (cube|dd|auto)"))),
+    }
 }
 
 fn load(path: &str) -> Pipeline {
@@ -170,9 +179,16 @@ fn main() {
                     let s = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(2019);
                     mapro_workloads::Enterprise::random(n, racks, s).pipeline
                 }
+                "deep" => {
+                    // The E21 deep-overlap workload: a planted dead entry
+                    // only decidable by union reasoning past the cube
+                    // engine's budget (tests/golden/deep_overlap.json).
+                    let s = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(2019);
+                    mapro_bench::deep_overlap(mapro_bench::DEEP_ROWS, s)
+                }
                 other => {
                     usage_error(format_args!(
-                        "unknown demo {other:?} (fig1|gwlb|l3|vlan|sdx|enterprise)"
+                        "unknown demo {other:?} (fig1|gwlb|l3|vlan|sdx|enterprise|deep)"
                     ));
                 }
             };
@@ -249,7 +265,14 @@ fn main() {
                     s
                 }));
             }
-            let mut report = mapro_lint::lint(&p, &mapro_lint::LintConfig::default());
+            let backend = parse_backend(&flag("--backend"));
+            let mut report = mapro_lint::lint(
+                &p,
+                &mapro_lint::LintConfig {
+                    backend,
+                    ..mapro_lint::LintConfig::default()
+                },
+            );
             report.apply(&overrides);
             if json {
                 println!("{}", report.to_json());
@@ -333,12 +356,11 @@ fn main() {
                 mode,
                 ..mapro_core::EquivConfig::default()
             };
-            match mapro_sym::check_equivalent_explain(
-                &a,
-                &b,
-                &cfg,
-                &mapro_sym::SymConfig::default(),
-            ) {
+            let sym_cfg = mapro_sym::SymConfig {
+                backend: parse_backend(&flag("--backend")),
+                ..mapro_sym::SymConfig::default()
+            };
+            match mapro_sym::check_equivalent_explain(&a, &b, &cfg, &sym_cfg) {
                 Ok((
                     mapro_core::EquivOutcome::Equivalent {
                         packets_checked,

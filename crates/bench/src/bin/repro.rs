@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|phases|mpps]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|ddscale|phases|mpps]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--threads N]
 //!       [--json] [--metrics [out.json]] [--trace out.json]
 //! ```
@@ -18,7 +18,7 @@
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|phases|mpps] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|ddscale|phases|mpps] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -111,6 +111,7 @@ const EXPERIMENTS: &[&str] = &[
     "parscale",
     "lint",
     "symscale",
+    "ddscale",
     "phases",
     "mpps",
 ];
@@ -153,8 +154,10 @@ fn main() {
         // the instrumented hot paths under tracing, and mpps wall-clocks
         // three engines over million-flow traces; they are machine
         // benchmarks, not paper artifacts, so `all` skips them.
-        (all && !matches!(name, "parscale" | "symscale" | "phases" | "mpps"))
-            || args.experiment == name
+        (all && !matches!(
+            name,
+            "parscale" | "symscale" | "ddscale" | "phases" | "mpps"
+        )) || args.experiment == name
     };
 
     if want("fig1") {
@@ -554,6 +557,59 @@ fn main() {
                     r.pairs,
                     r.verdict,
                     r.digest
+                );
+            }
+        }
+    }
+    if want("ddscale") {
+        println!(
+            "\n############ E21 — cube covers vs hash-consed decision diagrams (extension) ############"
+        );
+        let rep = ddscale(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+        } else {
+            println!("host cores: {}", rep.host_cores);
+            println!(
+                "{:<8} {:>9} {:>6} {:>17} {:>9} {:>9} {:>9} {:>9}  verdict / digest",
+                "workload",
+                "log2|D|",
+                "bits",
+                "cube status",
+                "atoms",
+                "cube[ms]",
+                "nodes",
+                "dd[ms]"
+            );
+            for r in &rep.rows {
+                let atoms = match (r.cube_atoms_left, r.cube_atoms_right) {
+                    (Some(a), Some(b)) => format!("{a}+{b}"),
+                    _ => "-".into(),
+                };
+                println!(
+                    "{:<8} {:>9.1} {:>6} {:>17} {:>9} {:>9} {:>9} {:>9.3}  {} / {}",
+                    r.workload,
+                    r.product_log2,
+                    r.joint_bits,
+                    r.cube_status,
+                    atoms,
+                    r.cube_ms
+                        .map(|m| format!("{m:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.dd_nodes,
+                    r.dd_ms,
+                    r.verdict,
+                    r.digest
+                );
+            }
+            println!(
+                "{:<10} {:>12} {:>9} {:>10} {:>7}  digest",
+                "lint", "cube_unk", "cube_dead", "dd_unk", "dd_dead"
+            );
+            for r in &rep.lint {
+                println!(
+                    "{:<10} {:>12} {:>9} {:>10} {:>7}  {}",
+                    r.workload, r.cube_unknown, r.cube_dead, r.dd_unknown, r.dd_dead, r.digest
                 );
             }
         }

@@ -1613,6 +1613,12 @@ pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
         mode: EquivMode::Enumerate,
         ..EquivConfig::default()
     };
+    // E17 measures the *cube* engine; pin it so the committed digests stay
+    // byte-identical as the Auto policy evolves (E21 covers the DD side).
+    let scfg = SymConfig {
+        backend: mapro_sym::CoverBackend::Cube,
+        ..SymConfig::default()
+    };
 
     // `gwlb`: the E15 equivalence pair, and its churn variant with one
     // backend's output port edited (guaranteed counterexample).
@@ -1657,7 +1663,7 @@ pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
                 mode: EquivMode::Symbolic,
                 ..EquivConfig::default()
             },
-            &SymConfig::default(),
+            &scfg,
         );
 
         let mut sym_ms = f64::INFINITY;
@@ -1665,7 +1671,7 @@ pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
         for _ in 0..REPS {
             let t0 = Instant::now();
             outcome = Some(
-                mapro_sym::check_symbolic(l, r, &SymConfig::default())
+                mapro_sym::check_symbolic(l, r, &scfg)
                     .expect("symscale workloads are inside the symbolic fragment"),
             );
             sym_ms = sym_ms.min(t0.elapsed().as_secs_f64() * 1e3);
@@ -1673,14 +1679,8 @@ pub fn symscale(cfg: &BenchConfig) -> SymScaleReport {
         let outcome = outcome.expect("REPS >= 1");
 
         let space = FieldSpace::from_pipelines(&[l, r]);
-        let atoms_left = compile(l, &space, &SymConfig::default())
-            .expect("compiles")
-            .atoms
-            .len();
-        let atoms_right = compile(r, &space, &SymConfig::default())
-            .expect("compiles")
-            .atoms
-            .len();
+        let atoms_left = compile(l, &space, &scfg).expect("compiles").atoms.len();
+        let atoms_right = compile(r, &space, &scfg).expect("compiles").atoms.len();
 
         let (pairs, verdict, digest_tail) = match &outcome {
             EquivOutcome::Equivalent {
@@ -1891,5 +1891,430 @@ pub fn phases(cfg: &BenchConfig) -> PhasesReport {
     PhasesReport {
         meta: RunMeta::new("phases", cfg.seed),
         workloads,
+    }
+}
+
+// ---------------------------------------------------------------- E21 ---
+
+/// Random entangled entries in the E21 `deep` workload (and the committed
+/// `tests/golden/deep_overlap.json` fixture generated from it). The full
+/// table is `DEEP_ROWS + 32` covering entries plus the planted wildcard.
+pub const DEEP_ROWS: usize = 88;
+
+/// The E21 `deep` workload: `nrows` entangled ternary entries, each with
+/// 3–5 care bits scattered across three 8-bit fields, then a block of 32
+/// entries enumerating every combination of 5 scattered bits (whose union
+/// covers the joint space *by construction*), then a planted all-wildcard
+/// entry — provably shadowed, but only by the union of many earlier
+/// entries. The plant is re-verified at generation time by exact DD
+/// subtraction ([`mapro_sym::TableLiveness`]); generation is
+/// deterministic, so a given `(nrows, seed)` always yields the same
+/// program.
+///
+/// The fragmented union is the adversarial shape for cube engines: the
+/// budgeted recursive split in `covered_by` must chew through the random
+/// layer before the covering block can close any branch, exhausting its
+/// default budget — while the hash-consed diagram stays near-linear in
+/// the entry count.
+pub fn deep_overlap(nrows: usize, seed: u64) -> Pipeline {
+    use mapro_core::{ActionSem, Catalog, Table, Value};
+    use mapro_sym::{cube::Cube, SymConfig, TableLiveness};
+    let mut s = seed | 1;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut c = Catalog::new();
+    let fs: Vec<_> = (0..3).map(|i| c.field(format!("d{i}"), 8)).collect();
+    let out = c.action("out", ActionSem::Output);
+    let mut t = Table::new("deep", fs, vec![out]);
+    // A ternary row from per-field (bits, mask) pairs.
+    let row_of = |bits: [u64; 3], mask: [u64; 3]| -> Vec<Value> {
+        (0..3)
+            .map(|f| {
+                if mask[f] == 0 {
+                    Value::Any
+                } else {
+                    Value::Ternary {
+                        bits: bits[f],
+                        mask: mask[f],
+                    }
+                }
+            })
+            .collect()
+    };
+    for r in 0..nrows {
+        let k = 3 + rng() % 3;
+        let mut mask = [0u64; 3];
+        let mut bits = [0u64; 3];
+        let mut placed = 0;
+        while placed < k {
+            let b = rng() % 24;
+            let (f, bit) = ((b / 8) as usize, b % 8);
+            if mask[f] >> bit & 1 == 0 {
+                mask[f] |= 1 << bit;
+                if rng() & 1 == 1 {
+                    bits[f] |= 1 << bit;
+                }
+                placed += 1;
+            }
+        }
+        t.row(row_of(bits, mask), vec![Value::sym(format!("p{}", r % 4))]);
+    }
+    // Covering block: all 2^5 assignments of 5 scattered bits. Union =
+    // the whole space, so the wildcard below is dead by construction.
+    let mut cover_bits = Vec::new();
+    while cover_bits.len() < 5 {
+        let b = rng() % 24;
+        if !cover_bits.contains(&b) {
+            cover_bits.push(b);
+        }
+    }
+    for combo in 0u64..32 {
+        let mut mask = [0u64; 3];
+        let mut bits = [0u64; 3];
+        for (i, &b) in cover_bits.iter().enumerate() {
+            let (f, bit) = ((b / 8) as usize, b % 8);
+            mask[f] |= 1 << bit;
+            if combo >> i & 1 == 1 {
+                bits[f] |= 1 << bit;
+            }
+        }
+        t.row(
+            row_of(bits, mask),
+            vec![Value::sym(format!("p{}", combo % 4))],
+        );
+    }
+    t.row(vec![Value::Any; 3], vec![Value::sym("unreachable")]);
+    let p = Pipeline::single(c, t);
+    let table = &p.tables[0];
+    let widths: Vec<u32> = table
+        .match_attrs
+        .iter()
+        .map(|&a| p.catalog.attr(a).width)
+        .collect();
+    let cubes: Vec<Option<Cube>> = table
+        .entries
+        .iter()
+        .map(|e| Cube::of(&e.matches, &widths))
+        .collect();
+    let lv = TableLiveness::build(&widths, &cubes, SymConfig::default().max_nodes)
+        .expect("deep-overlap liveness fits the default arena");
+    assert_eq!(
+        lv.covered.last(),
+        Some(&Some(true)),
+        "deep-overlap plant is not covered — covering block broken"
+    );
+    p
+}
+
+/// The deep-overlap equivalence pair: the planted program and the same
+/// program with the shadowed wildcard entry removed. They are equivalent
+/// *iff* the plant is dead — which generation proved — so the pair turns
+/// the lint liveness question into an equivalence question the E21 sweep
+/// can time on both engines.
+pub fn deep_pair(nrows: usize, seed: u64) -> (Pipeline, Pipeline) {
+    let left = deep_overlap(nrows, seed);
+    let mut right = left.clone();
+    right.tables[0].entries.pop();
+    (left, right)
+}
+
+/// One equivalence row of the E21 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct DdScaleRow {
+    /// Workload label.
+    pub workload: String,
+    /// log2 of the derived Cartesian packet-domain product.
+    pub product_log2: f64,
+    /// Total match bits of the joint field space (the DD variable count).
+    pub joint_bits: u32,
+    /// `ok` when the cube engine compiled both covers, else the budget it
+    /// exhausted (`atom_budget` | `partition_budget`).
+    pub cube_status: String,
+    /// Cube atoms of the left cover (`None` when the cube engine failed).
+    pub cube_atoms_left: Option<usize>,
+    /// Cube atoms of the right cover (`None` when the cube engine failed).
+    pub cube_atoms_right: Option<usize>,
+    /// Best-of-reps wall clock of the full cube check \[ms\]; `None` when
+    /// the cube engine exhausted a budget and was not timed.
+    pub cube_ms: Option<f64>,
+    /// Live MTBDD nodes reachable from both compiled roots.
+    pub dd_nodes: usize,
+    /// Best-of-reps wall clock of the full DD check \[ms\].
+    pub dd_ms: f64,
+    /// `equivalent` or `counterexample` (the DD verdict; the cube verdict
+    /// must agree whenever it exists, asserted in the experiment).
+    pub verdict: String,
+    /// Fingerprint of the deterministic parts (bits, nodes, atoms,
+    /// verdict, cube status) — never timings — for the cross-thread diff.
+    pub digest: String,
+}
+
+/// One lint row of the E21 report: unknowns per backend per workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct DdLintRow {
+    /// Workload label.
+    pub workload: String,
+    /// Undecided union-cover findings under `--backend cube`.
+    pub cube_unknown: usize,
+    /// `dead-entry` findings under `--backend cube`.
+    pub cube_dead: usize,
+    /// Undecided findings under `--backend dd` — zero, by construction
+    /// (asserted in the experiment).
+    pub dd_unknown: usize,
+    /// `dead-entry` findings under `--backend dd`.
+    pub dd_dead: usize,
+    /// Deterministic fingerprint of the four counts.
+    pub digest: String,
+}
+
+/// The E21 report.
+#[derive(Debug, Clone, Serialize)]
+pub struct DdScaleReport {
+    /// Provenance header (seed, threads, version) for the regression gate.
+    pub meta: RunMeta,
+    /// `available_parallelism` of the measuring host.
+    pub host_cores: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// One row per equivalence configuration.
+    pub rows: Vec<DdScaleRow>,
+    /// One row per lint workload.
+    pub lint: Vec<DdLintRow>,
+}
+
+/// Extension experiment E21: the hash-consed decision-diagram backend
+/// against the cube-cover engine, across the width boundary where cube
+/// lists stop being a usable representation.
+///
+/// Equivalence sweep — four pairs, each checked by both backends:
+/// * `wide4` / `wide8` — the E17 wide workloads: inside the cube
+///   fragment, where the sweep records the crossover (small covers beat
+///   small diagrams on constant factors).
+/// * `wide16` — 16 × 16-bit fields, product ≥ 2^64: the acceptance bar.
+///   The experiment *asserts* that the cube engine either exhausts a
+///   budget here or is ≥ 10× slower than the DD proof.
+/// * `deep` — the [`deep_overlap`] pair: equivalent iff the planted
+///   wildcard entry is dead, the shape where cube residue lists fragment.
+///
+/// Lint sweep — the six paper workloads plus the deep fixture, linted
+/// under `--backend cube` and `--backend dd`: the DD column must report
+/// zero undecided findings everywhere (asserted), and on `deep` the cube
+/// column must report at least one — the verdict the DD backend is there
+/// to decide.
+///
+/// Timing is best-of-`REPS` after an untimed warmup. The digest columns
+/// capture only deterministic results, so runs at different `--threads`
+/// must produce byte-identical digests (CI enforces this).
+pub fn ddscale(cfg: &BenchConfig) -> DdScaleReport {
+    use mapro_core::{Domain, EquivOutcome};
+    use mapro_sym::{compile, BitLayout, CoverBackend, DdEngine, FieldSpace, SymConfig};
+    use std::time::Instant;
+
+    const REPS: usize = 2;
+    // The cube side runs under a 2^16 atom ceiling rather than the 2^20
+    // compile default: the cross-intersection is quadratic in the atom
+    // count, so 2^16 is where a timed check stops being practical (≈4×10^9
+    // pair intersections) — past it the engine's own budget verdict *is*
+    // the result E21 records. (`deep` compiles to ~3×10^5 atoms per side;
+    // timing that check would take hours.)
+    let cube_cfg = SymConfig {
+        backend: CoverBackend::Cube,
+        max_atoms: 1 << 16,
+        ..SymConfig::default()
+    };
+    let dd_cfg = SymConfig {
+        backend: CoverBackend::Dd,
+        ..SymConfig::default()
+    };
+
+    let (deep_l, deep_r) = deep_pair(DEEP_ROWS, cfg.seed);
+    let (w4l, w4r) = wide_pair(4, 12, cfg.seed);
+    let (w8l, w8r) = wide_pair(8, 24, cfg.seed);
+    let (w16l, w16r) = wide_pair(16, 40, cfg.seed);
+    let cases: Vec<(&str, Pipeline, Pipeline)> = vec![
+        ("wide4", w4l, w4r),
+        ("wide8", w8l, w8r),
+        ("wide16", w16l, w16r),
+        ("deep", deep_l.clone(), deep_r),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, l, r) in &cases {
+        let space = FieldSpace::from_pipelines(&[l, r]);
+        let joint_bits = BitLayout::of(&space).total_bits();
+        let product = Domain::from_pipelines(&[l, r])
+            .map(|d| d.product_size())
+            .unwrap_or(u128::MAX);
+
+        // Cube side: compile each cover first so a budget failure is
+        // captured structurally (which budget, not just a message), then
+        // time the full check only when both sides compiled.
+        let cube_compile = compile(l, &space, &cube_cfg).and_then(|cl| {
+            compile(r, &space, &cube_cfg).map(|cr| (cl.atoms.len(), cr.atoms.len()))
+        });
+        let (cube_status, cube_atoms, cube_ms, cube_verdict) = match cube_compile {
+            Ok((al, ar)) => {
+                let mut best = f64::INFINITY;
+                let mut out = None;
+                for _ in 0..=REPS {
+                    // First pass is the untimed warmup (primes caches).
+                    let t0 = Instant::now();
+                    let o = mapro_sym::check_symbolic(l, r, &cube_cfg)
+                        .expect("cube check runs once both covers compiled");
+                    if out.is_some() {
+                        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    out = Some(o);
+                }
+                let verdict = out.expect("REPS >= 1").is_equivalent();
+                ("ok".to_owned(), Some((al, ar)), Some(best), Some(verdict))
+            }
+            Err(u) => (u.label().to_owned(), None, None, None),
+        };
+
+        let mut dd_ms = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..=REPS {
+            let t0 = Instant::now();
+            let o = mapro_sym::check_symbolic(l, r, &dd_cfg)
+                .expect("the DD engine decides every ddscale workload");
+            if out.is_some() {
+                dd_ms = dd_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+            }
+            out = Some(o);
+        }
+        let out = out.expect("REPS >= 1");
+        if let Some(cv) = cube_verdict {
+            assert_eq!(
+                cv,
+                out.is_equivalent(),
+                "ddscale {name}: backends disagree — differential bug"
+            );
+        }
+        let verdict = match &out {
+            EquivOutcome::Equivalent { .. } => "equivalent".to_owned(),
+            EquivOutcome::Counterexample(cx) => format!("cx@{:?}", cx.fields),
+        };
+
+        // Node count measured on a fresh engine so it is exact regardless
+        // of which verdict path the timed check took.
+        let mut eng = DdEngine::new(&space, &dd_cfg);
+        let lr = eng
+            .compile(l, &space, &dd_cfg)
+            .expect("left cover compiles on the DD backend");
+        let rr = eng
+            .compile(r, &space, &dd_cfg)
+            .expect("right cover compiles on the DD backend");
+        let dd_nodes = eng.mgr.node_count(&[lr, rr]);
+
+        if *name == "wide16" {
+            // The acceptance bar: a ≥ 2^64 product the DD backend proves
+            // while the cube engine exhausts a budget or pays ≥ 10×.
+            assert!(
+                (product as f64).log2() >= 64.0,
+                "wide16 product shrank below 2^64"
+            );
+            assert!(
+                cube_status != "ok" || cube_ms.unwrap_or(f64::INFINITY) >= 10.0 * dd_ms,
+                "E21 wide16: cube engine neither exhausted a budget nor was 10x slower \
+                 (cube {cube_ms:?} ms vs dd {dd_ms:.3} ms)"
+            );
+        }
+
+        let (cube_atoms_left, cube_atoms_right) = match cube_atoms {
+            Some((a, b)) => (Some(a), Some(b)),
+            None => (None, None),
+        };
+        let atoms_tail = match cube_atoms {
+            Some((a, b)) => format!("{a}:{b}"),
+            None => "-".to_owned(),
+        };
+        rows.push(DdScaleRow {
+            workload: (*name).to_owned(),
+            product_log2: (product as f64).log2(),
+            joint_bits,
+            cube_status: cube_status.clone(),
+            cube_atoms_left,
+            cube_atoms_right,
+            cube_ms,
+            dd_nodes,
+            dd_ms,
+            verdict: verdict.clone(),
+            digest: format!("dd:{joint_bits}:{dd_nodes}:{verdict}:{cube_status}:{atoms_tail}"),
+        });
+    }
+
+    // Lint sweep: every verdict decidable under the DD backend.
+    let lint_cases: Vec<(&str, Pipeline)> = vec![
+        ("fig1", Gwlb::fig1().universal),
+        (
+            "gwlb",
+            Gwlb::random(cfg.services, cfg.backends, cfg.seed).universal,
+        ),
+        ("fig2-l3", L3::fig2().universal),
+        ("fig3-vlan", Vlan::fig3().universal),
+        ("fig5-sdx", Sdx::fig5().universal),
+        (
+            "enterprise",
+            mapro_workloads::Enterprise::random(cfg.services, 4, cfg.seed).pipeline,
+        ),
+        ("deep", deep_l),
+    ];
+    let backend_cfg = |backend| mapro_lint::LintConfig {
+        backend,
+        ..mapro_lint::LintConfig::default()
+    };
+    let mut lint = Vec::new();
+    for (name, p) in &lint_cases {
+        let cube = mapro_lint::lint(p, &backend_cfg(mapro_lint::CoverBackend::Cube));
+        let dd = mapro_lint::lint(p, &backend_cfg(mapro_lint::CoverBackend::Dd));
+        assert_eq!(
+            dd.unknown_findings,
+            0,
+            "{name}: DD backend left a lint verdict undecided:\n{}",
+            dd.to_text()
+        );
+        if *name == "deep" {
+            assert!(
+                cube.unknown_findings > 0,
+                "deep: cube budget no longer exhausts — regenerate the workload:\n{}",
+                cube.to_text()
+            );
+            let planted = p.tables[0].entries.len() - 1;
+            assert!(
+                dd.with_lint("dead-entry").any(|d| d.entry == Some(planted)),
+                "deep: DD backend missed the planted dead entry:\n{}",
+                dd.to_text()
+            );
+        }
+        let row = DdLintRow {
+            workload: (*name).to_owned(),
+            cube_unknown: cube.unknown_findings,
+            cube_dead: cube.with_lint("dead-entry").count(),
+            dd_unknown: dd.unknown_findings,
+            dd_dead: dd.with_lint("dead-entry").count(),
+            digest: format!(
+                "lint:{}:{}:{}:{}",
+                cube.unknown_findings,
+                cube.with_lint("dead-entry").count(),
+                dd.unknown_findings,
+                dd.with_lint("dead-entry").count()
+            ),
+        };
+        lint.push(row);
+    }
+
+    DdScaleReport {
+        meta: RunMeta::new("ddscale", cfg.seed),
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        seed: cfg.seed,
+        rows,
+        lint,
     }
 }

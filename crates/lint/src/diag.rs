@@ -85,6 +85,12 @@ pub const CATALOGUE: &[LintInfo] = &[
         summary: "entry covered by the union of higher-priority entries, or unsatisfiable",
     },
     LintInfo {
+        id: "undecided-liveness",
+        default_severity: Severity::Info,
+        summary: "union-cover liveness left undecided: the cube backend's split budget ran \
+                  out (re-run with --backend dd for an exact verdict)",
+    },
+    LintInfo {
         id: "unknown-goto-target",
         default_severity: Severity::Error,
         summary: "goto/next/fall-through names a table that does not exist",
@@ -318,6 +324,11 @@ impl Overrides {
 pub struct LintReport {
     /// All findings, in pass order (deterministic for a given program).
     pub diagnostics: Vec<Diagnostic>,
+    /// How many liveness questions the run left undecided (cube backend
+    /// budget exhaustion). Always zero under the DD backend, whose
+    /// verdicts are exact; each undecided question also appears as an
+    /// `undecided-liveness` diagnostic.
+    pub unknown_findings: usize,
 }
 
 impl LintReport {
@@ -369,11 +380,12 @@ impl LintReport {
         }
         let _ = writeln!(
             out,
-            "{} findings: {} error, {} warn, {} info",
+            "{} findings: {} error, {} warn, {} info, {} unknown",
             self.diagnostics.len(),
             self.count(Severity::Error),
             self.count(Severity::Warn),
             self.count(Severity::Info),
+            self.unknown_findings,
         );
         out
     }

@@ -3,17 +3,24 @@
 //!
 //! `mapro_normalize::prune_dead_entries` establishes the same facts by
 //! enumerating the packet domain; this pass proves them from the program
-//! text alone via the ternary-cover algebra ([`crate::cover`]), in time
-//! polynomial in the table size (plus a bounded cover-split budget),
-//! independent of field widths.
+//! text alone, in time polynomial in the table size, independent of field
+//! widths. The union-cover question ("do the higher-priority entries
+//! together leave this one nothing to match?") is decided by the engine
+//! [`LintConfig::backend`] selects: the budgeted recursive cube split
+//! ([`crate::cover::covered_by`]) or exact decision-diagram subtraction
+//! ([`mapro_sym::TableLiveness`]); `Auto` runs the cube check and
+//! escalates to the DD engine only for questions the budget left open, so
+//! every verdict is decided unless the cube backend is forced explicitly.
 
 use crate::cover::{covered_by, Cube};
 use crate::diag::{Diagnostic, LintReport};
-use crate::LintConfig;
+use crate::{CoverBackend, LintConfig};
 use mapro_core::Pipeline;
+use mapro_sym::{SymConfig, TableLiveness};
 
 /// Run shadowed-/dead-entry detection over every table.
 pub fn check_entries(p: &Pipeline, cfg: &LintConfig, out: &mut LintReport) {
+    let max_nodes = SymConfig::default().max_nodes;
     for t in &p.tables {
         let widths: Vec<u32> = t
             .match_attrs
@@ -25,6 +32,10 @@ pub fn check_entries(p: &Pipeline, cfg: &LintConfig, out: &mut LintReport) {
             .iter()
             .map(|e| Cube::of(&e.matches, &widths))
             .collect();
+        // DD liveness for this table, built on first use. Outer `None` =
+        // not built yet; inner `None` = the arena limit was hit (treated
+        // as undecided, like a blown cube budget).
+        let mut dd: Option<Option<TableLiveness>> = None;
         for (j, cj) in cubes.iter().enumerate() {
             let Some(cj) = cj else {
                 out.diagnostics.push(
@@ -56,9 +67,33 @@ pub fn check_entries(p: &Pipeline, cfg: &LintConfig, out: &mut LintReport) {
             // Union cover: no single entry shadows it, but together the
             // earlier entries leave it nothing to match.
             let earlier: Vec<&Cube> = cubes[..j].iter().flatten().collect();
-            if earlier.len() >= 2 {
-                let mut budget = cfg.cover_budget;
-                if covered_by(cj, &earlier, &mut budget) == Some(true) {
+            if earlier.len() < 2 {
+                continue;
+            }
+            let dd_verdict = |dd: &mut Option<Option<TableLiveness>>| -> Option<bool> {
+                let lv =
+                    dd.get_or_insert_with(|| TableLiveness::build(&widths, &cubes, max_nodes).ok());
+                lv.as_ref().and_then(|lv| lv.covered[j])
+            };
+            let verdict = match cfg.backend {
+                CoverBackend::Cube => {
+                    let mut budget = cfg.cover_budget;
+                    covered_by(cj, &earlier, &mut budget)
+                }
+                CoverBackend::Dd => dd_verdict(&mut dd),
+                CoverBackend::Auto => {
+                    let mut budget = cfg.cover_budget;
+                    match covered_by(cj, &earlier, &mut budget) {
+                        Some(v) => Some(v),
+                        None => {
+                            mapro_obs::counter!("lint.dd_resolved").inc();
+                            dd_verdict(&mut dd)
+                        }
+                    }
+                }
+            };
+            match verdict {
+                Some(true) => {
                     out.diagnostics.push(
                         Diagnostic::new(
                             "dead-entry",
@@ -70,6 +105,24 @@ pub fn check_entries(p: &Pipeline, cfg: &LintConfig, out: &mut LintReport) {
                         .table(&t.name)
                         .entry(j)
                         .suggest(format!("remove entry {j}; no packet can reach it")),
+                    );
+                }
+                Some(false) => {}
+                None => {
+                    out.unknown_findings += 1;
+                    mapro_obs::counter!("lint.unknown").inc();
+                    out.diagnostics.push(
+                        Diagnostic::new(
+                            "undecided-liveness",
+                            format!(
+                                "the union-cover check against the {} higher-priority entries \
+                                 exhausted its budget; liveness is undecided",
+                                earlier.len()
+                            ),
+                        )
+                        .table(&t.name)
+                        .entry(j)
+                        .suggest("re-run with --backend dd for an exact verdict".to_owned()),
                     );
                 }
             }
@@ -142,6 +195,45 @@ mod tests {
         t.row(vec![Value::Any, Value::Int(5)], vec![Value::sym("c")]);
         let r = lint_table(t, c);
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn cube_budget_exhaustion_reports_unknown_and_dd_decides_it() {
+        let (c, fs, out) = cat();
+        let mut t = Table::new("t", fs, vec![out]);
+        // 0*/any ∪ 1*/any covers any/any by union only; a 1-step budget
+        // cannot decide it.
+        t.row(
+            vec![Value::prefix(0, 1, 8), Value::Any],
+            vec![Value::sym("a")],
+        );
+        t.row(
+            vec![Value::prefix(0x80, 1, 8), Value::Any],
+            vec![Value::sym("b")],
+        );
+        t.row(vec![Value::Any, Value::Any], vec![Value::sym("c")]);
+        let p = Pipeline::single(c, t);
+        let tiny = |backend| LintConfig {
+            cover_budget: 1,
+            backend,
+            ..LintConfig::default()
+        };
+        // Forced cube backend: undecided, surfaced as an unknown finding.
+        let mut r = LintReport::default();
+        check_entries(&p, &tiny(crate::CoverBackend::Cube), &mut r);
+        assert_eq!(r.unknown_findings, 1);
+        assert_eq!(r.with_lint("undecided-liveness").count(), 1);
+        assert_eq!(r.with_lint("dead-entry").count(), 0);
+        assert!(r.to_text().contains("1 unknown"), "{}", r.to_text());
+        // DD backend (and Auto's escalation): exact, no budget, no unknown.
+        for backend in [crate::CoverBackend::Dd, crate::CoverBackend::Auto] {
+            let mut r = LintReport::default();
+            check_entries(&p, &tiny(backend), &mut r);
+            assert_eq!(r.unknown_findings, 0, "{backend:?}");
+            let d: Vec<_> = r.with_lint("dead-entry").collect();
+            assert_eq!(d.len(), 1, "{backend:?}");
+            assert_eq!(d[0].entry, Some(2));
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use graph::check_graph;
 pub use redundancy::{check_redundancy, DeclaredFd};
 
 use mapro_core::Pipeline;
+pub use mapro_sym::CoverBackend;
 
 /// Tunables for a lint run.
 #[derive(Debug, Clone)]
@@ -50,9 +51,15 @@ pub struct LintConfig {
     pub tcam_capacity_entries: usize,
     /// Modeled TCAM per-slice match width in bits (default 640).
     pub tcam_slice_bits: u32,
-    /// Step budget for the recursive union-cover check; exhaustion leaves
-    /// the entry unflagged (sound: never a false positive).
+    /// Step budget for the recursive union-cover check (cube backend
+    /// only); exhaustion counts as an unknown finding (sound: never a
+    /// false positive).
     pub cover_budget: usize,
+    /// Which engine decides union-cover liveness: `Cube` is the budgeted
+    /// recursive split, `Dd` is exact decision-diagram subtraction with no
+    /// budget, `Auto` (the default) runs the cube check and escalates to
+    /// the DD engine only for the questions the budget left open.
+    pub backend: CoverBackend,
     /// Model-level dependencies the author declares to hold, unioned with
     /// the mined ones before normal-form analysis.
     pub declared_fds: Vec<DeclaredFd>,
@@ -64,6 +71,7 @@ impl Default for LintConfig {
             tcam_capacity_entries: 4096,
             tcam_slice_bits: 640,
             cover_budget: 10_000,
+            backend: CoverBackend::default(),
             declared_fds: Vec::new(),
         }
     }

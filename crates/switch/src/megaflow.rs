@@ -46,6 +46,7 @@ fn cache_sym_config() -> SymConfig {
     SymConfig {
         max_atoms: 1 << 16,
         partition_budget: 1 << 16,
+        ..SymConfig::default()
     }
 }
 

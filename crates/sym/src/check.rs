@@ -14,7 +14,8 @@
 //! packet, field listing and verdicts are byte-compatible with the
 //! enumerative engine's output (and independently re-checkable).
 
-use crate::compile::{compile, FieldSpace, SymConfig, Unsupported};
+use crate::compile::{compile, CoverBackend, FieldSpace, SymConfig, Unsupported};
+use crate::ddcover::DdEngine;
 use mapro_core::{
     CheckMethod, Counterexample, EquivConfig, EquivError, EquivMode, EquivOutcome, Packet, Pipeline,
 };
@@ -63,6 +64,15 @@ pub fn check_symbolic(
     })
 }
 
+/// Joint match-bit threshold above which `Auto` goes straight to the DD
+/// backend: beyond this width a cube list can in principle hold more
+/// residues than any budget admits, while a hash-consed diagram stays
+/// proportional to the *structure* of the tables, not the width. 192 bits
+/// keeps the paper workloads (≤128 joint bits) on the cube engine whose
+/// committed benchmark digests they pin, and routes wide16-class spaces
+/// (256 bits) to DDs up front.
+const AUTO_DD_BITS: u32 = 192;
+
 fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivOutcome, SymFail> {
     mapro_obs::counter!("sym.checks").inc();
     let _t = mapro_obs::time!("sym.check_ns");
@@ -84,45 +94,117 @@ fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivO
             }));
         }
     }
-
     drop(space_span);
 
+    match sym.backend {
+        CoverBackend::Cube => symbolic_cube(left, right, &space, sym),
+        CoverBackend::Dd => symbolic_dd(left, right, &space, sym),
+        CoverBackend::Auto => {
+            let bits: u32 = space.coords.iter().map(|&(_, w)| w).sum();
+            if bits > AUTO_DD_BITS {
+                mapro_obs::counter!("sym.auto.dd_wide").inc();
+                return symbolic_dd(left, right, &space, sym);
+            }
+            match symbolic_cube(left, right, &space, sym) {
+                Err(SymFail::Unsupported(
+                    Unsupported::AtomBudget | Unsupported::PartitionBudget,
+                )) => {
+                    // A blown cube budget is exactly the fragmentation the
+                    // DD representation does not suffer from; retry before
+                    // surfacing Unsupported (which would otherwise demote
+                    // the verdict to enumeration or an error).
+                    mapro_obs::counter!("sym.auto.dd_retry").inc();
+                    symbolic_dd(left, right, &space, sym)
+                }
+                other => other,
+            }
+        }
+    }
+}
+
+/// Concretize a disagreeing region into a counterexample by re-running the
+/// ordinary evaluator on a representative coordinate point (one value per
+/// space column). Shared by both backends so the reported packet, field
+/// listing and verdicts are byte-compatible regardless of engine.
+fn concretize(
+    left: &Pipeline,
+    right: &Pipeline,
+    space: &FieldSpace,
+    rep: &[u64],
+) -> Result<Counterexample, EquivError> {
+    let mut pkt = Packet::zero(&left.catalog);
+    for (k, &(attr, _)) in space.coords.iter().enumerate() {
+        pkt.set(attr, rep[k]);
+    }
+    let vl = left.run_indexed(&pkt, &left.name_index())?;
+    let vr = right.run_indexed(&pkt, &right.name_index())?;
+    debug_assert_ne!(
+        vl.observable(),
+        vr.observable(),
+        "behavior covers disagree on a region whose representative \
+         evaluates identically — cover compilation is unsound"
+    );
+    let fields = space
+        .coords
+        .iter()
+        .map(|&(a, _)| (left.catalog.name(a).to_owned(), pkt.get(a)))
+        .collect();
+    Ok(Counterexample {
+        packet: pkt,
+        fields,
+        left: vl,
+        right: vr,
+    })
+}
+
+/// The DD engine: compile both pipelines into one manager and compare the
+/// MTBDD roots — equivalence is a single pointer comparison, and any
+/// difference yields a `first_diff` witness path. `packets_checked`
+/// reports the shared node count of the two diagrams (the honest measure
+/// of work, mirroring the pair count the cube scan reports).
+fn symbolic_dd(
+    left: &Pipeline,
+    right: &Pipeline,
+    space: &FieldSpace,
+    sym: &SymConfig,
+) -> Result<EquivOutcome, SymFail> {
+    let _sp = mapro_obs::trace::span("symbolic_dd");
+    let mut eng = DdEngine::new(space, sym);
+    let l = eng
+        .compile(left, space, sym)
+        .map_err(SymFail::Unsupported)?;
+    let r = eng
+        .compile(right, space, sym)
+        .map_err(SymFail::Unsupported)?;
+    if l == r {
+        return Ok(EquivOutcome::Equivalent {
+            packets_checked: eng.mgr.node_count(&[l, r]),
+            exhaustive: true,
+            method: CheckMethod::Symbolic,
+        });
+    }
+    let path = eng
+        .mgr
+        .first_diff(l, r)
+        .expect("distinct hash-consed roots must differ somewhere");
+    let rep = eng.layout.key_of_path(&path);
+    match concretize(left, right, space, &rep) {
+        Ok(cx) => Ok(EquivOutcome::Counterexample(Box::new(cx))),
+        Err(e) => Err(SymFail::Hard(e)),
+    }
+}
+
+fn symbolic_cube(
+    left: &Pipeline,
+    right: &Pipeline,
+    space: &FieldSpace,
+    sym: &SymConfig,
+) -> Result<EquivOutcome, SymFail> {
+    let space = space.clone();
     // Each side gets its own `compile` span (opened inside `compile`);
     // they appear in left, right order on the timeline.
     let lc = compile(left, &space, sym).map_err(SymFail::Unsupported)?;
     let rc = compile(right, &space, sym).map_err(SymFail::Unsupported)?;
-
-    let li = left.name_index();
-    let ri = right.name_index();
-    let proto = Packet::zero(&left.catalog);
-    // Concretize a disagreeing intersection cube into a counterexample by
-    // re-running the ordinary evaluator on a representative packet.
-    let concretize = |cube: &crate::cube::Cube| -> Result<Counterexample, EquivError> {
-        let rep = cube.representative();
-        let mut pkt = proto.clone();
-        for (k, &(attr, _)) in space.coords.iter().enumerate() {
-            pkt.set(attr, rep[k]);
-        }
-        let vl = left.run_indexed(&pkt, &li)?;
-        let vr = right.run_indexed(&pkt, &ri)?;
-        debug_assert_ne!(
-            vl.observable(),
-            vr.observable(),
-            "behavior covers disagree on an atom whose representative \
-             evaluates identically — cover compilation is unsound"
-        );
-        let fields = space
-            .coords
-            .iter()
-            .map(|&(a, _)| (left.catalog.name(a).to_owned(), pkt.get(a)))
-            .collect();
-        Ok(Counterexample {
-            packet: pkt,
-            fields,
-            left: vl,
-            right: vr,
-        })
-    };
 
     // Cross-intersection fan-out: fixed-size chunks of left atoms, each
     // task scanning the full right cover. `find_first` keeps the lowest
@@ -156,10 +238,12 @@ fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivO
                 local_pairs += 1;
                 if la.behavior != ra.behavior {
                     let _c = mapro_obs::trace::span("concretize");
-                    return Some(match concretize(&meet) {
-                        Ok(cx) => ChunkEvent::Cx(Box::new(cx)),
-                        Err(e) => ChunkEvent::Fail(e),
-                    });
+                    return Some(
+                        match concretize(left, right, &space, &meet.representative()) {
+                            Ok(cx) => ChunkEvent::Cx(Box::new(cx)),
+                            Err(e) => ChunkEvent::Fail(e),
+                        },
+                    );
                 }
             }
         }
@@ -218,8 +302,8 @@ pub fn check_equivalent_with(
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FallbackInfo {
     /// Stable cause label ([`Unsupported::label`]): `goto_cycle`,
-    /// `unknown_table`, `bad_action_param`, `atom_budget`, or
-    /// `partition_budget`.
+    /// `unknown_table`, `bad_action_param`, `atom_budget`,
+    /// `partition_budget`, or `node_budget`.
     pub cause: &'static str,
     /// Human-readable detail of the unsupported construct.
     pub detail: String,
@@ -414,6 +498,74 @@ mod tests {
                 assert_eq!(method, CheckMethod::Exhaustive);
             }
             _ => panic!("expected equivalence via fallback"),
+        }
+    }
+
+    #[test]
+    fn dd_backend_agrees_with_cube_on_verdict_and_witness() {
+        let dd = SymConfig {
+            backend: CoverBackend::Dd,
+            ..SymConfig::default()
+        };
+        let a = out_table(8, &[(1, "x"), (2, "y")]);
+        let b = out_table(8, &[(2, "y"), (1, "x")]);
+        match check_symbolic(&a, &b, &dd).unwrap() {
+            EquivOutcome::Equivalent {
+                exhaustive, method, ..
+            } => {
+                assert!(exhaustive);
+                assert_eq!(method, CheckMethod::Symbolic);
+            }
+            _ => panic!("expected equivalence"),
+        }
+        // A planted difference must come back as the same concrete
+        // counterexample shape the cube backend reports.
+        let c = out_table(8, &[(1, "x"), (2, "z")]);
+        let cube_cx = match check_symbolic(&a, &c, &SymConfig::default()).unwrap() {
+            EquivOutcome::Counterexample(cx) => cx,
+            _ => panic!("expected counterexample"),
+        };
+        let dd_cx = match check_symbolic(&a, &c, &dd).unwrap() {
+            EquivOutcome::Counterexample(cx) => cx,
+            _ => panic!("expected counterexample"),
+        };
+        assert_eq!(cube_cx.fields, dd_cx.fields);
+        assert_eq!(cube_cx.left.output, dd_cx.left.output);
+        assert_eq!(cube_cx.right.output, dd_cx.right.output);
+    }
+
+    #[test]
+    fn wide_space_routes_auto_to_dd_and_proves_equivalence() {
+        // Four 64-bit fields: 256 joint bits, 2^256 packets — enumeration
+        // is absurd and a cube cover would still work here, but Auto must
+        // route wide spaces straight to the DD engine and stay exact.
+        let mk = |port: &str| {
+            let mut c = Catalog::new();
+            let fs: Vec<_> = (0..4).map(|i| c.field(format!("f{i}"), 64)).collect();
+            let out = c.action("out", ActionSem::Output);
+            let mut t = Table::new("t", fs.clone(), vec![out]);
+            t.row(
+                vec![Value::Int(7), Value::Any, Value::Any, Value::Any],
+                vec![Value::sym(port)],
+            );
+            Pipeline::single(c, t)
+        };
+        let (a, b) = (mk("x"), mk("x"));
+        match check_symbolic(&a, &b, &SymConfig::default()).unwrap() {
+            EquivOutcome::Equivalent {
+                exhaustive, method, ..
+            } => {
+                assert!(exhaustive);
+                assert_eq!(method, CheckMethod::Symbolic);
+            }
+            _ => panic!("expected equivalence"),
+        }
+        let c = mk("y");
+        match check_symbolic(&a, &c, &SymConfig::default()).unwrap() {
+            EquivOutcome::Counterexample(cx) => {
+                assert_eq!(cx.fields[0], ("f0".to_owned(), 7));
+            }
+            _ => panic!("expected counterexample"),
         }
     }
 

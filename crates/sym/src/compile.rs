@@ -211,6 +211,42 @@ pub fn invalidation_cube(
     Some(cube)
 }
 
+/// Which representation carries a behavior cover.
+///
+/// * `Cube` — flat disjoint ternary cube lists (the original engine):
+///   cheap at small widths, but subtraction splits cubes recursively and
+///   cross-intersection is quadratic in atoms.
+/// * `Dd` — hash-consed decision diagrams (`mapro-dd`): one canonical
+///   MTBDD per pipeline, equivalence is root-pointer equality, negation
+///   and subtraction never fragment. Complete — no budget-shaped
+///   "unknown" answers.
+/// * `Auto` — cube first (it wins at small widths), retrying with the DD
+///   backend when a cube budget blows, and going straight to DDs when the
+///   joint match space is wide enough that cube lists predictably explode
+///   (see `check::AUTO_DD_BITS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoverBackend {
+    /// Flat ternary-cube atom lists.
+    Cube,
+    /// Hash-consed BDD/MTBDD covers.
+    Dd,
+    /// Cube first, DD when cubes blow up or the space is wide.
+    #[default]
+    Auto,
+}
+
+impl CoverBackend {
+    /// Parse a CLI argument (`cube`, `dd`, `auto`).
+    pub fn parse(s: &str) -> Option<CoverBackend> {
+        match s {
+            "cube" => Some(CoverBackend::Cube),
+            "dd" => Some(CoverBackend::Dd),
+            "auto" => Some(CoverBackend::Auto),
+            _ => None,
+        }
+    }
+}
+
 /// Budgets for the symbolic compiler. Exhaustion is reported as
 /// [`Unsupported`], which `Auto` mode turns into an enumerative fallback —
 /// never a wrong answer.
@@ -220,6 +256,10 @@ pub struct SymConfig {
     pub max_atoms: usize,
     /// Maximum number of live cubes while partitioning one table.
     pub partition_budget: usize,
+    /// Which cover representation to use (default [`CoverBackend::Auto`]).
+    pub backend: CoverBackend,
+    /// Maximum interior nodes in one DD manager (DD backend only).
+    pub max_nodes: usize,
 }
 
 impl Default for SymConfig {
@@ -227,6 +267,8 @@ impl Default for SymConfig {
         SymConfig {
             max_atoms: 1 << 20,
             partition_budget: 1 << 20,
+            backend: CoverBackend::default(),
+            max_nodes: mapro_dd::Mgr::DEFAULT_MAX_NODES,
         }
     }
 }
@@ -254,6 +296,8 @@ pub enum Unsupported {
     AtomBudget,
     /// A table partition exceeded [`SymConfig::partition_budget`].
     PartitionBudget,
+    /// The DD backend exceeded [`SymConfig::max_nodes`].
+    NodeBudget,
 }
 
 impl std::fmt::Display for Unsupported {
@@ -276,6 +320,7 @@ impl std::fmt::Display for Unsupported {
             }
             Unsupported::AtomBudget => write!(f, "atom budget exhausted"),
             Unsupported::PartitionBudget => write!(f, "table partition budget exhausted"),
+            Unsupported::NodeBudget => write!(f, "decision-diagram node budget exhausted"),
         }
     }
 }
@@ -290,6 +335,7 @@ impl Unsupported {
             Unsupported::BadActionParam { .. } => "bad_action_param",
             Unsupported::AtomBudget => "atom_budget",
             Unsupported::PartitionBudget => "partition_budget",
+            Unsupported::NodeBudget => "node_budget",
         }
     }
 }
@@ -361,6 +407,9 @@ fn table_partition(
 
     let ncols = widths.len();
     let mut remaining = vec![Cube::any(ncols)];
+    // Double-buffered scratch: each row's residues accumulate into `next`
+    // via `subtract_into`, then the buffers swap — no per-split Vec churn.
+    let mut next: Vec<Cube> = Vec::new();
     let mut regions = Vec::with_capacity(rows.len());
     for row in &rows {
         let Some(ec) = row else {
@@ -370,7 +419,11 @@ fn table_partition(
         let hits: Vec<Cube> = remaining.iter().filter_map(|r| r.intersect(ec)).collect();
         // `remaining` partitions `universe ∖ (earlier entries)`, so the
         // subtraction only ever splits the pieces `ec` overlaps.
-        remaining = remaining.iter().flat_map(|r| r.subtract(ec)).collect();
+        next.clear();
+        for r in &remaining {
+            r.subtract_into(ec, &mut next);
+        }
+        std::mem::swap(&mut remaining, &mut next);
         if remaining.len() > cfg.partition_budget {
             return Err(Unsupported::PartitionBudget);
         }
@@ -388,22 +441,134 @@ fn table_partition(
     Ok(part)
 }
 
-/// One in-flight symbolic execution state.
+/// The backend-independent half of a symbolic execution state: everything
+/// except the input constraint (a [`Cube`] for the cube compiler, a BDD
+/// for the DD compiler in [`crate::ddcover`]). Both compilers share this
+/// struct — and [`apply_actions`] / [`delivered`] below — so action
+/// semantics cannot drift between backends.
+#[derive(Clone)]
+pub(crate) struct SymCore {
+    /// Concrete current value per catalog attribute: metadata starts at
+    /// `Some(0)`, header fields at `None` (free input) until written.
+    pub(crate) vals: Vec<Option<u64>>,
+    /// `SetField` targets in first-write order (mirrors the evaluator).
+    pub(crate) touched: Vec<AttrId>,
+    /// Last `Output` parameter, if any.
+    pub(crate) output: Option<Arc<str>>,
+    /// Opaque actions accumulated so far.
+    pub(crate) opaque: Vec<(String, Value)>,
+    /// Table visits so far (the evaluator's goto-cycle budget).
+    pub(crate) steps: usize,
+}
+
+impl SymCore {
+    /// The state at pipeline entry: metadata zero, header fields free.
+    pub(crate) fn initial(p: &Pipeline) -> SymCore {
+        let vals = (0..p.catalog.len())
+            .map(|i| match p.catalog.attr(AttrId(i as u32)).kind {
+                AttrKind::Meta => Some(0),
+                _ => None,
+            })
+            .collect();
+        SymCore {
+            vals,
+            touched: Vec::new(),
+            output: None,
+            opaque: Vec::new(),
+            steps: 0,
+        }
+    }
+}
+
+/// Apply the actions of entry `ei` in table `ti` of `p` to `core`,
+/// returning the `Goto` target if one fired. The one implementation of
+/// action semantics both cover compilers run.
+pub(crate) fn apply_actions<'p>(
+    p: &'p Pipeline,
+    ti: usize,
+    ei: usize,
+    core: &mut SymCore,
+) -> Result<Option<&'p str>, Unsupported> {
+    let t = &p.tables[ti];
+    let mut goto: Option<&str> = None;
+    for (col, &attr) in t.action_attrs.iter().enumerate() {
+        let param = &t.entries[ei].actions[col];
+        if matches!(param, Value::Any) {
+            continue; // no-op slot
+        }
+        let a = p.catalog.attr(attr);
+        let sem = match &a.kind {
+            AttrKind::Action(s) => s,
+            _ => unreachable!("action column with non-action attr"),
+        };
+        let bad = || Unsupported::BadActionParam {
+            table: t.name.clone(),
+            attr: a.name.clone(),
+        };
+        match sem {
+            ActionSem::Output => match param {
+                Value::Sym(port) => core.output = Some(port.clone()),
+                _ => return Err(bad()),
+            },
+            ActionSem::Goto => match param {
+                Value::Sym(target) => goto = Some(target.as_ref()),
+                _ => return Err(bad()),
+            },
+            ActionSem::SetField(target) => match param {
+                Value::Int(x) => {
+                    core.vals[target.index()] = Some(*x);
+                    if !core.touched.contains(target) {
+                        core.touched.push(*target);
+                    }
+                }
+                _ => return Err(bad()),
+            },
+            ActionSem::Opaque => {
+                core.opaque.push((a.name.clone(), param.clone()));
+            }
+        }
+    }
+    Ok(goto)
+}
+
+/// The terminal `Delivered` behavior of a state (mirrors the verdict
+/// projection: touched header fields sorted by id, opaque multiset
+/// sorted). Shared by both cover compilers.
+pub(crate) fn delivered(p: &Pipeline, core: &SymCore) -> Behavior {
+    let mut mods: Vec<(AttrId, u64)> = core
+        .touched
+        .iter()
+        .filter(|&&a| matches!(p.catalog.attr(a).kind, AttrKind::Field))
+        .map(|&a| {
+            (
+                a,
+                core.vals[a.index()].expect("touched fields are concrete"),
+            )
+        })
+        .collect();
+    mods.sort_unstable_by_key(|&(a, _)| a);
+    let mut opaque = core.opaque.clone();
+    opaque.sort();
+    Behavior::Delivered {
+        output: core.output.clone(),
+        to_controller: false,
+        header_mods: mods,
+        opaque,
+    }
+}
+
+/// The evaluator's table-visit budget for `p` (goto-cycle detection).
+pub(crate) fn visit_limit(p: &Pipeline) -> usize {
+    p.tables.len().saturating_mul(2) + 8
+}
+
+/// One in-flight symbolic execution state of the cube compiler.
 #[derive(Clone)]
 struct SymState {
     /// Constraint on the *input* packet, over the space coordinates.
     cube: Cube,
-    /// Concrete current value per catalog attribute: metadata starts at
-    /// `Some(0)`, header fields at `None` (free input) until written.
-    vals: Vec<Option<u64>>,
-    /// `SetField` targets in first-write order (mirrors the evaluator).
-    touched: Vec<AttrId>,
-    /// Last `Output` parameter, if any.
-    output: Option<Arc<str>>,
-    /// Opaque actions accumulated so far.
-    opaque: Vec<(String, Value)>,
-    /// Table visits so far (the evaluator's goto-cycle budget).
-    steps: usize,
+    /// The backend-independent rest of the state.
+    core: SymCore,
 }
 
 /// Where a branch goes next: another table or a terminal behavior.
@@ -447,7 +612,7 @@ impl<'a> Compiler<'a> {
             space,
             index: p.name_index(),
             parts,
-            limit: p.tables.len().saturating_mul(2) + 8,
+            limit: visit_limit(p),
             cfg,
         })
     }
@@ -460,19 +625,9 @@ impl<'a> Compiler<'a> {
     }
 
     fn initial_state(&self) -> SymState {
-        let vals = (0..self.p.catalog.len())
-            .map(|i| match self.p.catalog.attr(AttrId(i as u32)).kind {
-                AttrKind::Meta => Some(0),
-                _ => None,
-            })
-            .collect();
         SymState {
             cube: self.space.universe(),
-            vals,
-            touched: Vec::new(),
-            output: None,
-            opaque: Vec::new(),
-            steps: 0,
+            core: SymCore::initial(self.p),
         }
     }
 
@@ -484,7 +639,7 @@ impl<'a> Compiler<'a> {
         let mut cube = state.cube.clone();
         for (col, &attr) in attrs.iter().enumerate() {
             let t = piece.0[col];
-            match state.vals[attr.index()] {
+            match state.core.vals[attr.index()] {
                 Some(v) => {
                     if !t.matches(v) {
                         return None;
@@ -519,53 +674,16 @@ impl<'a> Compiler<'a> {
                 };
                 let mut s = state.clone();
                 s.cube = cube;
-                s.steps += 1;
-                if s.steps > self.limit {
+                s.core.steps += 1;
+                if s.core.steps > self.limit {
                     return Err(Unsupported::GotoCycle { limit: self.limit });
                 }
-                let mut goto: Option<&str> = None;
-                for (col, &attr) in t.action_attrs.iter().enumerate() {
-                    let param = &t.entries[ei].actions[col];
-                    if matches!(param, Value::Any) {
-                        continue; // no-op slot
-                    }
-                    let a = self.p.catalog.attr(attr);
-                    let sem = match &a.kind {
-                        AttrKind::Action(s) => s,
-                        _ => unreachable!("action column with non-action attr"),
-                    };
-                    let bad = || Unsupported::BadActionParam {
-                        table: t.name.clone(),
-                        attr: a.name.clone(),
-                    };
-                    match sem {
-                        ActionSem::Output => match param {
-                            Value::Sym(p) => s.output = Some(p.clone()),
-                            _ => return Err(bad()),
-                        },
-                        ActionSem::Goto => match param {
-                            Value::Sym(p) => goto = Some(p.as_ref()),
-                            _ => return Err(bad()),
-                        },
-                        ActionSem::SetField(target) => match param {
-                            Value::Int(x) => {
-                                s.vals[target.index()] = Some(*x);
-                                if !s.touched.contains(target) {
-                                    s.touched.push(*target);
-                                }
-                            }
-                            _ => return Err(bad()),
-                        },
-                        ActionSem::Opaque => {
-                            s.opaque.push((a.name.clone(), param.clone()));
-                        }
-                    }
-                }
+                let goto = apply_actions(self.p, ti, ei, &mut s.core)?;
                 let next = match goto {
                     Some(g) => Next::Table(self.resolve(g)?),
                     None => match &t.next {
                         Some(n) => Next::Table(self.resolve(n)?),
-                        None => Next::Done(self.delivered(&s)),
+                        None => Next::Done(delivered(self.p, &s.core)),
                     },
                 };
                 out.push((s, next));
@@ -578,14 +696,14 @@ impl<'a> Compiler<'a> {
             };
             let mut s = state.clone();
             s.cube = cube;
-            s.steps += 1;
-            if s.steps > self.limit {
+            s.core.steps += 1;
+            if s.core.steps > self.limit {
                 return Err(Unsupported::GotoCycle { limit: self.limit });
             }
             let next = match &t.miss {
                 MissPolicy::Drop => Next::Done(Behavior::Dropped),
                 MissPolicy::Controller => {
-                    let mut b = self.delivered(&s);
+                    let mut b = delivered(self.p, &s.core);
                     if let Behavior::Delivered { to_controller, .. } = &mut b {
                         *to_controller = true;
                     }
@@ -596,27 +714,6 @@ impl<'a> Compiler<'a> {
             out.push((s, next));
         }
         Ok(out)
-    }
-
-    /// The terminal `Delivered` behavior of a state (mirrors the verdict
-    /// projection: touched header fields sorted by id, opaque multiset
-    /// sorted).
-    fn delivered(&self, s: &SymState) -> Behavior {
-        let mut mods: Vec<(AttrId, u64)> = s
-            .touched
-            .iter()
-            .filter(|&&a| matches!(self.p.catalog.attr(a).kind, AttrKind::Field))
-            .map(|&a| (a, s.vals[a.index()].expect("touched fields are concrete")))
-            .collect();
-        mods.sort_unstable_by_key(|&(a, _)| a);
-        let mut opaque = s.opaque.clone();
-        opaque.sort();
-        Behavior::Delivered {
-            output: s.output.clone(),
-            to_controller: false,
-            header_mods: mods,
-            opaque,
-        }
     }
 
     /// Depth-first expansion of one branch to its atoms.

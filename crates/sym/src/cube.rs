@@ -123,13 +123,32 @@ impl Cube {
     /// `other` and bit `k` to differ — the same split [`covered_by`] uses,
     /// materialized instead of recursed on. At most `64 × columns` cubes.
     pub fn subtract(&self, other: &Cube) -> Vec<Cube> {
+        let mut out = Vec::new();
+        self.subtract_into(other, &mut out);
+        out
+    }
+
+    /// [`Cube::subtract`] appending into a caller-owned buffer, reserving
+    /// the exact residue count up front (one cube per care bit of `other`
+    /// that `self` leaves free). Hot loops — the table-partition sweep —
+    /// reuse one scratch `Vec` across the whole entry list instead of
+    /// allocating a fresh result per split.
+    pub fn subtract_into(&self, other: &Cube, out: &mut Vec<Cube>) {
         if !self.intersects(other) {
-            return vec![self.clone()];
+            out.push(self.clone());
+            return;
         }
         if other.subsumes(self) {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
+        let residues: u32 = self
+            .0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (b.mask & !a.mask).count_ones())
+            .sum();
+        out.reserve(residues as usize);
+        let before = out.len();
         let mut pinned = self.clone();
         for col in 0..self.0.len() {
             let free = other.0[col].mask & !self.0[col].mask;
@@ -145,8 +164,10 @@ impl Cube {
                 pinned.0[col].bits = (pinned.0[col].bits & !k) | (other.0[col].bits & k);
             }
         }
-        debug_assert!(!out.is_empty(), "non-subsumed intersection leaves residue");
-        out
+        debug_assert!(
+            out.len() > before,
+            "non-subsumed intersection leaves residue"
+        );
     }
 
     /// One concrete member per column: the cared bits, with every free bit

@@ -1,0 +1,688 @@
+//! Compiling a pipeline to one hash-consed MTBDD over header bits.
+//!
+//! The cube compiler ([`crate::compile`]) materializes a behavior cover as
+//! a *list* of disjoint ternary cubes; this module compiles the same
+//! symbolic execution into a single `mapro-dd` MTBDD mapping every point
+//! of the joint header space to an interned behavior id. The two engines
+//! share [`SymCore`] / `apply_actions` / `delivered`, so the action
+//! semantics cannot drift — only the predicate representation differs:
+//!
+//! * a table entry row becomes a conjunction of bit literals
+//!   ([`BitLayout::tern_lits`] + `Mgr::cube`);
+//! * priority resolution is `diff` against the union of earlier entries —
+//!   negation never fragments, unlike recursive cube splitting;
+//! * the atoms never exist as a list: each terminal region is folded into
+//!   the result with `ite(region, term(id), acc)`, and because the
+//!   regions tile the input space the placeholder label 0 vanishes from
+//!   the final diagram.
+//!
+//! Equivalence of two pipelines compiled in one [`DdEngine`] is root
+//! pointer equality; a disagreement witness is a `first_diff` path mapped
+//! back to field values by [`BitLayout::key_of_path`]. Both answers are
+//! exact — the only budget is the node limit ([`SymConfig::max_nodes`]),
+//! whose exhaustion surfaces as [`Unsupported::NodeBudget`], never as a
+//! silently incomplete verdict.
+//!
+//! The variable order is *field-declaration bit order*: space coordinates
+//! sorted by attribute id (exactly [`FieldSpace`] column order), MSB first
+//! within each field. Prefix-style rows then test their cared bits closest
+//! to the root, which keeps router-like tables shallow.
+
+use crate::compile::{
+    apply_actions, delivered, visit_limit, Behavior, FieldSpace, SymConfig, SymCore, Unsupported,
+};
+use crate::cube::Cube;
+use mapro_core::{AttrId, MissPolicy, Pipeline};
+use mapro_dd::{Mgr, NodeRef, Overflow};
+use std::collections::HashMap;
+
+impl From<Overflow> for Unsupported {
+    fn from(_: Overflow) -> Unsupported {
+        Unsupported::NodeBudget
+    }
+}
+
+/// The fixed bit-to-variable mapping of one comparison domain: column `k`
+/// of the [`FieldSpace`] occupies variables `offsets[k] .. offsets[k] +
+/// widths[k]`, most significant bit first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitLayout {
+    /// First variable of each column.
+    offsets: Vec<u32>,
+    /// Width (bits) of each column.
+    widths: Vec<u32>,
+    /// Total variable count.
+    total: u32,
+}
+
+impl BitLayout {
+    /// The layout of a field space: one bit run per coordinate, in
+    /// coordinate (attribute-id) order.
+    pub fn of(space: &FieldSpace) -> BitLayout {
+        BitLayout::from_widths(space.coords.iter().map(|&(_, w)| w))
+    }
+
+    /// A layout from raw column widths (used by the per-table liveness
+    /// analysis, where the columns are one table's match columns).
+    pub fn from_widths(widths: impl IntoIterator<Item = u32>) -> BitLayout {
+        let widths: Vec<u32> = widths.into_iter().collect();
+        let mut offsets = Vec::with_capacity(widths.len());
+        let mut total = 0u32;
+        for &w in &widths {
+            offsets.push(total);
+            total += w;
+        }
+        BitLayout {
+            offsets,
+            widths,
+            total,
+        }
+    }
+
+    /// Total number of BDD variables.
+    pub fn total_bits(&self) -> u32 {
+        self.total
+    }
+
+    /// Append the bit literals of a ternary `(bits, mask)` predicate on
+    /// column `col`, in ascending variable order (MSB of the field first).
+    pub fn tern_lits(&self, col: usize, bits: u64, mask: u64, out: &mut Vec<(u32, bool)>) {
+        let w = self.widths[col];
+        for i in 0..w {
+            let b = w - 1 - i; // bit position from the LSB
+            if mask >> b & 1 == 1 {
+                out.push((self.offsets[col] + i, bits >> b & 1 == 1));
+            }
+        }
+    }
+
+    /// Map a (partial) variable assignment back to one concrete value per
+    /// column; unassigned bits are zero, so representatives are the same
+    /// byte-stable "free bits pinned to 0" form the cube engine reports.
+    pub fn key_of_path(&self, path: &[(u32, bool)]) -> Vec<u64> {
+        let mut key = vec![0u64; self.widths.len()];
+        for &(v, val) in path {
+            if !val {
+                continue;
+            }
+            let col = match self.offsets.binary_search(&v) {
+                Ok(c) => c,
+                Err(c) => c - 1,
+            };
+            let b = self.widths[col] - 1 - (v - self.offsets[col]);
+            key[col] |= 1u64 << b;
+        }
+        key
+    }
+}
+
+/// Interns [`Behavior`]s as MTBDD terminal labels. Ids start at 1: label 0
+/// is the "no behavior assigned yet" placeholder the compiler folds over,
+/// guaranteed absent from a completed diagram because the leaf regions
+/// tile the universe.
+#[derive(Default)]
+struct BehaviorInterner {
+    ids: HashMap<Behavior, u32>,
+    behaviors: Vec<Behavior>,
+}
+
+impl BehaviorInterner {
+    fn intern(&mut self, b: Behavior) -> u32 {
+        if let Some(&id) = self.ids.get(&b) {
+            return id;
+        }
+        self.behaviors.push(b.clone());
+        let id = self.behaviors.len() as u32; // 1-based
+        self.ids.insert(b, id);
+        id
+    }
+}
+
+/// One DD comparison domain: the manager whose pointer equality decides
+/// equivalence, the shared behavior interner (same behavior → same
+/// terminal in every pipeline compiled here), and the bit layout.
+pub struct DdEngine {
+    /// The node arena. Public so callers can report `node_count` or run
+    /// `first_diff` on compiled roots.
+    pub mgr: Mgr,
+    /// The space-to-variable mapping of this domain.
+    pub layout: BitLayout,
+    interner: BehaviorInterner,
+}
+
+impl DdEngine {
+    /// A fresh engine over `space` with the node limit from `cfg`.
+    pub fn new(space: &FieldSpace, cfg: &SymConfig) -> DdEngine {
+        DdEngine {
+            mgr: Mgr::with_limit(cfg.max_nodes),
+            layout: BitLayout::of(space),
+            interner: BehaviorInterner::default(),
+        }
+    }
+
+    /// Compile `p` to its behavior MTBDD over this engine's space.
+    ///
+    /// Two pipelines compiled in the same engine are observationally
+    /// equivalent on the space iff their roots are the same [`NodeRef`].
+    ///
+    /// # Errors
+    /// The same [`Unsupported`] causes as the cube compiler (goto cycles,
+    /// unknown tables, malformed action cells, the shared atom budget as a
+    /// branch-count safety valve), plus [`Unsupported::NodeBudget`] when
+    /// the arena limit is hit.
+    pub fn compile(
+        &mut self,
+        p: &Pipeline,
+        space: &FieldSpace,
+        cfg: &SymConfig,
+    ) -> Result<NodeRef, Unsupported> {
+        let _t = mapro_obs::time!("dd.compile_ns");
+        let mut span =
+            mapro_obs::trace::span_kv("dd.compile", vec![("tables", p.tables.len().into())]);
+        let mut rows = Vec::with_capacity(p.tables.len());
+        for t in &p.tables {
+            let widths: Vec<u32> = t
+                .match_attrs
+                .iter()
+                .map(|&a| p.catalog.attr(a).width)
+                .collect();
+            rows.push(
+                t.entries
+                    .iter()
+                    .map(|e| Cube::of(&e.matches, &widths))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let mut c = DdCompiler {
+            p,
+            space,
+            index: p.name_index(),
+            rows,
+            limit: visit_limit(p),
+            max_atoms: cfg.max_atoms,
+            leaves: 0,
+            lits: Vec::new(),
+        };
+        let start = c
+            .index
+            .get(p.start.as_str())
+            .copied()
+            .ok_or_else(|| Unsupported::UnknownTable(p.start.clone()))?;
+        let mut root = NodeRef::term(0);
+        c.expand(
+            &mut self.mgr,
+            &self.layout,
+            &mut self.interner,
+            NodeRef::TRUE,
+            SymCore::initial(p),
+            start,
+            &mut root,
+        )?;
+        span.set("leaves", c.leaves);
+        span.set("nodes", self.mgr.len());
+        debug_assert!(
+            self.layout.total == 0 || root != NodeRef::term(0) || p.tables.is_empty(),
+            "leaf regions must tile the universe"
+        );
+        Ok(root)
+    }
+
+    /// The behavior interned under terminal label `id` (1-based).
+    ///
+    /// # Panics
+    /// Panics on the placeholder label 0 or an id this engine never
+    /// interned.
+    pub fn behavior(&self, id: u32) -> &Behavior {
+        &self.interner.behaviors[id as usize - 1]
+    }
+}
+
+/// The DD symbolic executor. Single-threaded depth-first — determinism is
+/// structural (the manager is `&mut` everywhere), and the expensive work
+/// (apply ops) is memoized rather than parallelized.
+struct DdCompiler<'a> {
+    p: &'a Pipeline,
+    space: &'a FieldSpace,
+    index: HashMap<&'a str, usize>,
+    /// Per table, per entry: the row's ternary form over the table's own
+    /// match columns (`None` = unsatisfiable symbolic cell).
+    rows: Vec<Vec<Option<Cube>>>,
+    limit: usize,
+    max_atoms: usize,
+    leaves: usize,
+    /// Scratch literal buffer for entry-predicate construction.
+    lits: Vec<(u32, bool)>,
+}
+
+impl<'a> DdCompiler<'a> {
+    fn resolve(&self, name: &str) -> Result<usize, Unsupported> {
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| Unsupported::UnknownTable(name.to_owned()))
+    }
+
+    /// The predicate "entry row `ec` matches" under the concrete values of
+    /// `core`, over the input-space bits. `None` when a concretely-valued
+    /// column disagrees with the row — the entry matches nothing in this
+    /// state.
+    fn entry_bdd(
+        &mut self,
+        mgr: &mut Mgr,
+        layout: &BitLayout,
+        core: &SymCore,
+        attrs: &[AttrId],
+        ec: &Cube,
+    ) -> Result<Option<NodeRef>, Overflow> {
+        self.lits.clear();
+        for (col, &attr) in attrs.iter().enumerate() {
+            let t = ec.0[col];
+            match core.vals[attr.index()] {
+                Some(v) => {
+                    if !t.matches(v) {
+                        return Ok(None);
+                    }
+                }
+                None => {
+                    let k = self
+                        .space
+                        .coord_of(attr)
+                        .expect("unwritten match attr is a space coordinate");
+                    let mut col_lits = Vec::new();
+                    layout.tern_lits(k, t.bits, t.mask, &mut col_lits);
+                    self.lits.extend(col_lits);
+                }
+            }
+        }
+        // Columns arrive in match-attr order, not variable order; sort and
+        // collapse duplicates (the same attribute matched twice), treating
+        // a contradictory duplicate as an unsatisfiable row.
+        self.lits.sort_unstable();
+        let mut i = 0;
+        while i + 1 < self.lits.len() {
+            if self.lits[i].0 == self.lits[i + 1].0 {
+                if self.lits[i].1 != self.lits[i + 1].1 {
+                    return Ok(None);
+                }
+                self.lits.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+        mgr.cube(&self.lits).map(Some)
+    }
+
+    /// Expand `state ∧ (reach table `ti` with `core`)` down to terminal
+    /// regions, folding each into `root`.
+    #[allow(clippy::too_many_arguments)]
+    fn expand(
+        &mut self,
+        mgr: &mut Mgr,
+        layout: &BitLayout,
+        interner: &mut BehaviorInterner,
+        state: NodeRef,
+        core: SymCore,
+        ti: usize,
+        root: &mut NodeRef,
+    ) -> Result<(), Unsupported> {
+        let t = &self.p.tables[ti];
+        // Priority resolution: entry `ei` wins on `state ∧ eᵢ ∖ (⋃ e₀..ᵢ₋₁)`.
+        let mut acc = NodeRef::FALSE;
+        let nrows = self.rows[ti].len();
+        for ei in 0..nrows {
+            let Some(ec) = self.rows[ti][ei].clone() else {
+                continue; // unsatisfiable symbolic cell: matches nothing
+            };
+            let Some(e) = self.entry_bdd(mgr, layout, &core, &t.match_attrs, &ec)? else {
+                continue; // concrete column mismatch: matches nothing here
+            };
+            let hit = mgr.and(state, e)?;
+            let region = mgr.diff(hit, acc)?;
+            acc = mgr.or(acc, e)?;
+            if region == NodeRef::FALSE {
+                continue;
+            }
+            let mut c2 = core.clone();
+            c2.steps += 1;
+            if c2.steps > self.limit {
+                return Err(Unsupported::GotoCycle { limit: self.limit });
+            }
+            let goto = apply_actions(self.p, ti, ei, &mut c2)?;
+            match goto {
+                Some(g) => {
+                    let t2 = self.resolve(g)?;
+                    self.expand(mgr, layout, interner, region, c2, t2, root)?;
+                }
+                None => match &t.next {
+                    Some(n) => {
+                        let t2 = self.resolve(n)?;
+                        self.expand(mgr, layout, interner, region, c2, t2, root)?;
+                    }
+                    None => {
+                        self.emit(mgr, interner, region, delivered(self.p, &c2), root)?;
+                    }
+                },
+            }
+        }
+
+        let miss = mgr.diff(state, acc)?;
+        if miss == NodeRef::FALSE {
+            return Ok(());
+        }
+        let mut c2 = core;
+        c2.steps += 1;
+        if c2.steps > self.limit {
+            return Err(Unsupported::GotoCycle { limit: self.limit });
+        }
+        match &t.miss {
+            MissPolicy::Drop => {
+                self.emit(mgr, interner, miss, Behavior::Dropped, root)?;
+            }
+            MissPolicy::Controller => {
+                let mut b = delivered(self.p, &c2);
+                if let Behavior::Delivered { to_controller, .. } = &mut b {
+                    *to_controller = true;
+                }
+                self.emit(mgr, interner, miss, b, root)?;
+            }
+            MissPolicy::Fall(n) => {
+                let t2 = self.resolve(n)?;
+                self.expand(mgr, layout, interner, miss, c2, t2, root)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold one terminal region into the result MTBDD.
+    fn emit(
+        &mut self,
+        mgr: &mut Mgr,
+        interner: &mut BehaviorInterner,
+        region: NodeRef,
+        behavior: Behavior,
+        root: &mut NodeRef,
+    ) -> Result<(), Unsupported> {
+        self.leaves += 1;
+        if self.leaves > self.max_atoms {
+            return Err(Unsupported::AtomBudget);
+        }
+        let id = interner.intern(behavior);
+        *root = mgr.ite(region, NodeRef::term(id), *root)?;
+        Ok(())
+    }
+}
+
+/// Exact per-table entry liveness over one table's own match columns —
+/// the DD replacement for the budgeted [`crate::cube::covered_by`] union
+/// check in the shadowed-/dead-entry lints.
+pub struct TableLiveness {
+    /// Per entry: `None` when the row is unsatisfiable (a symbolic match
+    /// cell — the existing "dead entry" case), `Some(true)` when the union
+    /// of earlier satisfiable rows covers the row entirely (shadowed),
+    /// `Some(false)` when some packet still reaches it.
+    pub covered: Vec<Option<bool>>,
+}
+
+impl TableLiveness {
+    /// Decide liveness of every row exactly: `eⱼ ∖ (⋃ e₀..ⱼ₋₁) = ∅` per
+    /// satisfiable row, by DD subtraction. No budget — the only failure
+    /// mode is the arena limit.
+    ///
+    /// # Errors
+    /// [`Overflow`] when `max_nodes` interior nodes are exceeded.
+    pub fn build(
+        widths: &[u32],
+        rows: &[Option<Cube>],
+        max_nodes: usize,
+    ) -> Result<TableLiveness, Overflow> {
+        let layout = BitLayout::from_widths(widths.iter().copied());
+        let mut mgr = Mgr::with_limit(max_nodes);
+        let mut lits = Vec::new();
+        let mut prefix = NodeRef::FALSE;
+        let mut covered = Vec::with_capacity(rows.len());
+        for row in rows {
+            let Some(c) = row else {
+                covered.push(None);
+                continue;
+            };
+            lits.clear();
+            for (col, t) in c.0.iter().enumerate() {
+                layout.tern_lits(col, t.bits, t.mask, &mut lits);
+            }
+            let e = mgr.cube(&lits)?;
+            let alive = mgr.diff(e, prefix)?;
+            covered.push(Some(alive == NodeRef::FALSE));
+            prefix = mgr.or(prefix, e)?;
+        }
+        Ok(TableLiveness { covered })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CoverBackend};
+    use crate::cube::Tern;
+    use mapro_core::{ActionSem, Catalog, Packet, Table, Value};
+
+    fn cfg() -> SymConfig {
+        SymConfig {
+            backend: CoverBackend::Dd,
+            ..SymConfig::default()
+        }
+    }
+
+    /// Enumerate the whole (small) space: the MTBDD must agree with the
+    /// cube cover and the concrete evaluator on every packet.
+    fn assert_dd_exact(p: &Pipeline) {
+        let space = FieldSpace::from_pipelines(&[p]);
+        let cfg = cfg();
+        let mut eng = DdEngine::new(&space, &cfg);
+        let root = eng.compile(p, &space, &cfg).unwrap();
+        let cover = compile(p, &space, &cfg).unwrap();
+        let widths: Vec<u32> = space.coords.iter().map(|&(_, w)| w).collect();
+        let total: u64 = widths.iter().map(|&w| 1u64 << w).product();
+        assert!(total <= 1 << 16, "test space too large");
+        let layout = BitLayout::of(&space);
+        for mut n in 0..total {
+            let mut key = Vec::new();
+            for &w in &widths {
+                key.push(n & ((1u64 << w) - 1));
+                n >>= w;
+            }
+            let id = eng.mgr.eval(root, |v| {
+                let col = match layout.offsets.binary_search(&v) {
+                    Ok(c) => c,
+                    Err(c) => c - 1,
+                };
+                let b = layout.widths[col] - 1 - (v - layout.offsets[col]);
+                key[col] >> b & 1 == 1
+            });
+            assert_ne!(id, 0, "placeholder terminal must not survive");
+            let ai = cover.atom_of(&key).expect("cover tiles the space");
+            assert_eq!(
+                eng.behavior(id),
+                &cover.atoms[ai].behavior,
+                "DD and cube backends disagree at {key:?}"
+            );
+            // And against the ground-truth evaluator.
+            let mut pkt = Packet::zero(&p.catalog);
+            for (k, &(attr, _)) in space.coords.iter().enumerate() {
+                pkt.set(attr, key[k]);
+            }
+            let v = p.run(&pkt).unwrap();
+            let expect = match v.observable() {
+                mapro_core::pipeline::Observable::Dropped => Behavior::Dropped,
+                mapro_core::pipeline::Observable::Delivered {
+                    output,
+                    to_controller,
+                    header_mods,
+                    opaque,
+                } => Behavior::Delivered {
+                    output: output.map(std::sync::Arc::from),
+                    to_controller,
+                    header_mods: header_mods.to_vec(),
+                    opaque: opaque.to_vec(),
+                },
+            };
+            assert_eq!(eng.behavior(id), &expect, "packet {key:?}");
+        }
+    }
+
+    #[test]
+    fn single_table_dd_matches_cube_and_evaluator() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let g = c.field("g", 4);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f, g], vec![out]);
+        t.row(vec![Value::Int(3), Value::Any], vec![Value::sym("a")]);
+        t.row(
+            vec![Value::prefix(0b1000, 1, 4), Value::Int(7)],
+            vec![Value::sym("b")],
+        );
+        t.row(
+            vec![
+                Value::Ternary {
+                    bits: 0b0101,
+                    mask: 0b0101,
+                },
+                Value::Any,
+            ],
+            vec![Value::sym("c")],
+        );
+        assert_dd_exact(&Pipeline::single(c, t));
+    }
+
+    #[test]
+    fn multi_table_goto_metadata_and_rewrite() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let g = c.field("g", 4);
+        let m = c.meta("m", 8);
+        let set_m = c.action("set_m", ActionSem::SetField(m));
+        let set_g = c.action("set_g", ActionSem::SetField(g));
+        let goto = c.action("goto", ActionSem::Goto);
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![set_m, set_g, goto]);
+        t0.row(
+            vec![Value::Int(1)],
+            vec![Value::Int(10), Value::Int(7), Value::sym("t1")],
+        );
+        t0.row(
+            vec![Value::Int(2)],
+            vec![Value::Int(20), Value::Any, Value::sym("t1")],
+        );
+        let mut t1 = Table::new("t1", vec![m, g], vec![out]);
+        t1.row(vec![Value::Int(10), Value::Int(7)], vec![Value::sym("p1")]);
+        t1.row(vec![Value::Int(20), Value::Any], vec![Value::sym("p2")]);
+        let p = Pipeline::new(c, vec![t0, t1], "t0");
+        assert_dd_exact(&p);
+    }
+
+    #[test]
+    fn miss_policies_covered() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let out = c.action("out", ActionSem::Output);
+        let mut t0 = Table::new("t0", vec![f], vec![out]);
+        t0.row(vec![Value::Int(1)], vec![Value::sym("a")]);
+        t0.miss = MissPolicy::Fall("t1".into());
+        let mut t1 = Table::new("t1", vec![f], vec![out]);
+        t1.row(vec![Value::Int(2)], vec![Value::sym("b")]);
+        t1.miss = MissPolicy::Controller;
+        let p = Pipeline::new(c, vec![t0, t1], "t0");
+        assert_dd_exact(&p);
+    }
+
+    #[test]
+    fn goto_cycle_is_unsupported() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 4);
+        let goto = c.action("goto", ActionSem::Goto);
+        let mut t0 = Table::new("t0", vec![f], vec![goto]);
+        t0.row(vec![Value::Any], vec![Value::sym("t0")]);
+        let p = Pipeline::single(c, t0);
+        let space = FieldSpace::from_pipelines(&[&p]);
+        let cfg = cfg();
+        let mut eng = DdEngine::new(&space, &cfg);
+        assert!(matches!(
+            eng.compile(&p, &space, &cfg),
+            Err(Unsupported::GotoCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn node_budget_overflow_maps_to_unsupported() {
+        let mut c = Catalog::new();
+        let f = c.field("f", 32);
+        let g = c.field("g", 32);
+        let out = c.action("out", ActionSem::Output);
+        let mut t = Table::new("t", vec![f, g], vec![out]);
+        // Entangled rows so the diagram needs more than 8 nodes.
+        for i in 0..4u64 {
+            t.row(
+                vec![
+                    Value::Ternary {
+                        bits: i * 0x0101_0101,
+                        mask: 0x0f0f_0f0f,
+                    },
+                    Value::Ternary {
+                        bits: (i * 0x1010_1010) & 0xf0f0_f0f0,
+                        mask: 0xf0f0_f0f0,
+                    },
+                ],
+                vec![Value::sym("x")],
+            );
+        }
+        let p = Pipeline::single(c, t);
+        let space = FieldSpace::from_pipelines(&[&p]);
+        let cfg = SymConfig {
+            backend: CoverBackend::Dd,
+            max_nodes: 8,
+            ..SymConfig::default()
+        };
+        let mut eng = DdEngine::new(&space, &cfg);
+        assert_eq!(eng.compile(&p, &space, &cfg), Err(Unsupported::NodeBudget));
+    }
+
+    #[test]
+    fn key_of_path_round_trips_msb_first() {
+        let layout = BitLayout::from_widths([4, 8]);
+        assert_eq!(layout.total_bits(), 12);
+        // Variable 0 is the MSB of column 0; variable 4 the MSB of col 1.
+        assert_eq!(layout.key_of_path(&[(0, true)]), vec![0b1000, 0]);
+        assert_eq!(layout.key_of_path(&[(3, true)]), vec![0b0001, 0]);
+        assert_eq!(layout.key_of_path(&[(4, true), (11, true)]), vec![0, 0x81]);
+        assert_eq!(layout.key_of_path(&[(1, false)]), vec![0, 0]);
+    }
+
+    #[test]
+    fn table_liveness_is_exact_without_budget() {
+        // 0*** ∪ 1*** covers ****: entry 2 is shadowed by the union even
+        // though neither cover row subsumes it alone — the case the
+        // budgeted cube walk decides only within budget.
+        let widths = [4u32];
+        let rows = vec![
+            Some(Cube(vec![Tern {
+                bits: 0,
+                mask: 0b1000,
+            }])),
+            Some(Cube(vec![Tern {
+                bits: 0b1000,
+                mask: 0b1000,
+            }])),
+            Some(Cube(vec![Tern { bits: 0, mask: 0 }])),
+            None,
+            Some(Cube(vec![Tern {
+                bits: 0b0100,
+                mask: 0b1100,
+            }])),
+        ];
+        let lv = TableLiveness::build(&widths, &rows, 1 << 20).unwrap();
+        assert_eq!(
+            lv.covered,
+            vec![Some(false), Some(false), Some(true), None, Some(true)]
+        );
+    }
+}

@@ -31,13 +31,15 @@
 pub mod check;
 pub mod compile;
 pub mod cube;
+pub mod ddcover;
 
 pub use check::{
     assert_equivalent, check_equivalent, check_equivalent_explain, check_equivalent_with,
     check_symbolic, FallbackInfo,
 };
 pub use compile::{
-    compile, invalidation_cube, written_attrs, Atom, Behavior, BehaviorCover, FieldSpace,
-    SymConfig, Unsupported,
+    compile, invalidation_cube, written_attrs, Atom, Behavior, BehaviorCover, CoverBackend,
+    FieldSpace, SymConfig, Unsupported,
 };
 pub use cube::{Cube, Tern};
+pub use ddcover::{BitLayout, DdEngine, TableLiveness};

@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: diff fresh E14/E15/E17/E19/E20 runs against the
-committed BENCH_*.json references.
+"""Perf-regression gate: diff fresh E14/E15/E17/E19/E20/E21 runs against
+the committed BENCH_*.json references.
 
 usage: bench_diff.py FRESH_DIR [--repo DIR] [--timing-tolerance X]
 
 FRESH_DIR must contain faults.json, parscale.json, symscale.json,
-chaos.json and mpps.json as written by scripts/reproduce.sh (or the CI
-job). They are compared against BENCH_faults.json, BENCH_parallel.json,
-BENCH_symbolic.json, BENCH_chaos.json and BENCH_mpps.json in the repo
-root:
+ddscale.json, chaos.json and mpps.json as written by scripts/reproduce.sh
+(or the CI job). They are compared against BENCH_faults.json,
+BENCH_parallel.json, BENCH_symbolic.json, BENCH_dd.json, BENCH_chaos.json
+and BENCH_mpps.json in the repo root:
 
   * run metadata (`meta`) must be compatible — same schema, experiment
     and seed. A mismatch means the two runs measured different things;
@@ -19,8 +19,8 @@ root:
     and E19 chaos-sweep field (both run on a virtual clock), and E15/E17
     digests, verdicts, methods and size columns. Any difference is a
     functional regression (exit 1).
-  * timing columns (E15 wall_ms, E17 sym_ms/enum_ms, E20 wall_mpps)
-    must agree within
+  * timing columns (E15 wall_ms, E17 sym_ms/enum_ms, E20 wall_mpps,
+    E21 cube_ms/dd_ms) must agree within
     --timing-tolerance (default 5.0): fresh <= committed * X and
     fresh >= committed / X. The default is deliberately loose — CI
     machines differ from the machine that produced the reference — but
@@ -223,6 +223,60 @@ def main():
         timings=["sym_ms", "enum_ms"],
         tol=tol,
     )
+
+    # E21: cube covers vs decision diagrams. Structural columns (joint
+    # bits, node counts, atom counts, verdicts, cube budget status) are
+    # deterministic => exact; both engines' wall clocks sit in the timing
+    # envelope. On top of the diff, the fresh run must itself uphold the
+    # headline claims: wide16 (a ≥2^64 product) is either past a cube
+    # budget or ≥10× slower on cubes than on the diagram, and the lint
+    # sweep reports zero DD unknowns on every workload.
+    fresh = load(os.path.join(args.fresh_dir, "ddscale.json"))
+    committed = load(os.path.join(repo, "BENCH_dd.json"))
+    check_meta("ddscale", meta_of(fresh, "ddscale.json"), meta_of(committed, "BENCH_dd.json"))
+    check_rows(
+        "ddscale",
+        fresh["rows"],
+        committed["rows"],
+        lambda r: r["workload"],
+        exact=[
+            "digest",
+            "verdict",
+            "cube_status",
+            "cube_atoms_left",
+            "cube_atoms_right",
+            "dd_nodes",
+            "joint_bits",
+            "product_log2",
+        ],
+        timings=["cube_ms", "dd_ms"],
+        tol=tol,
+    )
+    check_rows(
+        "ddscale lint",
+        fresh["lint"],
+        committed["lint"],
+        lambda r: r["workload"],
+        exact=["digest", "cube_unknown", "cube_dead", "dd_unknown", "dd_dead"],
+        timings=[],
+        tol=tol,
+    )
+    wide16 = next((r for r in fresh["rows"] if r["workload"] == "wide16"), None)
+    if wide16 is None:
+        fail("ddscale: wide16 row missing from the fresh run")
+    else:
+        if wide16["product_log2"] < 64.0:
+            fail(f"ddscale wide16: product 2^{wide16['product_log2']:.1f} < 2^64")
+        cube_ok = wide16["cube_status"] == "ok"
+        cube_ms = wide16.get("cube_ms")
+        if cube_ok and (cube_ms is None or cube_ms < 10.0 * wide16["dd_ms"]):
+            fail(
+                f"ddscale wide16: cube engine neither exhausted a budget nor "
+                f"was 10x slower (cube {cube_ms!r} ms vs dd {wide16['dd_ms']:.3f} ms)"
+            )
+    for r in fresh["lint"]:
+        if r.get("dd_unknown", 0) != 0:
+            fail(f"ddscale lint {r['workload']}: {r['dd_unknown']} DD unknown finding(s)")
 
     # E20: Mpps-scale replay. Verdict digests, drop counts, distinct-flow
     # counts and megaflow hit rates are seed-determined and machine

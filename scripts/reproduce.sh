@@ -48,6 +48,15 @@ echo "== symbolic equivalence engine (E17) =="
 cargo run --release -p mapro-bench --bin repro -- --experiment symscale --json \
     | sed '1,/############/d' > "$OUT/symscale.json"
 
+echo "== decision-diagram backend (E21) =="
+# Cube covers vs hash-consed decision diagrams across the width boundary,
+# plus the per-backend lint sweep. Timings are machine-dependent; the
+# digest columns (joint bits, node counts, atom counts, verdicts, unknown
+# counts) are deterministic at any thread count — CI diffs them across
+# MAPRO_THREADS settings.
+cargo run --release -p mapro-bench --bin repro -- --experiment ddscale --json \
+    | sed '1,/############/d' > "$OUT/ddscale.json"
+
 echo "== Mpps-scale replay engines (E20) =="
 # Interpreter vs compiled tier vs megaflow cache over Zipf traces with up
 # to a million-flow population. Wall-clock Mpps is machine-dependent; the
@@ -68,6 +77,7 @@ cp "$OUT/faults.json" BENCH_faults.json
 cp "$OUT/chaos.json" BENCH_chaos.json
 cp "$OUT/parscale.json" BENCH_parallel.json
 cp "$OUT/symscale.json" BENCH_symbolic.json
+cp "$OUT/ddscale.json" BENCH_dd.json
 cp "$OUT/mpps.json" BENCH_mpps.json
 
 echo "== benches =="
