@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|ddscale|phases|mpps]
+//! repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|ddscale|churnverify|phases|mpps]
 //!       [--packets N] [--services N] [--backends M] [--seed S] [--threads N]
 //!       [--json] [--metrics [out.json]] [--trace out.json]
 //! ```
@@ -18,7 +18,7 @@
 
 use mapro_bench::*;
 
-const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|ddscale|phases|mpps] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
+const USAGE: &str = "repro [--experiment all|fig1|fig2|fig3|fig4|fig5|table1|size|control|monitor|theorem1|templates|cache|scaling|joins|fig4queue|faults|chaos|parscale|lint|symscale|ddscale|churnverify|phases|mpps] [--packets N] [--services N] [--backends M] [--seed S] [--threads N] [--json] [--metrics [out.json]] [--trace out.json]";
 
 /// Where `--metrics` sends the registry snapshot.
 enum MetricsSink {
@@ -112,6 +112,7 @@ const EXPERIMENTS: &[&str] = &[
     "lint",
     "symscale",
     "ddscale",
+    "churnverify",
     "phases",
     "mpps",
 ];
@@ -156,7 +157,7 @@ fn main() {
         // benchmarks, not paper artifacts, so `all` skips them.
         (all && !matches!(
             name,
-            "parscale" | "symscale" | "ddscale" | "phases" | "mpps"
+            "parscale" | "symscale" | "ddscale" | "churnverify" | "phases" | "mpps"
         )) || args.experiment == name
     };
 
@@ -610,6 +611,48 @@ fn main() {
                 println!(
                     "{:<10} {:>12} {:>9} {:>10} {:>7}  {}",
                     r.workload, r.cube_unknown, r.cube_dead, r.dd_unknown, r.dd_dead, r.digest
+                );
+            }
+        }
+    }
+    if want("churnverify") {
+        println!(
+            "\n############ E22 — incremental re-verification under churn (extension) ############"
+        );
+        let rep = churnverify(&args.cfg);
+        if args.json {
+            println!("{}", serde_json::to_string_pretty(&rep).unwrap());
+        } else {
+            println!("host cores: {}", rep.host_cores);
+            println!(
+                "{:<14} {:<5} {:>7} {:>8} {:>6} {:>10} {:>12} {:>11} {:>9} {:>7} {:>6}  digest",
+                "workload",
+                "bknd",
+                "rate/s",
+                "entries",
+                "mods",
+                "full[ms]",
+                "incr[us]",
+                "max[us]",
+                "speedup",
+                "atoms",
+                "delta"
+            );
+            for r in &rep.rows {
+                println!(
+                    "{:<14} {:<5} {:>7.0} {:>8} {:>6} {:>10.3} {:>12.2} {:>11.2} {:>8.0}x {:>7} {:>6}  {}",
+                    r.workload,
+                    r.backend,
+                    r.rate_per_sec,
+                    r.entries,
+                    r.mods,
+                    r.full_ms,
+                    r.incr_mean_us,
+                    r.incr_max_us,
+                    r.speedup,
+                    r.atoms_rechecked,
+                    r.delta_mods,
+                    r.digest
                 );
             }
         }

@@ -196,6 +196,47 @@ fn replay_cached_pre_registers_megaflow_and_compile_metrics() {
 }
 
 #[test]
+fn incremental_session_pre_registers_sym_incr_metrics() {
+    use mapro_sym::{CoverBackend, IncrementalChecker, SymConfig};
+
+    // Opening a session must register the sym.incr.* family — a scrape
+    // between construction and the first update already sees all four at
+    // zero, so dashboards never miss the series.
+    let p = mapro_workloads::Gwlb::fig1().universal;
+    let cfg = SymConfig {
+        backend: CoverBackend::Cube,
+        ..SymConfig::default()
+    };
+    let _s = IncrementalChecker::new(&p, &p, &cfg).expect("session opens");
+
+    if cfg!(feature = "obs") {
+        let snap = mapro_obs::registry().snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        for m in [
+            "sym.incr.checks",
+            "sym.incr.atoms_rechecked",
+            "sym.incr.fallbacks",
+            "sym.incr.proof_ns",
+        ] {
+            assert!(names.contains(&m), "missing {m}; got {names:?}");
+        }
+        for e in &snap.entries {
+            match (e.name.as_str(), &e.value) {
+                ("sym.incr.proof_ns", mapro_obs::MetricValue::Histogram(_)) => {}
+                ("sym.incr.proof_ns", other) => {
+                    panic!("sym.incr.proof_ns must be a histogram, got {other:?}")
+                }
+                (n, mapro_obs::MetricValue::Counter(_)) if n.starts_with("sym.incr.") => {}
+                (n, other) if n.starts_with("sym.incr.") => {
+                    panic!("{n} must be a counter, got {other:?}")
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
 fn repro_rejects_unknown_arguments() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .arg("--definitely-not-a-flag")

@@ -36,7 +36,7 @@ use crate::channel::{
 };
 use crate::updates::{self, ApplyError, RuleUpdate, UpdatePlan};
 use crate::wal::{SharedWal, Wal, WalRecord};
-use mapro_core::{EquivConfig, EquivOutcome, Pipeline};
+use mapro_core::{EquivConfig, EquivOutcome, Pipeline, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -68,6 +68,11 @@ pub struct DriverConfig {
     /// How long an open breaker skips per-txn delivery before probing
     /// again (ns, virtual).
     pub breaker_cooldown_ns: u64,
+    /// Verify every committed intent inline: keep an incremental
+    /// equivalence session (committed shadow vs. intended) and append a
+    /// [`WalRecord::Proof`] receipt next to each `Commit`. Off by
+    /// default — the E22 experiment and chaos harness turn it on.
+    pub verify_inline: bool,
 }
 
 impl Default for DriverConfig {
@@ -82,6 +87,7 @@ impl Default for DriverConfig {
             window: 16,
             breaker_threshold: 4,
             breaker_cooldown_ns: 50_000_000,
+            verify_inline: false,
         }
     }
 }
@@ -298,6 +304,8 @@ pub struct DriverStats {
     pub shed: u64,
     /// Times the circuit breaker opened.
     pub breaker_opens: u64,
+    /// Inline equivalence proofs recorded (`verify_inline`).
+    pub proofs: u64,
 }
 
 /// Outcome of one converged reconcile pass.
@@ -396,6 +404,12 @@ pub struct Controller {
     in_doubt_at_recovery: usize,
     wal_records_at_recovery: usize,
     stats: DriverStats,
+    /// The inline incremental equivalence session
+    /// (`DriverConfig::verify_inline`): left = committed shadow, right =
+    /// intended. `None` when verification is off or the session could not
+    /// be built for this pipeline (degrade, don't wedge the datapath).
+    verifier: Option<mapro_sym::IncrementalChecker>,
+    last_proof: Option<mapro_sym::ProofToken>,
 }
 
 impl Controller {
@@ -410,7 +424,7 @@ impl Controller {
         // Declare up front so `--metrics` shows the shed counter even
         // for a run that never overloads.
         mapro_obs::counter!("control.shed");
-        Controller {
+        let mut ctl = Controller {
             intended,
             cfg,
             epoch,
@@ -424,7 +438,11 @@ impl Controller {
             in_doubt_at_recovery: 0,
             wal_records_at_recovery: 0,
             stats: DriverStats::default(),
-        }
+            verifier: None,
+            last_proof: None,
+        };
+        ctl.resync_verifier();
+        ctl
     }
 
     /// A successor generation: replay `wal` to the predecessor's intended
@@ -476,6 +494,59 @@ impl Controller {
     /// Per-run accounting.
     pub fn stats(&self) -> &DriverStats {
         &self.stats
+    }
+
+    /// The most recent inline equivalence receipt
+    /// ([`DriverConfig::verify_inline`]); `None` before the first
+    /// committed intent or when verification is off.
+    pub fn last_proof(&self) -> Option<&mapro_sym::ProofToken> {
+        self.last_proof.as_ref()
+    }
+
+    /// (Re)build the inline verifier from the current intended state:
+    /// both sides start at `intended`, so the session opens Equivalent
+    /// and the committed shadow re-anchors to reality. Called at
+    /// construction, after recovery, and whenever a converged reconcile
+    /// proves the switch holds the intended pipeline.
+    fn resync_verifier(&mut self) {
+        if !self.cfg.verify_inline {
+            return;
+        }
+        self.verifier = mapro_sym::IncrementalChecker::new(
+            &self.intended,
+            &self.intended,
+            &mapro_sym::SymConfig::default(),
+        )
+        .ok();
+    }
+
+    /// Advance the verifier's committed shadow past a just-committed plan
+    /// and log the resulting proof receipt. Any verifier-side failure
+    /// degrades to "no proof this txn" — verification must never turn a
+    /// successful commit into a datapath error.
+    fn record_proof(&mut self, txn: TxnId, plan: &UpdatePlan, rows: &[(String, Vec<Value>)]) {
+        let Some(v) = self.verifier.as_mut() else {
+            return;
+        };
+        let mut shadow = v.left().clone();
+        if updates::apply_plan_silent(&mut shadow, plan).is_err() {
+            // The shadow lost sync (e.g. repairs landed outside the plan
+            // flow); drop the session and let the next converged
+            // reconcile re-anchor it.
+            self.verifier = None;
+            return;
+        }
+        match v.update(mapro_sym::Side::Left, &shadow, rows, self.epoch, txn) {
+            Ok(token) => {
+                self.stats.proofs += 1;
+                self.wal.borrow_mut().append(WalRecord::Proof {
+                    txn,
+                    token: token.clone(),
+                });
+                self.last_proof = Some(token);
+            }
+            Err(_) => self.verifier = None,
+        }
     }
 
     fn fresh_txn(&mut self) -> TxnId {
@@ -665,6 +736,13 @@ impl Controller {
         }
         let mut next = self.intended.clone();
         updates::apply_plan(&mut next, plan).map_err(DriverError::PlanInvalid)?;
+        // The update's footprint rows, computed once against the
+        // pre-adoption schema: the verifier's dirty region and (in the
+        // switch) megaflow invalidation both key off these.
+        let delta = self
+            .verifier
+            .is_some()
+            .then(|| updates::plan_delta_rows(&self.intended, plan));
         // Intent admitted: log it before anything reaches the wire, then
         // adopt it. From here on the plan survives this controller.
         let txn_base = self.next_txn;
@@ -674,6 +752,22 @@ impl Controller {
             plan: plan.clone(),
         });
         self.intended = next;
+        if let (Some(v), Some(rows)) = (self.verifier.as_mut(), delta.as_deref()) {
+            // Advance the session's intended side now; the committed
+            // shadow catches up in `record_proof` once delivery is
+            // acknowledged. A verifier error degrades, never blocks.
+            if v.update(
+                mapro_sym::Side::Right,
+                &self.intended,
+                rows,
+                self.epoch,
+                txn_base,
+            )
+            .is_err()
+            {
+                self.verifier = None;
+            }
+        }
         self.deferred += 1;
         self.check_crash(CrashPoint::Begin)?;
         if self.breaker_open(ch.now_ns()) {
@@ -695,6 +789,9 @@ impl Controller {
                     .borrow_mut()
                     .append(WalRecord::Commit { txn: txn_base });
                 self.deferred = self.deferred.saturating_sub(1);
+                if let Some(rows) = delta.as_deref() {
+                    self.record_proof(txn_base, plan, rows);
+                }
                 Ok(())
             }
             // The controller is dead; nothing more to account.
@@ -801,6 +898,10 @@ impl Controller {
                 let dt = ch.now_ns().saturating_sub(start);
                 self.stats.reconciles += 1;
                 self.deferred = 0;
+                // The switch provably holds the intended state: re-anchor
+                // the verifier's committed shadow to it (repairs bypass
+                // the per-plan proof path, so the shadow may be behind).
+                self.resync_verifier();
                 mapro_obs::histogram!("control.driver.convergence_ns").record(dt);
                 return Ok(ReconcileOutcome::Converged(ReconcileReport {
                     rounds: round,
@@ -1421,6 +1522,65 @@ mod tests {
         assert_eq!(ctl.stats().sent, sent_before);
         assert_eq!(ctl.wal().borrow().len(), 3, "all three Begins logged");
         assert_eq!(ctl.deferred(), 3);
+    }
+
+    #[test]
+    fn verify_inline_logs_a_proof_per_committed_intent() {
+        let (p, f, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
+        let cfg = DriverConfig {
+            verify_inline: true,
+            ..Default::default()
+        };
+        let mut ctl = Controller::new(p, cfg);
+        ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)).unwrap();
+        ctl.apply_plan(&mut ch, &move_plan(f, 7, 9)).unwrap();
+        assert_eq!(ctl.stats().proofs, 2);
+        let token = ctl.last_proof().expect("a proof per commit");
+        assert!(token.verdict.is_equivalent());
+        assert_eq!(token.epoch, 0);
+        // Each intent logs Begin + Commit + Proof, and replay surfaces
+        // the receipts without letting them touch state.
+        let wal = ctl.wal();
+        assert_eq!(wal.borrow().len(), 6);
+        let rep = wal.borrow().replay();
+        assert_eq!(rep.proofs, 2);
+        assert!(rep.in_doubt.is_empty());
+        assert_eq!(rep.intended, *ctl.intended());
+    }
+
+    #[test]
+    fn verify_inline_skips_proof_for_undelivered_intent() {
+        let (p, f, _) = pipeline();
+        let plan = FaultPlan {
+            p_drop: 1.0,
+            ..FaultPlan::lossless(4)
+        };
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), plan);
+        let cfg = DriverConfig {
+            verify_inline: true,
+            max_retries: 1,
+            ..Default::default()
+        };
+        let mut ctl = Controller::new(p, cfg);
+        assert!(ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)).is_err());
+        // Undelivered: the intent is adopted and in doubt, but nothing
+        // was proven — no Proof record, no token.
+        assert_eq!(ctl.stats().proofs, 0);
+        assert!(ctl.last_proof().is_none());
+        assert_eq!(ctl.wal().borrow().len(), 1, "Begin only");
+        assert_eq!(ctl.wal().borrow().replay().proofs, 0);
+    }
+
+    #[test]
+    fn verify_inline_off_leaves_wal_shape_unchanged() {
+        let (p, f, _) = pipeline();
+        let mut ch = FaultyChannel::new(MiniSwitch::new(p.clone()), FaultPlan::lossless(1));
+        let mut ctl = Controller::new(p, DriverConfig::default());
+        ctl.apply_plan(&mut ch, &move_plan(f, 1, 7)).unwrap();
+        assert_eq!(ctl.stats().proofs, 0);
+        assert!(ctl.last_proof().is_none());
+        assert_eq!(ctl.wal().borrow().len(), 2, "Begin + Commit, no Proof");
     }
 
     #[test]

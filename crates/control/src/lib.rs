@@ -55,5 +55,8 @@ pub use driver::{
 };
 pub use election::{Election, Lease, LeaseConfig, NodeId};
 pub use monitor::{rules_where, CounterSet};
-pub use updates::{apply_plan, apply_prefix, apply_update, ApplyError, RuleUpdate, UpdatePlan};
+pub use updates::{
+    apply_plan, apply_plan_silent, apply_prefix, apply_update, apply_update_silent, delta_rows,
+    plan_delta_rows, ApplyError, RuleUpdate, UpdatePlan,
+};
 pub use wal::{Replay, SharedWal, Wal, WalRecord};

@@ -93,6 +93,13 @@ pub fn apply_update(p: &mut Pipeline, u: &RuleUpdate) -> Result<(), ApplyError> 
         RuleUpdate::Insert { .. } => mapro_obs::counter!("control.updates.installs").inc(),
         RuleUpdate::Delete { .. } => mapro_obs::counter!("control.updates.deletes").inc(),
     }
+    apply_update_silent(p, u)
+}
+
+/// [`apply_update`] without the `control.updates.*` counters — for shadow
+/// replays (the inline verifier's committed-state mirror) that must not
+/// double-count the datapath's own update traffic.
+pub fn apply_update_silent(p: &mut Pipeline, u: &RuleUpdate) -> Result<(), ApplyError> {
     let table = p
         .table_mut(u.table())
         .ok_or_else(|| ApplyError::TableNotFound(u.table().to_owned()))?;
@@ -171,6 +178,57 @@ pub fn apply_plan(p: &mut Pipeline, plan: &UpdatePlan) -> Result<(), ApplyError>
         apply_update(p, u)?;
     }
     Ok(())
+}
+
+/// [`apply_plan`] without counters (see [`apply_update_silent`]).
+pub fn apply_plan_silent(p: &mut Pipeline, plan: &UpdatePlan) -> Result<(), ApplyError> {
+    for u in &plan.updates {
+        apply_update_silent(p, u)?;
+    }
+    Ok(())
+}
+
+/// The `(table, match row)` pairs one update touches — the key the
+/// symbolic invalidation cube is computed from, shared by megaflow cache
+/// invalidation and incremental re-verification.
+///
+/// Only `p`'s table *schema* is consulted (a `Modify` whose `set` rewrites
+/// match cells contributes both the old and the new row), so the rows are
+/// valid against any pipeline with the same tables — in particular both
+/// the pre- and post-update state, since entry edits never change a
+/// schema. Unknown tables still yield the row (consumers treat an
+/// unknown-table row as "footprint unbounded").
+pub fn delta_rows(p: &Pipeline, u: &RuleUpdate) -> Vec<(String, Vec<Value>)> {
+    match u {
+        RuleUpdate::Insert { table, entry } => vec![(table.clone(), entry.matches.clone())],
+        RuleUpdate::Delete { table, matches } => vec![(table.clone(), matches.clone())],
+        RuleUpdate::Modify {
+            table,
+            matches,
+            set,
+        } => {
+            let mut rows = vec![(table.clone(), matches.clone())];
+            if let Some(t) = p.table(table) {
+                let mut moved = matches.clone();
+                for (attr, v) in set {
+                    if let Some((col, true)) = t.column_of(*attr) {
+                        if col < moved.len() {
+                            moved[col] = v.clone();
+                        }
+                    }
+                }
+                if moved != *matches {
+                    rows.push((table.clone(), moved));
+                }
+            }
+            rows
+        }
+    }
+}
+
+/// [`delta_rows`] over a whole plan, in application order.
+pub fn plan_delta_rows(p: &Pipeline, plan: &UpdatePlan) -> Vec<(String, Vec<Value>)> {
+    plan.updates.iter().flat_map(|u| delta_rows(p, u)).collect()
 }
 
 /// Apply only the first `k` updates — the state a non-atomic switch

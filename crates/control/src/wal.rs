@@ -44,6 +44,18 @@ pub enum WalRecord {
         /// The `Begin` this confirms.
         txn: TxnId,
     },
+    /// The inline verifier re-checked equivalence after the commit and
+    /// this is its receipt (`DriverConfig::verify_inline`). Purely
+    /// evidentiary: replay counts proof records but never lets them
+    /// mutate state, so a log written by a verifying controller replays
+    /// to the same pipeline as one written without.
+    Proof {
+        /// The committed transaction the proof covers.
+        txn: TxnId,
+        /// The incremental checker's receipt (epoch-fenced, deterministic
+        /// digest).
+        token: mapro_sym::ProofToken,
+    },
 }
 
 /// What a successor learns from replaying the log.
@@ -61,6 +73,9 @@ pub struct Replay {
     pub in_doubt: Vec<TxnId>,
     /// Records replayed.
     pub records: usize,
+    /// Equivalence-proof receipts seen ([`WalRecord::Proof`]); evidence
+    /// only, never state.
+    pub proofs: usize,
 }
 
 /// The append-only intent log. Clone-free shared access goes through
@@ -101,6 +116,7 @@ impl Wal {
             let (kind, txn) = match &rec {
                 WalRecord::Begin { txn, .. } => ("begin", *txn),
                 WalRecord::Commit { txn } => ("commit", *txn),
+                WalRecord::Proof { txn, .. } => ("proof", *txn),
             };
             mapro_obs::trace::instant_kv("wal", vec![("kind", kind.into()), ("txn", txn.into())]);
         }
@@ -132,6 +148,7 @@ impl Wal {
         let mut in_doubt: Vec<TxnId> = Vec::new();
         let mut next_txn: TxnId = 1;
         let mut max_epoch: Epoch = 0;
+        let mut proofs = 0usize;
         for rec in &self.records {
             match rec {
                 WalRecord::Begin { txn, epoch, plan } => {
@@ -150,6 +167,9 @@ impl Wal {
                 WalRecord::Commit { txn } => {
                     in_doubt.retain(|t| t != txn);
                 }
+                WalRecord::Proof { .. } => {
+                    proofs += 1;
+                }
             }
         }
         Replay {
@@ -158,6 +178,7 @@ impl Wal {
             max_epoch,
             in_doubt,
             records: self.records.len(),
+            proofs,
         }
     }
 }

@@ -201,72 +201,51 @@ impl CachedEngine {
     }
 
     /// Apply a control-plane flow-mod: invalidate precisely the cached
-    /// megaflows whose cubes intersect the update's invalidation cube,
-    /// then recompile the inner engine and the cover.
+    /// megaflows whose cubes intersect the update's dirty region, then
+    /// recompile the inner engine and incrementally refresh the cover.
+    ///
+    /// The dirty region is *one* cube computation
+    /// ([`mapro_control::delta_rows`] → [`mapro_sym::dirty_region`],
+    /// against the pre-update pipeline — for Modify, old and new match
+    /// rows both contribute when `set` rewrites match cells), shared by
+    /// cache invalidation and the incremental cover refresh — the same
+    /// cubes the inline verifier rechecks, so churn costs one region
+    /// analysis, not three.
     pub fn apply_update(
         &mut self,
         update: &mapro_control::RuleUpdate,
     ) -> Result<(), CacheUpdateError> {
-        // Invalidation cubes are computed against the pre-update pipeline
-        // (for Modify, old and new match rows can differ when `set`
-        // rewrites match cells; both regions are affected).
-        let mut dirty: Vec<Cube> = Vec::new();
-        let push = |c: Option<Cube>, dirty: &mut Vec<Cube>| {
-            if let Some(c) = c {
-                dirty.push(c);
-            }
-        };
-        match update {
-            mapro_control::RuleUpdate::Insert { table, entry } => push(
-                mapro_sym::invalidation_cube(&self.pipeline, &self.space, table, &entry.matches),
-                &mut dirty,
-            ),
-            mapro_control::RuleUpdate::Delete { table, matches } => push(
-                mapro_sym::invalidation_cube(&self.pipeline, &self.space, table, matches),
-                &mut dirty,
-            ),
-            mapro_control::RuleUpdate::Modify {
-                table,
-                matches,
-                set,
-            } => {
-                push(
-                    mapro_sym::invalidation_cube(&self.pipeline, &self.space, table, matches),
-                    &mut dirty,
-                );
-                // A Modify that rewrites match cells moves the entry: the
-                // new region changes behavior too.
-                if let Some(t) = self.pipeline.tables.iter().find(|t| &t.name == table) {
-                    if set.iter().any(|(a, _)| t.match_attrs.contains(a)) {
-                        let mut new_matches = matches.clone();
-                        for (a, v) in set {
-                            if let Some(col) = t.match_attrs.iter().position(|x| x == a) {
-                                new_matches[col] = v.clone();
-                            }
-                        }
-                        push(
-                            mapro_sym::invalidation_cube(
-                                &self.pipeline,
-                                &self.space,
-                                table,
-                                &new_matches,
-                            ),
-                            &mut dirty,
-                        );
-                    }
-                }
-            }
-        }
+        let rows = mapro_control::delta_rows(&self.pipeline, update);
+        let dirty = self
+            .cover
+            .is_some()
+            .then(|| mapro_sym::dirty_region(&self.pipeline, &self.space, &rows))
+            .flatten();
 
         mapro_control::apply_update(&mut self.pipeline, update)?;
         self.inner =
             CompiledEngine::compile(&self.pipeline, self.policy, self.inner.params().clone())?;
         // The space is stable under entry edits (match columns are fixed
         // per table), so cached cubes and new-cover cubes stay comparable.
-        self.cover = mapro_sym::compile(&self.pipeline, &self.space, &cache_sym_config()).ok();
+        // Touched atoms are re-tiled in place where possible; a refresh
+        // failure (budget, unsupported construct) falls back to a full
+        // recompile, and an unexpressible dirty region flushes the cache.
+        self.cover = match (&self.cover, &dirty) {
+            (Some(cover), Some(d)) => {
+                match mapro_sym::refresh_cover(cover, &self.pipeline, d, &cache_sym_config()) {
+                    Ok((next, _fresh)) => Some(next),
+                    Err(_) => {
+                        mapro_sym::compile(&self.pipeline, &self.space, &cache_sym_config()).ok()
+                    }
+                }
+            }
+            _ => mapro_sym::compile(&self.pipeline, &self.space, &cache_sym_config()).ok(),
+        };
 
-        if self.cover.is_none() {
-            // Cache disabled: everything cached is now unreachable.
+        let flush_all = self.cover.is_none() || dirty.is_none();
+        if flush_all {
+            // Cache disabled or dirty region unknown: nothing cached can
+            // be trusted to survive the update.
             let flushed = self.cache_entries() as u64;
             self.stats.invalidations += flushed;
             mapro_obs::counter!("switch.megaflow.invalidations").add(flushed);
@@ -275,6 +254,7 @@ impl CachedEngine {
             return Ok(());
         }
 
+        let dirty = dirty.expect("checked above");
         let mut removed = 0u64;
         for (_, map) in &mut self.tuples {
             let before = map.len();

@@ -71,7 +71,32 @@ pub fn check_symbolic(
 /// keeps the paper workloads (≤128 joint bits) on the cube engine whose
 /// committed benchmark digests they pin, and routes wide16-class spaces
 /// (256 bits) to DDs up front.
-const AUTO_DD_BITS: u32 = 192;
+pub(crate) const AUTO_DD_BITS: u32 = 192;
+
+/// The representative packets symbolic checks construct assign values by
+/// attribute id; both programs must agree on what each participating id
+/// denotes (same guard, and same error, as the enumerative engine).
+/// Shared with [`crate::incremental`], whose sessions perform the same
+/// construction across many updates.
+pub(crate) fn catalog_guard(
+    left: &Pipeline,
+    right: &Pipeline,
+    space: &FieldSpace,
+) -> Result<(), EquivError> {
+    for &(attr, _) in &space.coords {
+        let l = (attr.index() < left.catalog.len()).then(|| left.catalog.attr(attr));
+        let r = (attr.index() < right.catalog.len()).then(|| right.catalog.attr(attr));
+        let same = matches!((l, r), (Some(a), Some(b)) if a.name == b.name && a.width == b.width);
+        if !same {
+            return Err(EquivError::IncompatibleCatalogs {
+                attr,
+                left: l.map(|a| a.name.clone()),
+                right: r.map(|a| a.name.clone()),
+            });
+        }
+    }
+    Ok(())
+}
 
 fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivOutcome, SymFail> {
     mapro_obs::counter!("sym.checks").inc();
@@ -79,21 +104,7 @@ fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivO
     let _sp = mapro_obs::trace::span("symbolic");
     let space_span = mapro_obs::trace::span("space");
     let space = FieldSpace::from_pipelines(&[left, right]);
-    // The representative packets we construct assign values by attribute
-    // id; both programs must agree on what each participating id denotes
-    // (same guard, and same error, as the enumerative engine).
-    for &(attr, _) in &space.coords {
-        let l = (attr.index() < left.catalog.len()).then(|| left.catalog.attr(attr));
-        let r = (attr.index() < right.catalog.len()).then(|| right.catalog.attr(attr));
-        let same = matches!((l, r), (Some(a), Some(b)) if a.name == b.name && a.width == b.width);
-        if !same {
-            return Err(SymFail::Hard(EquivError::IncompatibleCatalogs {
-                attr,
-                left: l.map(|a| a.name.clone()),
-                right: r.map(|a| a.name.clone()),
-            }));
-        }
-    }
+    catalog_guard(left, right, &space).map_err(SymFail::Hard)?;
     drop(space_span);
 
     match sym.backend {
@@ -126,7 +137,7 @@ fn symbolic(left: &Pipeline, right: &Pipeline, sym: &SymConfig) -> Result<EquivO
 /// ordinary evaluator on a representative coordinate point (one value per
 /// space column). Shared by both backends so the reported packet, field
 /// listing and verdicts are byte-compatible regardless of engine.
-fn concretize(
+pub(crate) fn concretize(
     left: &Pipeline,
     right: &Pipeline,
     space: &FieldSpace,

@@ -29,8 +29,9 @@
 //! subtraction fan-out once (`sym.cache.hits` / `sym.cache.misses`).
 
 use crate::cube::{Cube, Tern};
+use crate::trie::CubeTrie;
 use mapro_core::{ActionSem, AttrId, AttrKind, MissPolicy, Packet, Pipeline, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The joint ternary coordinate system: every header `Field` attribute
@@ -346,18 +347,166 @@ impl std::error::Error for Unsupported {}
 /// per entry the disjoint region it wins, plus the miss region. State
 /// independent, hence cacheable by table content.
 #[derive(Debug)]
-struct TablePartition {
+pub(crate) struct TablePartition {
     /// Per entry: `None` if unsatisfiable (a symbolic match cell), else
     /// the disjoint cubes of `entry ∖ (earlier entries)`.
     regions: Vec<Option<Vec<Cube>>>,
     /// `universe ∖ (all entries)` — the packets that miss.
     miss: Vec<Cube>,
+    /// Total piece count (regions + miss) — the indexing heuristic's
+    /// input, precomputed so `step` never rescans the region lists.
+    pieces: usize,
+    /// Lazily-built piece trie for restricted compiles (see
+    /// [`Compiler::step`]); full compiles never touch it.
+    index: OnceLock<PieceIndex>,
 }
 
-/// Process-wide partition cache. Bounded: a full cache is cleared rather
-/// than evicted — the workloads that benefit (churn/re-verify) re-touch a
-/// small working set, and correctness never depends on a hit.
-static PART_CACHE: OnceLock<Mutex<HashMap<Vec<u8>, Arc<TablePartition>>>> = OnceLock::new();
+/// Where a flat piece id points inside a [`TablePartition`].
+#[derive(Debug, Clone, Copy)]
+enum PieceLoc {
+    /// Piece `pi` of entry `ei`'s win region.
+    Entry { ei: u32, pi: u32 },
+    /// Piece `pi` of the miss region.
+    Miss { pi: u32 },
+}
+
+/// The piece trie plus the flat-id → location map, in deterministic
+/// construction order (entries by priority, pieces in order, miss last) —
+/// the same order the linear scan visits, so an indexed `step` produces
+/// byte-identical successor lists.
+#[derive(Debug)]
+struct PieceIndex {
+    trie: CubeTrie,
+    locs: Vec<PieceLoc>,
+}
+
+impl TablePartition {
+    /// Build the piece index now if `step` would ever want it (no-op for
+    /// small partitions) — lets a session pay the one-off trie
+    /// construction at build time instead of inside its first µs-budget
+    /// proof.
+    pub(crate) fn warm_index(&self, widths: &[u32]) {
+        if self.pieces >= PIECE_INDEX_MIN {
+            let _ = self.piece_index(widths);
+        }
+    }
+
+    fn piece_index(&self, widths: &[u32]) -> &PieceIndex {
+        self.index.get_or_init(|| {
+            let mut trie = CubeTrie::new(widths);
+            let mut locs = Vec::with_capacity(self.pieces);
+            for (ei, region) in self.regions.iter().enumerate() {
+                let Some(region) = region else { continue };
+                for (pi, piece) in region.iter().enumerate() {
+                    trie.insert(piece, locs.len() as u32);
+                    locs.push(PieceLoc::Entry {
+                        ei: ei as u32,
+                        pi: pi as u32,
+                    });
+                }
+            }
+            for (pi, piece) in self.miss.iter().enumerate() {
+                trie.insert(piece, locs.len() as u32);
+                locs.push(PieceLoc::Miss { pi: pi as u32 });
+            }
+            PieceIndex { trie, locs }
+        })
+    }
+}
+
+/// One slot of the partition cache: the partition plus its second-chance
+/// reference bit.
+struct CacheSlot {
+    part: Arc<TablePartition>,
+    /// Set on every hit, cleared (once) by the eviction hand before the
+    /// slot becomes an eviction candidate again.
+    referenced: bool,
+}
+
+/// A bounded partition cache with second-chance (CLOCK) eviction. A full
+/// cache evicts the first entry the hand finds whose reference bit is
+/// clear — entries re-touched since the hand last passed survive — so a
+/// long churn run keeps the partitions of its unchanged tables warm
+/// instead of periodically re-paying every subtraction fan-out (the old
+/// policy cleared the whole map on overflow, flushing the hot working set
+/// along with the cold tail).
+struct PartCache {
+    map: HashMap<Vec<u8>, CacheSlot>,
+    /// The CLOCK hand order: keys in insertion order, front inspected
+    /// first on eviction.
+    clock: VecDeque<Vec<u8>>,
+    cap: usize,
+    /// Hits/lookups since construction, for hit-rate assertions in tests
+    /// (the process-wide `sym.cache.{hits,misses}` counters aggregate
+    /// across concurrently running tests and cannot be asserted on).
+    hits: u64,
+    lookups: u64,
+}
+
+impl PartCache {
+    fn new(cap: usize) -> PartCache {
+        PartCache {
+            map: HashMap::new(),
+            clock: VecDeque::new(),
+            cap: cap.max(1),
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<Arc<TablePartition>> {
+        self.lookups += 1;
+        let slot = self.map.get_mut(key)?;
+        slot.referenced = true;
+        self.hits += 1;
+        Some(Arc::clone(&slot.part))
+    }
+
+    fn insert(&mut self, key: Vec<u8>, part: Arc<TablePartition>) {
+        if let Some(slot) = self.map.get_mut(&key) {
+            // Two threads compiled the same content concurrently; keep the
+            // newer Arc, no second clock entry.
+            slot.part = part;
+            return;
+        }
+        while self.map.len() >= self.cap {
+            let Some(k) = self.clock.pop_front() else {
+                break;
+            };
+            match self.map.get_mut(&k) {
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false;
+                    self.clock.push_back(k);
+                }
+                Some(_) => {
+                    self.map.remove(&k);
+                }
+                None => {} // stale hand entry from a raced insert
+            }
+        }
+        self.clock.push_back(key.clone());
+        self.map.insert(
+            key,
+            CacheSlot {
+                part,
+                referenced: false,
+            },
+        );
+    }
+
+    #[cfg(test)]
+    fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Process-wide partition cache. Bounded by second-chance eviction
+/// ([`PartCache`]); correctness never depends on a hit.
+static PART_CACHE: OnceLock<Mutex<PartCache>> = OnceLock::new();
 const PART_CACHE_CAP: usize = 512;
 
 /// Structural digest key of a table's match side: column widths plus each
@@ -396,11 +545,11 @@ fn table_partition(
     // thread count and prior runs); the outcome is a field instead.
     let mut span = mapro_obs::trace::span_kv("partition", vec![("rows", rows.len().into())]);
     let key = partition_key(widths, &rows);
-    let cache = PART_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = PART_CACHE.get_or_init(|| Mutex::new(PartCache::new(PART_CACHE_CAP)));
     if let Some(hit) = cache.lock().expect("partition cache lock").get(&key) {
         mapro_obs::counter!("sym.cache.hits").inc();
         span.set("cache_hit", true);
-        return Ok(Arc::clone(hit));
+        return Ok(hit);
     }
     mapro_obs::counter!("sym.cache.misses").inc();
     span.set("cache_hit", false);
@@ -429,15 +578,17 @@ fn table_partition(
         }
         regions.push(Some(hits));
     }
+    let pieces = regions.iter().flatten().map(|r| r.len()).sum::<usize>() + remaining.len();
     let part = Arc::new(TablePartition {
         regions,
         miss: remaining,
+        pieces,
+        index: OnceLock::new(),
     });
-    let mut cache = cache.lock().expect("partition cache lock");
-    if cache.len() >= PART_CACHE_CAP {
-        cache.clear();
-    }
-    cache.insert(key, Arc::clone(&part));
+    cache
+        .lock()
+        .expect("partition cache lock")
+        .insert(key, Arc::clone(&part));
     Ok(part)
 }
 
@@ -577,12 +728,45 @@ enum Next {
     Done(Behavior),
 }
 
+/// Build (or fetch from the digest cache) every table's partition, in
+/// table order. The part of compiler construction worth caching across
+/// calls: an incremental session reuses the returned `Arc`s for every
+/// update that leaves the match side of its tables untouched, skipping
+/// the per-call row canonicalization and digest probe entirely.
+pub(crate) fn pipeline_parts(
+    p: &Pipeline,
+    cfg: &SymConfig,
+) -> Result<Vec<Arc<TablePartition>>, Unsupported> {
+    let mut parts = Vec::with_capacity(p.tables.len());
+    for t in &p.tables {
+        let widths: Vec<u32> = t
+            .match_attrs
+            .iter()
+            .map(|&a| p.catalog.attr(a).width)
+            .collect();
+        let rows: Vec<Option<Cube>> = t
+            .entries
+            .iter()
+            .map(|e| Cube::of(&e.matches, &widths))
+            .collect();
+        parts.push(table_partition(&widths, rows, cfg)?);
+    }
+    Ok(parts)
+}
+
+/// Piece count below which `step` always scans linearly — walking a trie
+/// for a handful of pieces costs more than the scan.
+const PIECE_INDEX_MIN: usize = 64;
+
 /// Everything `expand` needs that is shared across branches.
 struct Compiler<'a> {
     p: &'a Pipeline,
     space: &'a FieldSpace,
     index: HashMap<&'a str, usize>,
     parts: Vec<Arc<TablePartition>>,
+    /// Per table, its match-column widths (the piece tries' coordinate
+    /// system).
+    widths: Vec<Vec<u32>>,
     limit: usize,
     cfg: &'a SymConfig,
 }
@@ -593,28 +777,36 @@ impl<'a> Compiler<'a> {
         space: &'a FieldSpace,
         cfg: &'a SymConfig,
     ) -> Result<Compiler<'a>, Unsupported> {
-        let mut parts = Vec::with_capacity(p.tables.len());
-        for t in &p.tables {
-            let widths: Vec<u32> = t
-                .match_attrs
-                .iter()
-                .map(|&a| p.catalog.attr(a).width)
-                .collect();
-            let rows: Vec<Option<Cube>> = t
-                .entries
-                .iter()
-                .map(|e| Cube::of(&e.matches, &widths))
-                .collect();
-            parts.push(table_partition(&widths, rows, cfg)?);
-        }
-        Ok(Compiler {
+        Ok(Self::with_parts(p, space, cfg, pipeline_parts(p, cfg)?))
+    }
+
+    /// Construct around prebuilt partitions (see [`pipeline_parts`]) —
+    /// everything left is cheap schema work.
+    fn with_parts(
+        p: &'a Pipeline,
+        space: &'a FieldSpace,
+        cfg: &'a SymConfig,
+        parts: Vec<Arc<TablePartition>>,
+    ) -> Compiler<'a> {
+        let widths = p
+            .tables
+            .iter()
+            .map(|t| {
+                t.match_attrs
+                    .iter()
+                    .map(|&a| p.catalog.attr(a).width)
+                    .collect()
+            })
+            .collect();
+        Compiler {
             p,
             space,
             index: p.name_index(),
             parts,
+            widths,
             limit: visit_limit(p),
             cfg,
-        })
+        }
     }
 
     fn resolve(&self, name: &str) -> Result<usize, Unsupported> {
@@ -657,61 +849,150 @@ impl<'a> Compiler<'a> {
         Some(cube)
     }
 
+    /// One successor branch for piece `pi` of entry `ei`'s win region.
+    fn step_entry(
+        &self,
+        state: &SymState,
+        ti: usize,
+        ei: usize,
+        piece: &Cube,
+        out: &mut Vec<(SymState, Next)>,
+    ) -> Result<(), Unsupported> {
+        let t = &self.p.tables[ti];
+        let Some(cube) = self.refine(state, &t.match_attrs, piece) else {
+            return Ok(());
+        };
+        let mut s = state.clone();
+        s.cube = cube;
+        s.core.steps += 1;
+        if s.core.steps > self.limit {
+            return Err(Unsupported::GotoCycle { limit: self.limit });
+        }
+        let goto = apply_actions(self.p, ti, ei, &mut s.core)?;
+        let next = match goto {
+            Some(g) => Next::Table(self.resolve(g)?),
+            None => match &t.next {
+                Some(n) => Next::Table(self.resolve(n)?),
+                None => Next::Done(delivered(self.p, &s.core)),
+            },
+        };
+        out.push((s, next));
+        Ok(())
+    }
+
+    /// One successor branch for a miss-region piece.
+    fn step_miss(
+        &self,
+        state: &SymState,
+        ti: usize,
+        piece: &Cube,
+        out: &mut Vec<(SymState, Next)>,
+    ) -> Result<(), Unsupported> {
+        let t = &self.p.tables[ti];
+        let Some(cube) = self.refine(state, &t.match_attrs, piece) else {
+            return Ok(());
+        };
+        let mut s = state.clone();
+        s.cube = cube;
+        s.core.steps += 1;
+        if s.core.steps > self.limit {
+            return Err(Unsupported::GotoCycle { limit: self.limit });
+        }
+        let next = match &t.miss {
+            MissPolicy::Drop => Next::Done(Behavior::Dropped),
+            MissPolicy::Controller => {
+                let mut b = delivered(self.p, &s.core);
+                if let Behavior::Delivered { to_controller, .. } = &mut b {
+                    *to_controller = true;
+                }
+                Next::Done(b)
+            }
+            MissPolicy::Fall(n) => Next::Table(self.resolve(n)?),
+        };
+        out.push((s, next));
+        Ok(())
+    }
+
+    /// The current state's constraint over table `ti`'s own columns — the
+    /// probe cube for the piece trie. Mirrors [`Compiler::refine`]: a
+    /// column whose attribute has a concrete value probes exactly that
+    /// value, the rest probe the input cube's coordinate.
+    fn probe_cube(&self, state: &SymState, ti: usize) -> Cube {
+        let t = &self.p.tables[ti];
+        Cube(
+            t.match_attrs
+                .iter()
+                .zip(&self.widths[ti])
+                .map(|(&attr, &w)| {
+                    let wm = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+                    match state.core.vals[attr.index()] {
+                        Some(v) => Tern::exact(v, wm),
+                        None => {
+                            let k = self
+                                .space
+                                .coord_of(attr)
+                                .expect("unwritten match attr is a space coordinate");
+                            state.cube.0[k]
+                        }
+                    }
+                })
+                .collect(),
+        )
+    }
+
     /// Run one table visit on `state`: split it against the table's
     /// partition and return every successor branch in deterministic order
     /// (entries by priority, partition cubes in construction order, miss
     /// region last).
+    ///
+    /// When the visit is constrained (some probe bit is exact) and the
+    /// partition is large, candidate pieces come from the piece trie
+    /// instead of a full scan — the trie's filter is exactly the per-piece
+    /// compatibility test `refine` applies, and candidates are visited in
+    /// flat construction order, so the successor list is byte-identical
+    /// either way. Restricted compiles ([`compile_within`]) live on this
+    /// path; a full compile's universe probe takes the linear one.
     fn step(&self, state: &SymState, ti: usize) -> Result<Vec<(SymState, Next)>, Unsupported> {
-        let t = &self.p.tables[ti];
         let part = &self.parts[ti];
         let mut out = Vec::new();
+
+        if part.pieces >= PIECE_INDEX_MIN {
+            let probe = self.probe_cube(state, ti);
+            if probe.0.iter().any(|t| t.mask != 0) {
+                let idx = part.piece_index(&self.widths[ti]);
+                let mut cand = Vec::new();
+                idx.trie.query_into(&probe, &mut cand);
+                for &slot in &cand {
+                    match idx.locs[slot as usize] {
+                        PieceLoc::Entry { ei, pi } => {
+                            let region = part.regions[ei as usize]
+                                .as_ref()
+                                .expect("indexed piece of an unsatisfiable entry");
+                            self.step_entry(
+                                state,
+                                ti,
+                                ei as usize,
+                                &region[pi as usize],
+                                &mut out,
+                            )?;
+                        }
+                        PieceLoc::Miss { pi } => {
+                            self.step_miss(state, ti, &part.miss[pi as usize], &mut out)?;
+                        }
+                    }
+                }
+                return Ok(out);
+            }
+        }
 
         for (ei, region) in part.regions.iter().enumerate() {
             let Some(region) = region else { continue };
             for piece in region {
-                let Some(cube) = self.refine(state, &t.match_attrs, piece) else {
-                    continue;
-                };
-                let mut s = state.clone();
-                s.cube = cube;
-                s.core.steps += 1;
-                if s.core.steps > self.limit {
-                    return Err(Unsupported::GotoCycle { limit: self.limit });
-                }
-                let goto = apply_actions(self.p, ti, ei, &mut s.core)?;
-                let next = match goto {
-                    Some(g) => Next::Table(self.resolve(g)?),
-                    None => match &t.next {
-                        Some(n) => Next::Table(self.resolve(n)?),
-                        None => Next::Done(delivered(self.p, &s.core)),
-                    },
-                };
-                out.push((s, next));
+                self.step_entry(state, ti, ei, piece, &mut out)?;
             }
         }
-
         for piece in &part.miss {
-            let Some(cube) = self.refine(state, &t.match_attrs, piece) else {
-                continue;
-            };
-            let mut s = state.clone();
-            s.cube = cube;
-            s.core.steps += 1;
-            if s.core.steps > self.limit {
-                return Err(Unsupported::GotoCycle { limit: self.limit });
-            }
-            let next = match &t.miss {
-                MissPolicy::Drop => Next::Done(Behavior::Dropped),
-                MissPolicy::Controller => {
-                    let mut b = delivered(self.p, &s.core);
-                    if let Behavior::Delivered { to_controller, .. } = &mut b {
-                        *to_controller = true;
-                    }
-                    Next::Done(b)
-                }
-                MissPolicy::Fall(n) => Next::Table(self.resolve(n)?),
-            };
-            out.push((s, next));
+            self.step_miss(state, ti, piece, &mut out)?;
         }
         Ok(out)
     }
@@ -793,6 +1074,45 @@ pub fn compile(
         space: space.clone(),
         atoms,
     })
+}
+
+/// Compile `p` restricted to the input region `within`: the returned atoms
+/// tile exactly `within` (by the partition invariant every refinement of
+/// the initial cube stays inside it) rather than the whole universe.
+///
+/// This is the delta-recompile primitive behind [`crate::incremental`]:
+/// after a flow-mod dirties a region, only that region needs fresh atoms —
+/// untouched tables still hit the partition digest cache, so the cost
+/// scales with the dirty region, not the pipeline. Runs single-threaded so
+/// atom order is thread-count independent.
+pub(crate) fn compile_within(
+    p: &Pipeline,
+    space: &FieldSpace,
+    cfg: &SymConfig,
+    within: Cube,
+) -> Result<Vec<Atom>, Unsupported> {
+    compile_within_parts(p, space, cfg, within, pipeline_parts(p, cfg)?)
+}
+
+/// [`compile_within`] around prebuilt table partitions — the incremental
+/// session keeps each side's partitions alive across updates, so a delta
+/// recompile skips even the digest-cache probe.
+pub(crate) fn compile_within_parts(
+    p: &Pipeline,
+    space: &FieldSpace,
+    cfg: &SymConfig,
+    within: Cube,
+    parts: Vec<Arc<TablePartition>>,
+) -> Result<Vec<Atom>, Unsupported> {
+    let c = Compiler::with_parts(p, space, cfg, parts);
+    let start = c.resolve(&p.start)?;
+    let state = SymState {
+        cube: within,
+        core: SymCore::initial(p),
+    };
+    let mut atoms = Vec::new();
+    c.expand(state, start, &mut atoms)?;
+    Ok(atoms)
 }
 
 #[cfg(test)]
@@ -986,5 +1306,51 @@ mod tests {
         assert_eq!(a.atoms.len(), b.atoms.len());
         assert_eq!(a.atoms[0].cube, b.atoms[0].cube);
         assert_ne!(a.atoms[0].behavior, b.atoms[0].behavior);
+    }
+
+    #[test]
+    fn part_cache_second_chance_keeps_hot_keys() {
+        // The clear-on-full policy this replaced dropped *everything* at
+        // capacity, so a key touched every iteration still missed right
+        // after each wipe. Second-chance keeps the referenced bit set on
+        // the hot key, so it survives an arbitrarily long churn of
+        // one-shot keys and the overall hit rate stays high.
+        let dummy = || {
+            Arc::new(TablePartition {
+                regions: vec![],
+                miss: vec![],
+                pieces: 0,
+                index: OnceLock::new(),
+            })
+        };
+        let cap = 8;
+        let hot = b"hot".to_vec();
+        let mut cache = PartCache::new(cap);
+        cache.insert(hot.clone(), dummy());
+        assert!(cache.get(&hot).is_some());
+        // Churn far more distinct keys than the capacity; re-touch the hot
+        // key between every insertion, the way a steadily-rechecked table
+        // digest recurs between one-shot flow-mod digests.
+        let churn = cap * 16;
+        for i in 0..churn {
+            cache.insert(format!("cold-{i}").into_bytes(), dummy());
+            assert!(
+                cache.get(&hot).is_some(),
+                "hot key evicted after {i} cold inserts"
+            );
+        }
+        assert!(cache.map.len() <= cap, "cache exceeded its capacity");
+        // Hit rate: every lookup above was the hot key, and all hit. Under
+        // clear-on-full the same access pattern misses once per wipe
+        // (churn / cap times); second-chance must do strictly better than
+        // that bound and in fact hits every time after the first insert.
+        let wipe_policy_bound = 1.0 - 1.0 / cap as f64;
+        assert!(
+            cache.hit_rate() > wipe_policy_bound,
+            "hit rate {} not better than clear-on-full bound {}",
+            cache.hit_rate(),
+            wipe_policy_bound
+        );
+        assert_eq!(cache.hits, cache.lookups, "hot key should never miss");
     }
 }

@@ -176,6 +176,44 @@ impl DdEngine {
         space: &FieldSpace,
         cfg: &SymConfig,
     ) -> Result<NodeRef, Unsupported> {
+        let (root, _leaves) = self.compile_from(p, space, cfg, NodeRef::TRUE)?;
+        debug_assert!(
+            self.layout.total == 0 || root != NodeRef::term(0) || p.tables.is_empty(),
+            "leaf regions must tile the universe"
+        );
+        Ok(root)
+    }
+
+    /// Compile `p` restricted to the input region `state0` (a BDD over this
+    /// engine's layout): the returned root maps every packet in `state0` to
+    /// its interned behavior terminal and everything outside it to the
+    /// placeholder terminal 0. Also returns the number of leaf regions
+    /// emitted — the honest work measure for the delta.
+    ///
+    /// This is the DD half of the [`crate::incremental`] delta recompile:
+    /// after a flow-mod dirties a region `D`, `ite(D, compile_within(new,
+    /// D), old_root)` is the new cover, because the two agree everywhere
+    /// outside `D` by the invalidation-cube contract.
+    ///
+    /// # Errors
+    /// Same causes as [`DdEngine::compile`].
+    pub fn compile_within(
+        &mut self,
+        p: &Pipeline,
+        space: &FieldSpace,
+        cfg: &SymConfig,
+        within: NodeRef,
+    ) -> Result<(NodeRef, usize), Unsupported> {
+        self.compile_from(p, space, cfg, within)
+    }
+
+    fn compile_from(
+        &mut self,
+        p: &Pipeline,
+        space: &FieldSpace,
+        cfg: &SymConfig,
+        state0: NodeRef,
+    ) -> Result<(NodeRef, usize), Unsupported> {
         let _t = mapro_obs::time!("dd.compile_ns");
         let mut span =
             mapro_obs::trace::span_kv("dd.compile", vec![("tables", p.tables.len().into())]);
@@ -213,18 +251,14 @@ impl DdEngine {
             &mut self.mgr,
             &self.layout,
             &mut self.interner,
-            NodeRef::TRUE,
+            state0,
             SymCore::initial(p),
             start,
             &mut root,
         )?;
         span.set("leaves", c.leaves);
         span.set("nodes", self.mgr.len());
-        debug_assert!(
-            self.layout.total == 0 || root != NodeRef::term(0) || p.tables.is_empty(),
-            "leaf regions must tile the universe"
-        );
-        Ok(root)
+        Ok((root, c.leaves))
     }
 
     /// The behavior interned under terminal label `id` (1-based).

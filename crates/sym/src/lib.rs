@@ -32,6 +32,8 @@ pub mod check;
 pub mod compile;
 pub mod cube;
 pub mod ddcover;
+pub mod incremental;
+mod trie;
 
 pub use check::{
     assert_equivalent, check_equivalent, check_equivalent_explain, check_equivalent_with,
@@ -43,3 +45,4 @@ pub use compile::{
 };
 pub use cube::{Cube, Tern};
 pub use ddcover::{BitLayout, DdEngine, TableLiveness};
+pub use incremental::{dirty_region, refresh_cover, IncrementalChecker, ProofToken, Side, Verdict};

@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: diff fresh E14/E15/E17/E19/E20/E21 runs against
-the committed BENCH_*.json references.
+"""Perf-regression gate: diff fresh E14/E15/E17/E19/E20/E21/E22 runs
+against the committed BENCH_*.json references.
 
 usage: bench_diff.py FRESH_DIR [--repo DIR] [--timing-tolerance X]
 
 FRESH_DIR must contain faults.json, parscale.json, symscale.json,
-ddscale.json, chaos.json and mpps.json as written by scripts/reproduce.sh
-(or the CI job). They are compared against BENCH_faults.json,
-BENCH_parallel.json, BENCH_symbolic.json, BENCH_dd.json, BENCH_chaos.json
-and BENCH_mpps.json in the repo root:
+ddscale.json, chaos.json, mpps.json and churnverify.json as written by
+scripts/reproduce.sh (or the CI job). They are compared against
+BENCH_faults.json, BENCH_parallel.json, BENCH_symbolic.json,
+BENCH_dd.json, BENCH_chaos.json, BENCH_mpps.json and
+BENCH_churnverify.json in the repo root:
 
   * run metadata (`meta`) must be compatible — same schema, experiment
     and seed. A mismatch means the two runs measured different things;
@@ -315,6 +316,45 @@ def main():
         cached = engines.get("cached")
         if cached is not None and cached["hit_rate"] < 0.9:
             fail(f"mpps {cell}: megaflow hit rate {cached['hit_rate']:.4f} < 0.9")
+
+    # E22: incremental re-verification under churn. The proof-work
+    # columns (mods, atoms rechecked, delta-processed mods, verdicts and
+    # their digest) are seed-determined and machine independent => exact.
+    # Latencies are machine-dependent: the full-check baseline and the
+    # per-mod incremental mean sit in the timing envelope (the mean is in
+    # µs, so the sub-millisecond noise skip never hides it); the per-mod
+    # max and the speedup ratio are too noisy to gate here — the headline
+    # speedup is re-asserted below on the fresh run alone, mirroring the
+    # assert inside the experiment.
+    fresh = load(os.path.join(args.fresh_dir, "churnverify.json"))
+    committed = load(os.path.join(repo, "BENCH_churnverify.json"))
+    check_meta(
+        "churnverify",
+        meta_of(fresh, "churnverify.json"),
+        meta_of(committed, "BENCH_churnverify.json"),
+    )
+    check_rows(
+        "churnverify",
+        fresh["rows"],
+        committed["rows"],
+        lambda r: (r["workload"], r["backend"], r["rate_per_sec"]),
+        exact=["digest", "verdict", "entries", "mods", "atoms_rechecked", "delta_mods"],
+        timings=["full_ms", "incr_mean_us"],
+        tol=tol,
+    )
+    largest = max(r["entries"] for r in fresh["rows"])
+    for r in fresh["rows"]:
+        cell = (r["workload"], r["backend"], r["rate_per_sec"])
+        if r["delta_mods"] != r["mods"]:
+            fail(
+                f"churnverify {cell}: only {r['delta_mods']}/{r['mods']} mods "
+                f"were delta-processed (unexpected fallbacks)"
+            )
+        if r["backend"] == "cube" and r["entries"] == largest and r["speedup"] < 100.0:
+            fail(
+                f"churnverify {cell}: incremental re-check only "
+                f"{r['speedup']:.1f}x over a full check"
+            )
 
     if FAILURES:
         print(f"bench_diff: {len(FAILURES)} regression(s)")

@@ -65,6 +65,15 @@ echo "== Mpps-scale replay engines (E20) =="
 cargo run --release -p mapro-bench --bin repro -- --experiment mpps --json \
     | sed '1,/############/d' > "$OUT/mpps.json"
 
+echo "== incremental re-verification under churn (E22) =="
+# A long-lived equivalence session absorbing a Poisson flow-mod stream:
+# per-mod delta re-checks vs a from-scratch check. Latencies are
+# machine-dependent; the proof-work columns (mods, atoms rechecked,
+# delta-vs-fallback split, verdicts, digests) are seed-determined — CI
+# diffs them across MAPRO_THREADS settings.
+cargo run --release -p mapro-bench --bin repro -- --experiment churnverify --json \
+    | sed '1,/############/d' > "$OUT/churnverify.json"
+
 echo "== perf-regression diff (advisory) =="
 # Compare the fresh runs against the committed references *before*
 # refreshing them, so an unexpected drift is visible in the log. The
@@ -79,6 +88,7 @@ cp "$OUT/parscale.json" BENCH_parallel.json
 cp "$OUT/symscale.json" BENCH_symbolic.json
 cp "$OUT/ddscale.json" BENCH_dd.json
 cp "$OUT/mpps.json" BENCH_mpps.json
+cp "$OUT/churnverify.json" BENCH_churnverify.json
 
 echo "== benches =="
 cargo bench --workspace 2>&1 | tee "$OUT/bench_output.txt" | grep -E "^(table1|fig4|encoding|classifier|normalize)/" || true

@@ -1,0 +1,181 @@
+//! Differential harness for the incremental equivalence session: drive a
+//! random pipeline pair through a random flow-mod stream and require that
+//! after *every* mod the session's verdict equals a from-scratch
+//! `check_symbolic` of the session's own pipelines — for both the cube
+//! and the DD backend. Every `NotEquivalent` verdict must come with a
+//! counterexample the concrete evaluator confirms, and DD witnesses must
+//! be byte-identical to the fresh check's (the module contract).
+//!
+//! The stream exercises every delta class the session distinguishes:
+//! action-only modifies (partitions survive), match-cell modifies
+//! (partitions re-derived), inserts and deletes (structural sync), each
+//! first applied to one side (divergence window) and then mirrored
+//! (convergence). CI runs this file at `MAPRO_THREADS=1` and `=4` and
+//! diffs the outcomes, so everything asserted here must be thread-count
+//! independent.
+
+use mapro_control::{apply_update, delta_rows, RuleUpdate};
+use mapro_core::{Counterexample, Entry, EquivOutcome, Pipeline, Value};
+use mapro_sym::{check_symbolic, CoverBackend, IncrementalChecker, Side, SymConfig};
+use mapro_workloads::{random_table, RandomSpec, RandomTable};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn backend_cfg(backend: CoverBackend) -> SymConfig {
+    SymConfig {
+        backend,
+        ..SymConfig::default()
+    }
+}
+
+/// A counterexample is only as good as the packet it names: re-run both
+/// pipelines through the concrete evaluator and require observably
+/// different behavior matching the recorded verdicts.
+fn confirm_counterexample(l: &Pipeline, r: &Pipeline, cx: &Counterexample, ctx: &str) {
+    let lv = l
+        .run_indexed(&cx.packet, &l.name_index())
+        .unwrap_or_else(|e| panic!("{ctx}: cx packet fails on left: {e}"));
+    let rv = r
+        .run_indexed(&cx.packet, &r.name_index())
+        .unwrap_or_else(|e| panic!("{ctx}: cx packet fails on right: {e}"));
+    assert_ne!(
+        lv.observable(),
+        rv.observable(),
+        "{ctx}: reported counterexample does not distinguish the pipelines"
+    );
+    assert_eq!(lv.observable(), cx.left.observable(), "{ctx}: stale left");
+    assert_eq!(rv.observable(), cx.right.observable(), "{ctx}: stale right");
+}
+
+/// One random flow-mod against the current pipeline, spanning all four
+/// delta classes. Inserted rows use match values above the generator's
+/// domain so they never collide with an existing tuple.
+fn random_mod(p: &Pipeline, rt: &RandomTable, step: usize, rng: &mut SmallRng) -> RuleUpdate {
+    let t = &p.tables[0];
+    let nrows = t.entries.len();
+    match rng.gen_range(0..4u8) {
+        // Action-only modify: rewrite the out port of one row.
+        0 if nrows > 0 => {
+            let row = rng.gen_range(0..nrows);
+            RuleUpdate::Modify {
+                table: t.name.clone(),
+                matches: t.entries[row].matches.clone(),
+                set: vec![(rt.out, Value::sym(format!("churn-{step}")))],
+            }
+        }
+        // Match-cell modify: move one row to an unoccupied tuple.
+        1 if nrows > 0 => {
+            let row = rng.gen_range(0..nrows);
+            let col = rng.gen_range(0..rt.field_ids.len());
+            RuleUpdate::Modify {
+                table: t.name.clone(),
+                matches: t.entries[row].matches.clone(),
+                set: vec![(rt.field_ids[col], Value::Int(1000 + step as u64))],
+            }
+        }
+        // Delete one row (only while a few remain, so the stream keeps
+        // having targets).
+        2 if nrows > 2 => {
+            let row = rng.gen_range(0..nrows);
+            RuleUpdate::Delete {
+                table: t.name.clone(),
+                matches: t.entries[row].matches.clone(),
+            }
+        }
+        // Insert a fresh row on a tuple outside the generator's domain.
+        _ => {
+            let matches: Vec<Value> = (0..rt.field_ids.len())
+                .map(|c| Value::Int(2000 + step as u64 * 8 + c as u64))
+                .collect();
+            RuleUpdate::Insert {
+                table: t.name.clone(),
+                entry: Entry::new(matches, vec![Value::sym(format!("new-{step}"))]),
+            }
+        }
+    }
+}
+
+/// Assert the session verdict equals a fresh check of the session's own
+/// pipelines; confirm (and for DD, byte-compare) the witness when they
+/// disagree somewhere.
+fn verdict_matches_fresh(s: &IncrementalChecker, backend: CoverBackend, ctx: &str) {
+    let fresh = check_symbolic(s.left(), s.right(), &backend_cfg(backend))
+        .unwrap_or_else(|e| panic!("{ctx}: fresh check errored: {e}"));
+    assert_eq!(
+        s.verdict().is_equivalent(),
+        fresh.is_equivalent(),
+        "{ctx}: session verdict diverged from a from-scratch check"
+    );
+    let session_cx = s.counterexample().unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    match (&session_cx, &fresh) {
+        (Some(cx), EquivOutcome::Counterexample(fresh_cx)) => {
+            confirm_counterexample(s.left(), s.right(), cx, ctx);
+            if backend == CoverBackend::Dd {
+                assert_eq!(
+                    cx.fields, fresh_cx.fields,
+                    "{ctx}: DD session witness differs from the fresh check's"
+                );
+            }
+        }
+        (None, EquivOutcome::Counterexample(_)) | (Some(_), _) => {
+            panic!("{ctx}: witness presence disagrees with the verdict")
+        }
+        (None, _) => {}
+    }
+}
+
+/// Drive one seeded stream through a session on `backend`, checking the
+/// verdict against a fresh check after every single mod.
+fn stream_tracks_fresh_checks(rt: &RandomTable, backend: CoverBackend, seed: u64) {
+    let mut left = rt.pipeline.clone();
+    let mut right = rt.pipeline.clone();
+    let mut s = IncrementalChecker::new(&left, &right, &backend_cfg(backend)).unwrap();
+    assert!(
+        s.verdict().is_equivalent(),
+        "identical pair at session start"
+    );
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x1CE);
+    let mut txn = 0u64;
+    for step in 0..6usize {
+        let u = random_mod(&left, rt, step, &mut rng);
+
+        // Divergence window: the mod lands on the left only.
+        let rows = delta_rows(&left, &u);
+        apply_update(&mut left, &u).unwrap();
+        txn += 1;
+        let t = s.update(Side::Left, &left, &rows, 1, txn).unwrap();
+        assert_eq!(t.verdict, s.verdict(), "token reports the session verdict");
+        verdict_matches_fresh(&s, backend, &format!("seed {seed} step {step} diverged"));
+
+        // Convergence: mirror the same mod to the right.
+        let rows = delta_rows(&right, &u);
+        apply_update(&mut right, &u).unwrap();
+        txn += 1;
+        s.update(Side::Right, &right, &rows, 1, txn).unwrap();
+        assert!(
+            s.verdict().is_equivalent(),
+            "seed {seed} step {step}: mirrored mod must reconverge"
+        );
+        verdict_matches_fresh(&s, backend, &format!("seed {seed} step {step} converged"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random pipeline + random flow-mod stream: the incremental verdict
+    /// equals a from-scratch check after every mod, on both backends.
+    #[test]
+    fn incremental_session_tracks_fresh_checks(
+        seed in 0u64..2000,
+        fields in 2usize..4,
+        rows in 4usize..10,
+    ) {
+        let spec = RandomSpec { fields, rows, domain: 6, planted: vec![(0, 1)] };
+        let rt = random_table(&spec, seed);
+        stream_tracks_fresh_checks(&rt, CoverBackend::Cube, seed);
+        stream_tracks_fresh_checks(&rt, CoverBackend::Dd, seed);
+    }
+}
